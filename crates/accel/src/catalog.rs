@@ -1,0 +1,170 @@
+//! The accelerator catalog: Tables 1, 5, and 6 of the paper as data.
+
+/// One row of Table 1 (qualitative accelerator comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CatalogEntry {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Publication year.
+    pub year: u16,
+    /// Mapping approach, verbatim from Table 1.
+    pub mapping: &'static str,
+    /// Architectural focus, verbatim from Table 1.
+    pub focus: &'static str,
+    /// Whether this repository ships a full executable model of it.
+    pub modeled: bool,
+}
+
+/// Table 1: selected sparse tensor accelerator proposals.
+pub fn table1() -> Vec<CatalogEntry> {
+    vec![
+        CatalogEntry {
+            name: "OuterSPACE",
+            year: 2018,
+            mapping: "Outer Product parallelized across rows of A",
+            focus: "SpMSpM with serial multiply/add phases, custom merge unit",
+            modeled: true,
+        },
+        CatalogEntry {
+            name: "ExTensor",
+            year: 2019,
+            mapping: "Inner Product tiled across all dimensions for locality",
+            focus: "Arbitrary Einsums and TACO formats, skip-ahead intersection unit",
+            modeled: true,
+        },
+        CatalogEntry {
+            name: "MatRaptor",
+            year: 2020,
+            mapping: "Row-wise Product with parallel summation",
+            focus: "SpMSpM with co-design of micro-architecture and C2SR format",
+            modeled: false,
+        },
+        CatalogEntry {
+            name: "SIGMA",
+            year: 2020,
+            mapping: "Inner Product parallelized across multiple dimensions",
+            focus: "SpMSpM with custom bitmap format, flexible hardware topology",
+            modeled: true,
+        },
+        CatalogEntry {
+            name: "SpArch",
+            year: 2020,
+            mapping: "Outer Product with parallel merge",
+            focus: "SpMSpM with optimized RAM interface in sum phase",
+            modeled: false,
+        },
+        CatalogEntry {
+            name: "Tensaurus",
+            year: 2020,
+            mapping: "Inner Product with extended scalar-fiber product (SF3)",
+            focus: "SF3 applicability to Einsums beyond matrix-matrix multiply",
+            modeled: true,
+        },
+        CatalogEntry {
+            name: "Gamma",
+            year: 2021,
+            mapping: "Row-wise Product, adoption of Gustavson's algorithm",
+            focus: "SpMSpM with custom FiberCache, transposed merge-and-sum",
+            modeled: true,
+        },
+    ]
+}
+
+/// One row of Table 5 (hardware configurations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HardwareConfig {
+    /// Accelerator name.
+    pub name: &'static str,
+    /// Configuration text, verbatim from Table 5.
+    pub config: &'static str,
+}
+
+/// Table 5: hardware configurations matching the original publications.
+pub fn table5() -> Vec<HardwareConfig> {
+    vec![
+        HardwareConfig {
+            name: "ExTensor",
+            config: "1 GHz clock, 128 PEs, 64 kB PE buffer per PE, 30 MB LLC, \
+                     68.256 GB/s memory bandwidth",
+        },
+        HardwareConfig {
+            name: "Gamma",
+            config: "1 GHz clock, 64-way merger per PE, 32 PEs, 3 MB FiberCache, \
+                     16 64-bit HBM channels, 8 GB/s/channel",
+        },
+        HardwareConfig {
+            name: "OuterSPACE",
+            config: "1.5 GHz clock, 16 PEs per PT, 16 PTs, 16 kB L0 cache per PT, \
+                     4 kB L1 cache per 4 PTs, 16 64-bit HBM channels, 8000 MB/s/channel",
+        },
+        HardwareConfig {
+            name: "SIGMA",
+            config: "500 MHz clock, 128 PEs per FlexDPE, 128 FlexDPEs, 32 MB Data \
+                     SRAM, 4 MB Bitmap SRAM, 960 GB/s SRAM bandwidth, 1024 GB/s HBM",
+        },
+        HardwareConfig {
+            name: "Graphicionado",
+            config: "1 GHz clock, 8 streams, 64 MB eDRAM, 68 GB/s memory bandwidth",
+        },
+    ]
+}
+
+/// One row of Table 6 (framework feature comparison).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FeatureRow {
+    /// Feature name.
+    pub feature: &'static str,
+    /// Support per framework: STONNE, Sparseloop, SAM, CIN-P, TeAAL.
+    pub support: [bool; 5],
+}
+
+/// Table 6: sparse tensor modeling framework comparison.
+pub fn table6() -> Vec<FeatureRow> {
+    vec![
+        FeatureRow { feature: "Models Hardware", support: [true, true, true, false, true] },
+        FeatureRow { feature: "Generic Kernels", support: [false, true, true, true, true] },
+        FeatureRow { feature: "Cascaded Einsums", support: [false, false, true, true, true] },
+        FeatureRow { feature: "Index Expressions", support: [false, false, false, true, true] },
+        FeatureRow { feature: "Shape-Based Part.", support: [false, true, true, false, true] },
+        FeatureRow { feature: "Occ.-Based Part.", support: [false, true, false, false, true] },
+        FeatureRow { feature: "Generic Flattening", support: [false, false, false, true, true] },
+        FeatureRow { feature: "Rank Swizzling", support: [false, false, false, true, true] },
+        FeatureRow { feature: "Format Expressivity", support: [true, true, true, false, true] },
+        FeatureRow { feature: "Caches", support: [false, false, false, true, true] },
+        FeatureRow { feature: "Precise Data Set", support: [true, false, true, false, true] },
+        FeatureRow { feature: "High Model Fidelity", support: [true, false, false, false, true] },
+    ]
+}
+
+/// The framework column labels for [`table6`].
+pub const TABLE6_FRAMEWORKS: [&str; 5] = ["STONNE", "Sparseloop", "SAM", "CIN-P", "TeAAL"];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_has_seven_accelerators_five_modeled() {
+        // The four validation-study designs plus Tensaurus (this repo also
+        // ships Eyeriss and the vertex-centric designs, which are not
+        // Table 1 rows).
+        let t = table1();
+        assert_eq!(t.len(), 7);
+        assert_eq!(t.iter().filter(|e| e.modeled).count(), 5);
+    }
+
+    #[test]
+    fn table5_covers_every_modeled_design() {
+        let names: Vec<&str> = table5().iter().map(|h| h.name).collect();
+        for required in ["ExTensor", "Gamma", "OuterSPACE", "SIGMA", "Graphicionado"] {
+            assert!(names.contains(&required), "missing {required}");
+        }
+    }
+
+    #[test]
+    fn teaal_supports_every_table6_feature() {
+        for row in table6() {
+            assert!(row.support[4], "TeAAL should support {}", row.feature);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! # teaal-accel
+//!
+//! Built-in TeAAL specifications for the accelerators the paper evaluates:
+//! OuterSPACE, ExTensor, Gamma, and SIGMA (§5, Figs. 3 and 8) and the
+//! vertex-centric designs Graphicionado, GraphDynS, and the paper's
+//! proposal (§8, Fig. 12), each with its Table 5 hardware configuration.
+
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod extensor;
+pub mod eyeriss;
+pub mod gamma;
+pub mod outerspace;
+pub mod sigma;
+pub mod tensaurus;
+pub mod vertex_centric;
+
+pub use vertex_centric::GraphDesign;
+
+use teaal_core::TeaalSpec;
+use teaal_sim::{SimError, Simulator};
+
+/// The four SpMSpM accelerators of the validation study (§7).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SpmspmAccel {
+    /// OuterSPACE (HPCA 2018).
+    OuterSpace,
+    /// ExTensor (MICRO 2019).
+    ExTensor,
+    /// Gamma (ASPLOS 2021).
+    Gamma,
+    /// SIGMA (HPCA 2020).
+    Sigma,
+}
+
+impl SpmspmAccel {
+    /// All four, in the paper's presentation order.
+    pub fn all() -> [SpmspmAccel; 4] {
+        [
+            SpmspmAccel::OuterSpace,
+            SpmspmAccel::ExTensor,
+            SpmspmAccel::Gamma,
+            SpmspmAccel::Sigma,
+        ]
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpmspmAccel::OuterSpace => "OuterSPACE",
+            SpmspmAccel::ExTensor => "ExTensor",
+            SpmspmAccel::Gamma => "Gamma",
+            SpmspmAccel::Sigma => "SIGMA",
+        }
+    }
+
+    /// The accelerator's full TeAAL specification.
+    pub fn spec(&self) -> TeaalSpec {
+        match self {
+            SpmspmAccel::OuterSpace => outerspace::spec(),
+            SpmspmAccel::ExTensor => extensor::spec(),
+            SpmspmAccel::Gamma => gamma::spec(),
+            SpmspmAccel::Sigma => sigma::spec(),
+        }
+    }
+
+    /// A ready-to-run simulator for this accelerator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] if lowering fails (it cannot for the embedded
+    /// specifications; covered by tests).
+    pub fn simulator(&self) -> Result<Simulator, SimError> {
+        Simulator::new(self.spec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_accelerator_builds_a_simulator() {
+        for a in SpmspmAccel::all() {
+            let sim = a.simulator();
+            assert!(sim.is_ok(), "{} failed: {:?}", a.label(), sim.err());
+        }
+    }
+}

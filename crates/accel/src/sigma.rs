@@ -1,0 +1,210 @@
+//! SIGMA (HPCA 2020): occupancy-balanced PE filling with a bitmap format
+//! and a pre-filtering Einsum cascade (paper Fig. 8c, Table 5).
+
+use teaal_core::TeaalSpec;
+
+/// Fig. 8c's three-Einsum cascade (`S` marks the non-empty rows of `B`,
+/// `T` filters `A` by them, `Z` multiplies) with the Table 5
+/// configuration: 128 FlexDPEs × 128 PEs at 500 MHz, 32 MB data SRAM at
+/// 960 GB/s, 1024 GB/s of HBM. The stationary matrix is distributed by
+/// flattening `(M, K0)` and occupancy-partitioning so only nonzeros
+/// occupy PEs.
+pub const YAML: &str = concat!(
+    "einsum:\n",
+    "  declaration:\n",
+    "    A: [K, M]\n",
+    "    B: [K, N]\n",
+    "    S: [K, M]\n",
+    "    T: [K, M]\n",
+    "    Z: [M, N]\n",
+    "  expressions:\n",
+    "    - S[k, m] = take(A[k, m], B[k, n], 0)\n",
+    "    - T[k, m] = take(A[k, m], S[k, m], 0)\n",
+    "    - Z[m, n] = T[k, m] * B[k, n]\n",
+    "mapping:\n",
+    "  rank-order:\n",
+    "    A: [K, M]\n",
+    "    B: [K, N]\n",
+    "    S: [K, M]\n",
+    "    T: [K, M]\n",
+    "    Z: [M, N]\n",
+    "  partitioning:\n",
+    "    Z:\n",
+    "      K: [uniform_shape(128)]\n",
+    "      (M, K0): [flatten()]\n",
+    "      MK0: [uniform_occupancy(T.16384)]\n",
+    "  loop-order:\n",
+    "    S: [K, M, N]\n",
+    "    T: [K, M]\n",
+    "    Z: [K1, MK01, MK00, N]\n",
+    "  spacetime:\n",
+    "    S:\n",
+    "      space: []\n",
+    "      time: [K, M, N]\n",
+    "    T:\n",
+    "      space: []\n",
+    "      time: [K, M]\n",
+    "    Z:\n",
+    "      space: [MK00]\n",
+    "      time: [K1, MK01, N.coord]\n",
+    "format:\n",
+    "  A:\n",
+    "    Bitmap:\n",
+    "      K:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 32\n",
+    "      M:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 64\n",
+    "  B:\n",
+    "    Bitmap:\n",
+    "      K:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 32\n",
+    "      N:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 64\n",
+    "  T:\n",
+    "    Bitmap:\n",
+    "      K:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 32\n",
+    "      M:\n",
+    "        format: B\n",
+    "        cbits: 1\n",
+    "        pbits: 64\n",
+    "  Z:\n",
+    "    CSR:\n",
+    "      M:\n",
+    "        format: C\n",
+    "        cbits: 32\n",
+    "        pbits: 32\n",
+    "      N:\n",
+    "        format: C\n",
+    "        cbits: 32\n",
+    "        pbits: 64\n",
+    "architecture:\n",
+    "  clock: 500_000_000\n",
+    "  configs:\n",
+    "    Default:\n",
+    "      name: System\n",
+    "      local:\n",
+    "        - name: HBM\n",
+    "          class: DRAM\n",
+    "          bandwidth: 1_024_000_000_000\n",
+    "        - name: DataSRAM\n",
+    "          class: buffet\n",
+    "          width: 1024\n",
+    "          depth: 262144\n",
+    "          bandwidth: 960_000_000_000\n",
+    "      subtree:\n",
+    "        - name: FlexDPE\n",
+    "          count: 128\n",
+    "          local:\n",
+    "            - name: Reduce\n",
+    "              class: compute\n",
+    "              op: add\n",
+    "              count: 64\n",
+    "          subtree:\n",
+    "            - name: PE\n",
+    "              count: 128\n",
+    "              local:\n",
+    "                - name: MulALU\n",
+    "                  class: compute\n",
+    "                  op: mul\n",
+    "binding:\n",
+    "  S:\n",
+    "    config: Default\n",
+    "  T:\n",
+    "    config: Default\n",
+    "  Z:\n",
+    "    config: Default\n",
+    "    storage:\n",
+    "      - component: DataSRAM\n",
+    "        tensor: T\n",
+    "        config: Bitmap\n",
+    "        rank: K1\n",
+    "        type: elem\n",
+    "        style: lazy\n",
+    "        evict-on: K1\n",
+    "      - component: DataSRAM\n",
+    "        tensor: B\n",
+    "        config: Bitmap\n",
+    "        rank: K1\n",
+    "        type: elem\n",
+    "        style: lazy\n",
+    "        evict-on: K1\n",
+    "    compute:\n",
+    "      - component: MulALU\n",
+    "        op: mul\n",
+    "      - component: Reduce\n",
+    "        op: add\n",
+);
+
+/// Parses and validates the SIGMA specification.
+///
+/// # Panics
+///
+/// Panics if the embedded specification fails to validate (covered by
+/// tests).
+pub fn spec() -> TeaalSpec {
+    TeaalSpec::parse(YAML).expect("embedded SIGMA spec is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teaal_core::ir;
+
+    #[test]
+    fn spec_has_table5_parameters() {
+        let s = spec();
+        assert_eq!(s.architecture.clock_hz, 5e8);
+        let cfg = s.architecture.config(None).unwrap();
+        let (_, pes) = cfg.find("MulALU").unwrap();
+        assert_eq!(pes, 128 * 128);
+        // 1024 bits × 262144 = 32 MB data SRAM.
+        let (sram, _) = cfg.find("DataSRAM").unwrap();
+        match &sram.class {
+            teaal_core::spec::ComponentClass::Buffer { width, depth, bandwidth, .. } => {
+                assert_eq!(width * depth / 8, 32 * 1024 * 1024);
+                assert_eq!(*bandwidth, 960e9);
+            }
+            other => panic!("DataSRAM should be a buffer, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cascade_prefilters_then_multiplies() {
+        let s = spec();
+        let plans = ir::lower(&s).unwrap();
+        assert_eq!(plans.len(), 3);
+        // Z's stationary operand is flattened + occupancy partitioned.
+        let z = &plans[2];
+        let t_plan = z.tensor_plan("T").unwrap();
+        assert!(t_plan
+            .steps
+            .iter()
+            .any(|st| matches!(st, teaal_core::ir::PlanStep::Flatten { .. })));
+        assert!(t_plan
+            .steps
+            .iter()
+            .any(|st| matches!(st, teaal_core::ir::PlanStep::SplitOccLeader { .. })));
+        // All PEs work in parallel on MK00.
+        assert!(z.loop_ranks.iter().any(|l| l.name == "MK00" && l.is_space));
+    }
+
+    #[test]
+    fn bitmap_format_sizes_like_sigma() {
+        let s = spec();
+        let fmt = &s.format.tensors["A"]["Bitmap"];
+        // A bitmap rank stores shape bits of mask plus packed payloads.
+        let rf = &fmt.ranks["M"];
+        assert_eq!(rf.fiber_bits(10, 128), 128 + 10 * 64);
+    }
+}

@@ -1,0 +1,54 @@
+//! Substrate microbenchmarks: the fibertree operations every simulation
+//! is built from.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teaal_fibertree::partition::SplitKind;
+use teaal_fibertree::{iterate, IntersectPolicy};
+use teaal_workloads::genmat;
+
+fn bench_transforms(c: &mut Criterion) {
+    let t = genmat::uniform("A", &["M", "K"], 1000, 1000, 20_000, 1);
+    let mut g = c.benchmark_group("fibertree_transforms");
+    g.bench_function("swizzle_2rank", |b| {
+        b.iter(|| std::hint::black_box(&t).swizzle(&["K", "M"]).unwrap())
+    });
+    g.bench_function("flatten", |b| {
+        b.iter(|| std::hint::black_box(&t).flatten_rank("M", "MK").unwrap())
+    });
+    g.bench_function("partition_shape", |b| {
+        b.iter(|| {
+            std::hint::black_box(&t)
+                .partition_rank("K", SplitKind::UniformShape(64), "K1", "K0")
+                .unwrap()
+        })
+    });
+    g.bench_function("partition_occupancy", |b| {
+        b.iter(|| {
+            std::hint::black_box(&t)
+                .partition_rank("K", SplitKind::UniformOccupancy(16), "K1", "K0")
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_intersection(c: &mut Criterion) {
+    let a = genmat::uniform("A", &["M", "K"], 1, 100_000, 5_000, 2);
+    let b = genmat::uniform("B", &["M", "K"], 1, 100_000, 5_000, 3);
+    let fa = a.root_fiber().unwrap().iter().next().unwrap().payload.as_fiber().unwrap();
+    let fb = b.root_fiber().unwrap().iter().next().unwrap().payload.as_fiber().unwrap();
+    let mut g = c.benchmark_group("fibertree_intersection");
+    for (name, policy) in [
+        ("two_finger", IntersectPolicy::TwoFinger),
+        ("leader_follower", IntersectPolicy::LeaderFollower { leader: 0 }),
+        ("skip_ahead", IntersectPolicy::SkipAhead),
+    ] {
+        g.bench_with_input(BenchmarkId::new("policy", name), &policy, |bch, p| {
+            bch.iter(|| iterate::intersect2(fa, fb, *p))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_transforms, bench_intersection);
+criterion_main!(benches);

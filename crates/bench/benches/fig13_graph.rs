@@ -1,0 +1,25 @@
+//! Criterion wrapper for the Fig. 13 vertex-centric models: one BFS per
+//! design on a small power-law graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teaal_accel::GraphDesign;
+use teaal_graph::{run, Algorithm};
+use teaal_workloads::Graph;
+
+fn bench_graph_models(c: &mut Criterion) {
+    let g = Graph::power_law(1024, 8192, false, 9);
+    let root = g.hub();
+    let mut grp = c.benchmark_group("fig13_graph_model");
+    grp.sample_size(10);
+    for design in [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal] {
+        grp.bench_with_input(
+            BenchmarkId::new("bfs", design.label()),
+            &design,
+            |bch, d| bch.iter(|| run(*d, Algorithm::Bfs, &g, root).expect("runs")),
+        );
+    }
+    grp.finish();
+}
+
+criterion_group!(benches, bench_graph_models);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! Table 1 — qualitative comparison of sparse tensor accelerators.
+
+use teaal_accel::catalog;
+
+fn main() {
+    println!("== Table 1: selected sparse tensor accelerator proposals ==");
+    println!("{:<14}{:<6}{:<55}Modeled here", "Accelerator", "Year", "Mapping approach");
+    for e in catalog::table1() {
+        println!(
+            "{:<14}{:<6}{:<55}{}",
+            e.name,
+            e.year,
+            e.mapping,
+            if e.modeled { "yes" } else { "no" }
+        );
+        println!("{:20}{}", "", e.focus);
+    }
+}

@@ -1,0 +1,16 @@
+//! Table 3 — supported hardware component classes and their attributes.
+
+fn main() {
+    println!("== Table 3: supported hardware components ==");
+    let rows = [
+        ("DRAM", "bandwidth"),
+        ("Buffer", "type (buffet or cache), width, depth, bandwidth"),
+        ("Intersection", "type (two-finger, leader-follower, or skip-ahead), leader"),
+        ("Merger", "inputs, comparator_radix, outputs, order (fifo, opt), reduce"),
+        ("Sequencer", "num_ranks"),
+        ("Compute", "type (mul or add)"),
+    ];
+    for (comp, attrs) in rows {
+        println!("{comp:<14}{attrs}");
+    }
+}

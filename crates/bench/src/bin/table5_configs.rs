@@ -1,0 +1,23 @@
+//! Table 5 — hardware configurations, cross-checked against the embedded
+//! architecture specifications.
+
+use teaal_accel::{catalog, SpmspmAccel};
+
+fn main() {
+    println!("== Table 5: hardware configurations ==");
+    for h in catalog::table5() {
+        println!("{:<16}{}", h.name, h.config);
+    }
+    println!("\ncross-check against embedded specs:");
+    for a in SpmspmAccel::all() {
+        let spec = a.spec();
+        let cfgs = spec.architecture.configs.len();
+        let clock_ghz = spec.architecture.clock_hz / 1e9;
+        println!(
+            "{:<16}clock {:.2} GHz, {} topology config(s)",
+            a.label(),
+            clock_ghz,
+            cfgs
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Table 6 — sparse tensor modeling framework comparison.
+
+use teaal_accel::catalog::{table6, TABLE6_FRAMEWORKS};
+
+fn main() {
+    println!("== Table 6: sparse tensor modeling frameworks ==");
+    print!("{:<22}", "");
+    for f in TABLE6_FRAMEWORKS {
+        print!("{f:>12}");
+    }
+    println!();
+    for row in table6() {
+        print!("{:<22}", row.feature);
+        for s in row.support {
+            print!("{:>12}", if s { "yes" } else { "-" });
+        }
+        println!();
+    }
+}

@@ -1,0 +1,104 @@
+//! Values digitized from the paper's evaluation figures.
+//!
+//! The paper reports results as bar charts; these constants are visual
+//! estimates of the "Reported" series, embedded so every regenerator can
+//! print paper-vs-measured tables. They are approximate by construction
+//! (±10% digitization error) and are used only to check the *shape* of
+//! results — orderings, rough factors, crossovers — never exact values.
+
+/// The five validation matrices, in figure order.
+pub const VALIDATION_TAGS: [&str; 5] = ["wi", "p2", "ca", "po", "em"];
+
+/// Fig. 9a — ExTensor memory traffic normalized to the algorithmic
+/// minimum (sum of the A/B/Z/PO bars).
+pub const FIG9A_EXTENSOR_TRAFFIC: [f64; 5] = [2.3, 2.6, 2.4, 3.2, 2.9];
+
+/// Fig. 9b — Gamma normalized memory traffic (A/B/Z bars).
+pub const FIG9B_GAMMA_TRAFFIC: [f64; 5] = [1.10, 1.35, 1.20, 1.25, 1.15];
+
+/// Fig. 9c — OuterSPACE normalized memory traffic (A/B/Z/T bars).
+pub const FIG9C_OUTERSPACE_TRAFFIC: [f64; 5] = [5.2, 6.5, 5.0, 4.2, 5.8];
+
+/// Fig. 10a — ExTensor speedup over MKL (reported bars).
+pub const FIG10A_EXTENSOR_SPEEDUP: [f64; 5] = [3.2, 10.5, 3.0, 1.8, 2.2];
+
+/// Fig. 10b — Gamma speedup over MKL (reported bars).
+pub const FIG10B_GAMMA_SPEEDUP: [f64; 5] = [28.0, 55.0, 27.0, 14.0, 20.0];
+
+/// Fig. 10c — OuterSPACE synthetic sweep: `(dimension, density)` points.
+pub const FIG10C_SWEEP: [(u64, f64); 5] = [
+    (4_986, 8.0e-3),
+    (9_987, 2.0e-3),
+    (19_937, 5.0e-4),
+    (39_888, 1.3e-4),
+    (79_730, 3.1e-5),
+];
+
+/// Fig. 10c — reported execution times in seconds (original simulator).
+pub const FIG10C_OUTERSPACE_SECONDS: [f64; 5] = [5.5e-3, 2.8e-3, 1.6e-3, 9.0e-4, 5.0e-4];
+
+/// Fig. 10d — SIGMA workload dimensions `(M, N, K)` from the figure's
+/// x-axis labels.
+pub const FIG10D_WORKLOADS: [(u64, u64, u64); 9] = [
+    (128, 2048, 4096),
+    (320, 3072, 4096),
+    (1632, 36548, 1024),
+    (2048, 4096, 32),
+    (35, 8457, 2560),
+    (31999, 1024, 84),
+    (84, 1024, 4096),
+    (2048, 1, 128),
+    (256, 256, 2048),
+];
+
+/// Fig. 10d — reported SIGMA speedups over the TPU baseline.
+pub const FIG10D_SIGMA_SPEEDUP: [f64; 9] = [4.0, 3.0, 6.0, 2.0, 5.0, 5.5, 3.0, 1.5, 3.5];
+
+/// SIGMA sweep sparsity (paper: A is 80% sparse, B is 10% sparse).
+pub const FIG10D_DENSITY_A: f64 = 0.2;
+/// SIGMA sweep density of B.
+pub const FIG10D_DENSITY_B: f64 = 0.9;
+
+/// Fig. 11 — ExTensor energy in millijoules (reported bars, plus the
+/// arithmetic mean the figure appends).
+pub const FIG11_EXTENSOR_ENERGY_MJ: [f64; 5] = [18.0, 25.0, 30.0, 75.0, 60.0];
+
+/// The three graph datasets, in figure order.
+pub const GRAPH_TAGS: [&str; 3] = ["fl", "wk", "lj"];
+
+/// Fig. 13a — BFS speedup over Graphicionado: `(GraphDynS, proposal)`.
+pub const FIG13A_BFS_SPEEDUP: [(f64, f64); 3] = [(3.5, 6.5), (4.0, 8.0), (5.0, 9.5)];
+
+/// Fig. 13b — SSSP speedup over Graphicionado: `(GraphDynS, proposal)`.
+pub const FIG13B_SSSP_SPEEDUP: [(f64, f64); 3] = [(2.3, 2.8), (2.5, 3.0), (2.8, 3.4)];
+
+/// Headline claims (abstract): proposal over GraphDynS.
+pub const CLAIM_BFS_IMPROVEMENT: f64 = 1.9;
+/// Headline SSSP improvement of the proposal over GraphDynS.
+pub const CLAIM_SSSP_IMPROVEMENT: f64 = 1.2;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_lengths_match_tag_lists() {
+        assert_eq!(FIG9A_EXTENSOR_TRAFFIC.len(), VALIDATION_TAGS.len());
+        assert_eq!(FIG10B_GAMMA_SPEEDUP.len(), VALIDATION_TAGS.len());
+        assert_eq!(FIG10C_OUTERSPACE_SECONDS.len(), FIG10C_SWEEP.len());
+        assert_eq!(FIG10D_SIGMA_SPEEDUP.len(), FIG10D_WORKLOADS.len());
+        assert_eq!(FIG13A_BFS_SPEEDUP.len(), GRAPH_TAGS.len());
+    }
+
+    #[test]
+    fn reported_orderings_hold() {
+        // Gamma reports far larger MKL speedups than ExTensor.
+        for i in 0..5 {
+            assert!(FIG10B_GAMMA_SPEEDUP[i] > FIG10A_EXTENSOR_SPEEDUP[i]);
+        }
+        // The proposal beats GraphDynS everywhere.
+        for (gd, prop) in FIG13A_BFS_SPEEDUP.iter().chain(&FIG13B_SSSP_SPEEDUP) {
+            assert!(prop > gd);
+        }
+    }
+}

@@ -1,0 +1,442 @@
+//! Cascades: DAGs of dependent Einsums (paper §3.1, Table 2).
+//!
+//! A cascade is an ordered list of equations plus the tensor declarations;
+//! intermediate tensors produced by one equation feed later ones. The
+//! cascade validates single assignment, declaration consistency, and
+//! exposes the producer/consumer DAG used by fusion inference (§4.3).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use super::ast::{Equation, IndexExpr, Rhs, TensorAccess};
+use super::parser::parse_equation;
+use crate::error::SpecError;
+
+/// A cascade of Einsums with its tensor declarations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Cascade {
+    declarations: BTreeMap<String, Vec<String>>,
+    equations: Vec<Equation>,
+}
+
+impl Cascade {
+    /// Builds a cascade from declarations (tensor → rank ids) and equation
+    /// source strings, validating the result.
+    ///
+    /// Bare aliases (`P1 = P0`) are expanded to full accesses using the
+    /// declaration of the right-hand tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] if an equation fails to parse, a tensor is
+    /// written twice, an access disagrees with its declaration, or an input
+    /// is neither declared nor produced by an earlier equation.
+    pub fn new(
+        declarations: BTreeMap<String, Vec<String>>,
+        equation_sources: &[&str],
+    ) -> Result<Self, SpecError> {
+        let mut equations = Vec::new();
+        for src in equation_sources {
+            equations.push(parse_equation(src)?);
+        }
+        Self::from_equations(declarations, equations)
+    }
+
+    /// Builds a cascade from already-parsed equations.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Cascade::new`].
+    pub fn from_equations(
+        declarations: BTreeMap<String, Vec<String>>,
+        mut equations: Vec<Equation>,
+    ) -> Result<Self, SpecError> {
+        for eq in &mut equations {
+            expand_bare_accesses(eq, &declarations)?;
+        }
+        let cascade = Cascade { declarations, equations };
+        cascade.validate()?;
+        Ok(cascade)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        let mut produced: BTreeSet<&str> = BTreeSet::new();
+        for eq in &self.equations {
+            let name = eq.name();
+            if produced.contains(name) {
+                return Err(SpecError::Validation {
+                    context: format!("einsum {name}"),
+                    message: "tensor is written by more than one einsum".into(),
+                });
+            }
+            self.check_access(&eq.output, name)?;
+            for a in eq.rhs.accesses() {
+                self.check_access(a, name)?;
+                let declared = self.declarations.contains_key(&a.tensor);
+                let earlier = produced.contains(a.tensor.as_str());
+                // A declared tensor read before being (re)written supplies
+                // its initial contents — GraphDynS's cascade (Fig. 12b)
+                // reads P0 and rewrites it later. Undeclared intermediates
+                // must be produced before they are read.
+                if !declared && !earlier {
+                    return Err(SpecError::Validation {
+                        context: format!("einsum {name}"),
+                        message: format!(
+                            "input tensor {} is neither declared nor produced by an \
+                             earlier einsum",
+                            a.tensor
+                        ),
+                    });
+                }
+            }
+            produced.insert(name);
+        }
+        Ok(())
+    }
+
+    fn check_access(&self, access: &TensorAccess, context: &str) -> Result<(), SpecError> {
+        if let Some(ranks) = self.declarations.get(&access.tensor) {
+            if ranks.len() != access.indices.len() {
+                return Err(SpecError::Validation {
+                    context: format!("einsum {context}"),
+                    message: format!(
+                        "access {} has {} indices but {} is declared with ranks {:?}",
+                        access,
+                        access.indices.len(),
+                        access.tensor,
+                        ranks
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// The tensor declarations (tensor → rank ids, alphabetical per the
+    /// paper's convention; actual layout order comes from `rank-order`).
+    pub fn declarations(&self) -> &BTreeMap<String, Vec<String>> {
+        &self.declarations
+    }
+
+    /// Declared or inferred rank ids for a tensor: declared ranks if
+    /// present, otherwise the uppercase output variables of its producer.
+    pub fn ranks_of(&self, tensor: &str) -> Option<Vec<String>> {
+        if let Some(r) = self.declarations.get(tensor) {
+            return Some(r.clone());
+        }
+        self.equations
+            .iter()
+            .find(|e| e.name() == tensor)
+            .map(Equation::output_ranks)
+    }
+
+    /// The equations in cascade order.
+    pub fn equations(&self) -> &[Equation] {
+        &self.equations
+    }
+
+    /// Finds an equation by its output tensor name.
+    pub fn equation(&self, name: &str) -> Option<&Equation> {
+        self.equations.iter().find(|e| e.name() == name)
+    }
+
+    /// Tensor names that are inputs to the whole cascade (read but never
+    /// produced).
+    pub fn cascade_inputs(&self) -> Vec<String> {
+        let produced: BTreeSet<&str> =
+            self.equations.iter().map(|e| e.name()).collect();
+        let mut seen = BTreeSet::new();
+        let mut out = Vec::new();
+        for eq in &self.equations {
+            for t in eq.input_tensors() {
+                if !produced.contains(t.as_str()) && seen.insert(t.clone()) {
+                    out.push(t);
+                }
+            }
+        }
+        out
+    }
+
+    /// Intermediate tensors: produced by one equation and read by a later
+    /// one.
+    pub fn intermediates(&self) -> Vec<String> {
+        let mut read: BTreeSet<String> = BTreeSet::new();
+        for eq in &self.equations {
+            for t in eq.input_tensors() {
+                read.insert(t);
+            }
+        }
+        self.equations
+            .iter()
+            .map(|e| e.name().to_string())
+            .filter(|t| read.contains(t))
+            .collect()
+    }
+
+    /// Dependency edges `(producer einsum, consumer einsum)` forming the
+    /// cascade DAG.
+    pub fn dag_edges(&self) -> Vec<(String, String)> {
+        let mut edges = Vec::new();
+        for (i, consumer) in self.equations.iter().enumerate() {
+            let inputs: BTreeSet<String> = consumer.input_tensors().into_iter().collect();
+            for producer in &self.equations[..i] {
+                if inputs.contains(producer.name()) {
+                    edges.push((producer.name().to_string(), consumer.name().to_string()));
+                }
+            }
+        }
+        edges
+    }
+}
+
+fn expand_bare_accesses(
+    eq: &mut Equation,
+    declarations: &BTreeMap<String, Vec<String>>,
+) -> Result<(), SpecError> {
+    // `P1 = P0`: give both sides the declared ranks of whichever side is
+    // declared (they must agree in rank count).
+    let ranks = |t: &str| -> Option<Vec<String>> { declarations.get(t).cloned() };
+    let fill = |access: &mut TensorAccess, ranks: &[String]| {
+        if access.indices.is_empty() && !ranks.is_empty() {
+            access.indices =
+                ranks.iter().map(|r| IndexExpr::var(&r.to_lowercase())).collect();
+        }
+    };
+    let donor = ranks(&eq.output.tensor).or_else(|| {
+        eq.rhs.accesses().iter().find_map(|a| ranks(&a.tensor))
+    });
+    if let Some(donor) = donor {
+        fill(&mut eq.output, &donor);
+        if let Rhs::SumOfProducts(terms) = &mut eq.rhs {
+            for (_, p) in terms {
+                for f in &mut p.factors {
+                    fill(f, &donor);
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Returns the paper's Table 2 cascades as `(label, declarations,
+/// equations)` triples — used by the Table 2 regenerator and tests.
+pub fn table2_cascades() -> Vec<(&'static str, Vec<(&'static str, Vec<&'static str>)>, Vec<&'static str>)>
+{
+    vec![
+        (
+            "ExTensor SpMSpM",
+            vec![("A", vec!["K", "M"]), ("B", vec!["K", "N"]), ("Z", vec!["M", "N"])],
+            vec!["Z[m, n] = A[k, m] * B[k, n]"],
+        ),
+        (
+            "Gamma SpMSpM",
+            vec![
+                ("A", vec!["K", "M"]),
+                ("B", vec!["K", "N"]),
+                ("T", vec!["K", "M", "N"]),
+                ("Z", vec!["M", "N"]),
+            ],
+            vec!["T[k, m, n] = take(A[k, m], B[k, n], 1)", "Z[m, n] = A[k, m] * T[k, m, n]"],
+        ),
+        (
+            "OuterSPACE SpMSpM",
+            vec![
+                ("A", vec!["K", "M"]),
+                ("B", vec!["K", "N"]),
+                ("T", vec!["K", "M", "N"]),
+                ("Z", vec!["M", "N"]),
+            ],
+            vec!["T[k, m, n] = A[k, m] * B[k, n]", "Z[m, n] = T[k, m, n]"],
+        ),
+        (
+            "SIGMA SpMSpM",
+            vec![
+                ("A", vec!["K", "M"]),
+                ("B", vec!["K", "N"]),
+                ("S", vec!["K", "M"]),
+                ("T", vec!["K", "M"]),
+                ("Z", vec!["M", "N"]),
+            ],
+            vec![
+                "S[k, m] = take(A[k, m], B[k, n], 0)",
+                "T[k, m] = take(A[k, m], S[k, m], 0)",
+                "Z[m, n] = T[k, m] * B[k, n]",
+            ],
+        ),
+        (
+            "Eyeriss CONV",
+            vec![
+                ("I", vec!["B", "C", "H", "W"]),
+                ("F", vec!["C", "M", "R", "S"]),
+                ("O", vec!["B", "M", "P", "Q"]),
+            ],
+            vec!["O[b, m, p, q] = I[b, c, p + r, q + s] * F[c, m, r, s]"],
+        ),
+        (
+            "Toeplitz im2col + CONV",
+            vec![
+                ("I", vec!["B", "C", "H", "W"]),
+                ("F", vec!["C", "M", "R", "S"]),
+                ("T", vec!["B", "C", "P", "Q", "R", "S"]),
+                ("O", vec!["B", "M", "P", "Q"]),
+            ],
+            vec![
+                "T[b, c, p, q, r, s] = I[b, c, p + r, q + s]",
+                "O[b, m, p, q] = T[b, c, p, q, r, s] * F[c, m, r, s]",
+            ],
+        ),
+        (
+            "Tensaurus MTTKRP",
+            vec![
+                ("T", vec!["I", "J", "K"]),
+                ("B", vec!["J", "R"]),
+                ("A", vec!["K", "R"]),
+                ("C", vec!["I", "R"]),
+            ],
+            vec!["C[i, r] = T[i, j, k] * B[j, r] * A[k, r]"],
+        ),
+        (
+            "Factorized MTTKRP",
+            vec![
+                ("T", vec!["I", "J", "K"]),
+                ("B", vec!["J", "R"]),
+                ("A", vec!["K", "R"]),
+                ("S", vec!["I", "J", "R"]),
+                ("C", vec!["I", "R"]),
+            ],
+            vec!["S[i, j, r] = T[i, j, k] * A[k, r]", "C[i, r] = S[i, j, r] * B[j, r]"],
+        ),
+        (
+            "Cooley-Tukey FFT step",
+            vec![
+                ("P", vec!["W", "K0", "N1", "C"]),
+                ("X", vec!["N1", "C"]),
+                ("E", vec!["W", "K0"]),
+                ("O", vec!["W", "K0"]),
+                ("T", vec!["K0"]),
+                ("Y0", vec!["W", "K0"]),
+                ("Y1", vec!["W", "K0"]),
+            ],
+            vec![
+                "E[w, k0] = P[w, k0, n1, 0] * X[n1, 0]",
+                "O[w, k0] = P[w, k0, n1, 0] * X[n1, 1]",
+                "T[k0] = P[0, k0, 0, 1] * O[0, k0]",
+                "Y0[w, k0] = E[w, k0] + T[k0]",
+                "Y1[w, k0] = E[w, k0] - T[k0]",
+            ],
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn decls(pairs: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
+        pairs
+            .iter()
+            .map(|(t, rs)| {
+                (t.to_string(), rs.iter().map(|r| r.to_string()).collect())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outerspace_cascade_builds() {
+        let c = Cascade::new(
+            decls(&[
+                ("A", &["K", "M"]),
+                ("B", &["K", "N"]),
+                ("T", &["K", "M", "N"]),
+                ("Z", &["M", "N"]),
+            ]),
+            &["T[k, m, n] = A[k, m] * B[k, n]", "Z[m, n] = T[k, m, n]"],
+        )
+        .unwrap();
+        assert_eq!(c.cascade_inputs(), vec!["A", "B"]);
+        assert_eq!(c.intermediates(), vec!["T"]);
+        assert_eq!(c.dag_edges(), vec![("T".to_string(), "Z".to_string())]);
+    }
+
+    #[test]
+    fn double_write_is_rejected() {
+        let err = Cascade::new(
+            decls(&[("A", &["K"]), ("Z", &["K"])]),
+            &["Z[k] = A[k]", "Z[k] = A[k]"],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn undeclared_input_is_rejected() {
+        let err = Cascade::new(decls(&[("Z", &["K"])]), &["Z[k] = Q[k]"]);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_with_declaration_is_rejected() {
+        let err = Cascade::new(
+            decls(&[("A", &["K", "M"]), ("Z", &["K"])]),
+            &["Z[k] = A[k]"],
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn bare_alias_is_expanded() {
+        let c = Cascade::new(
+            decls(&[("P0", &["V"]), ("P1", &["V"])]),
+            &["P1 = P0"],
+        )
+        .unwrap();
+        let eq = &c.equations()[0];
+        assert_eq!(eq.output.indices.len(), 1);
+        assert_eq!(eq.rhs.accesses()[0].indices.len(), 1);
+    }
+
+    #[test]
+    fn undeclared_intermediate_consumed_before_production_is_rejected() {
+        // T is not declared, so reading it before its producer runs is an
+        // error; a *declared* T would legally supply its initial contents
+        // (the GraphDynS P0 pattern).
+        let err = Cascade::new(
+            decls(&[("A", &["K"]), ("Z", &["K"])]),
+            &["Z[k] = T[k]", "T[k] = A[k]"],
+        );
+        assert!(err.is_err(), "undeclared T is read before it is produced");
+        let ok = Cascade::new(
+            decls(&[("A", &["K"]), ("T", &["K"]), ("Z", &["K"])]),
+            &["Z[k] = T[k]", "T[k] = A[k]"],
+        );
+        assert!(ok.is_ok(), "declared T supplies initial contents");
+    }
+
+    #[test]
+    fn all_table2_cascades_validate() {
+        for (label, declarations, equations) in table2_cascades() {
+            let d = declarations
+                .into_iter()
+                .map(|(t, rs)| {
+                    (t.to_string(), rs.into_iter().map(str::to_string).collect())
+                })
+                .collect();
+            let c = Cascade::new(d, &equations);
+            assert!(c.is_ok(), "cascade {label:?} failed: {:?}", c.err());
+        }
+    }
+
+    #[test]
+    fn gamma_dag_has_take_then_multiply() {
+        let c = Cascade::new(
+            decls(&[
+                ("A", &["K", "M"]),
+                ("B", &["K", "N"]),
+                ("T", &["K", "M", "N"]),
+                ("Z", &["M", "N"]),
+            ]),
+            &["T[k, m, n] = take(A[k, m], B[k, n], 1)", "Z[m, n] = A[k, m] * T[k, m, n]"],
+        )
+        .unwrap();
+        assert_eq!(c.dag_edges(), vec![("T".to_string(), "Z".to_string())]);
+        assert_eq!(c.equation("Z").unwrap().input_tensors(), vec!["A", "T"]);
+    }
+}

@@ -1,0 +1,9 @@
+//! Extended Einsums: AST, parser, and cascades (paper §2.2, §3.1).
+
+pub mod ast;
+pub mod cascade;
+pub mod parser;
+
+pub use ast::{Equation, IndexExpr, Product, Rhs, Sign, TensorAccess};
+pub use cascade::{table2_cascades, Cascade};
+pub use parser::parse_equation;

@@ -1,0 +1,328 @@
+//! Parser for extended-Einsum equations.
+//!
+//! Grammar (whitespace-insensitive):
+//!
+//! ```text
+//! equation := access "=" rhs
+//! rhs      := "take(" access ("," access)* "," int ")"
+//!           | [-] product (("+"|"-") product)*
+//! product  := access ("*" access)*
+//! access   := NAME "[" index ("," index)* "]" | NAME
+//! index    := term ("+" term)*            term := VAR | INT
+//! ```
+//!
+//! Bare names (`P1 = P0`, Fig. 12b) are parsed as zero-index accesses and
+//! expanded against the declaration by the cascade builder.
+
+use super::ast::{Equation, IndexExpr, Product, Rhs, Sign, TensorAccess};
+use crate::error::SpecError;
+
+/// Parses one Einsum equation such as
+/// `T[k, m, n] = take(A[k, m], B[k, n], 1)`.
+///
+/// # Errors
+///
+/// Returns [`SpecError::Einsum`] describing the offending token on
+/// malformed input.
+pub fn parse_equation(src: &str) -> Result<Equation, SpecError> {
+    let mut p = Parser { src, pos: 0 };
+    let output = p.access()?;
+    for ix in &output.indices {
+        if !ix.is_simple() {
+            return Err(p.err(format!(
+                "output indices must be plain variables, got `{ix}` in `{src}`"
+            )));
+        }
+    }
+    p.expect('=')?;
+    let rhs = p.rhs()?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.err(format!("trailing input after equation: {:?}", &p.src[p.pos..])));
+    }
+    Ok(Equation { output, rhs })
+}
+
+struct Parser<'s> {
+    src: &'s str,
+    pos: usize,
+}
+
+impl<'s> Parser<'s> {
+    fn err(&self, message: String) -> SpecError {
+        SpecError::Einsum { message, source_text: self.src.to_string() }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len()
+            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.skip_ws();
+        self.src[self.pos..].chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), SpecError> {
+        match self.bump() {
+            Some(got) if got == c => Ok(()),
+            got => Err(self.err(format!("expected {c:?}, got {got:?}"))),
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() {
+            let b = self.src.as_bytes()[self.pos];
+            if b.is_ascii_alphanumeric() || b == b'_' || b == b'.' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err(format!(
+                "expected an identifier at {:?}",
+                &self.src[self.pos..]
+            )));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn rhs(&mut self) -> Result<Rhs, SpecError> {
+        // Lookahead for `take(`.
+        let save = self.pos;
+        if let Ok(name) = self.ident() {
+            if name == "take" && self.peek() == Some('(') {
+                return self.take_call();
+            }
+        }
+        self.pos = save;
+        self.sum_of_products()
+    }
+
+    fn take_call(&mut self) -> Result<Rhs, SpecError> {
+        self.expect('(')?;
+        let mut args = Vec::new();
+        loop {
+            // Last argument is the integer selector.
+            self.skip_ws();
+            if self.src[self.pos..].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+                let which = self.integer()?;
+                self.expect(')')?;
+                if args.len() < 2 {
+                    return Err(self.err("take() needs at least two tensor arguments".into()));
+                }
+                let which = usize::try_from(which)
+                    .ok()
+                    .filter(|w| *w < args.len())
+                    .ok_or_else(|| {
+                        self.err(format!("take() selector {which} out of range"))
+                    })?;
+                return Ok(Rhs::Take { args, which });
+            }
+            args.push(self.access()?);
+            self.expect(',')?;
+        }
+    }
+
+    fn sum_of_products(&mut self) -> Result<Rhs, SpecError> {
+        let mut terms = Vec::new();
+        let mut sign = if self.peek() == Some('-') {
+            self.bump();
+            Sign::Minus
+        } else {
+            Sign::Plus
+        };
+        loop {
+            let product = self.product()?;
+            terms.push((sign, product));
+            match self.peek() {
+                Some('+') => {
+                    self.bump();
+                    sign = Sign::Plus;
+                }
+                Some('-') => {
+                    self.bump();
+                    sign = Sign::Minus;
+                }
+                _ => break,
+            }
+        }
+        Ok(Rhs::SumOfProducts(terms))
+    }
+
+    fn product(&mut self) -> Result<Product, SpecError> {
+        let mut factors = vec![self.access()?];
+        while self.peek() == Some('*') {
+            self.bump();
+            factors.push(self.access()?);
+        }
+        Ok(Product { factors })
+    }
+
+    fn access(&mut self) -> Result<TensorAccess, SpecError> {
+        let tensor = self.ident()?;
+        let mut indices = Vec::new();
+        if self.peek() == Some('[') {
+            self.bump();
+            loop {
+                indices.push(self.index_expr()?);
+                match self.bump() {
+                    Some(',') => continue,
+                    Some(']') => break,
+                    got => return Err(self.err(format!("expected `,` or `]`, got {got:?}"))),
+                }
+            }
+        }
+        Ok(TensorAccess { tensor, indices })
+    }
+
+    fn index_expr(&mut self) -> Result<IndexExpr, SpecError> {
+        let mut vars = Vec::new();
+        let mut offset = 0i64;
+        loop {
+            self.skip_ws();
+            let next = self.src[self.pos..].chars().next();
+            match next {
+                Some(c) if c.is_ascii_digit() => offset += self.integer()?,
+                Some(c) if c.is_ascii_alphabetic() || c == '_' => vars.push(self.ident()?),
+                got => return Err(self.err(format!("expected index term, got {got:?}"))),
+            }
+            if self.peek() == Some('+') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(IndexExpr { vars, offset })
+    }
+
+    fn integer(&mut self) -> Result<i64, SpecError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_digit() {
+            self.pos += 1;
+        }
+        self.src[start..self.pos]
+            .parse()
+            .map_err(|_| self.err(format!("expected an integer at {:?}", &self.src[start..])))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_matrix_multiply() {
+        let eq = parse_equation("Z[m, n] = A[k, m] * B[k, n]").unwrap();
+        assert_eq!(eq.name(), "Z");
+        assert_eq!(eq.iteration_ranks(), vec!["M", "N", "K"]);
+        assert_eq!(eq.to_string(), "Z[m, n] = A[k, m] * B[k, n]");
+    }
+
+    #[test]
+    fn parses_reduction_copy() {
+        let eq = parse_equation("Z[m, n] = T[k, m, n]").unwrap();
+        assert_eq!(eq.reduction_ranks(), vec!["K"]);
+        match &eq.rhs {
+            Rhs::SumOfProducts(terms) => {
+                assert_eq!(terms.len(), 1);
+                assert_eq!(terms[0].1.factors.len(), 1);
+            }
+            Rhs::Take { .. } => panic!("copy is not a take"),
+        }
+    }
+
+    #[test]
+    fn parses_take_with_selector() {
+        let eq = parse_equation("T[k, m, n] = take(A[k, m], B[k, n], 1)").unwrap();
+        match &eq.rhs {
+            Rhs::Take { args, which } => {
+                assert_eq!(args.len(), 2);
+                assert_eq!(*which, 1);
+            }
+            Rhs::SumOfProducts(_) => panic!("expected take"),
+        }
+    }
+
+    #[test]
+    fn take_selector_out_of_range_is_rejected() {
+        assert!(parse_equation("T[k] = take(A[k], B[k], 2)").is_err());
+        assert!(parse_equation("T[k] = take(A[k], 0)").is_err());
+    }
+
+    #[test]
+    fn parses_affine_convolution() {
+        let eq = parse_equation("O[q] = I[q + s] * F[s]").unwrap();
+        assert_eq!(eq.iteration_ranks(), vec!["Q", "S"]);
+        let i_access = &eq.rhs.accesses()[0];
+        assert_eq!(i_access.indices[0].vars, vec!["q", "s"]);
+    }
+
+    #[test]
+    fn parses_affine_with_constant() {
+        let eq = parse_equation("O[q] = I[q + 2]").unwrap();
+        assert_eq!(eq.rhs.accesses()[0].indices[0].offset, 2);
+    }
+
+    #[test]
+    fn parses_sum_and_difference() {
+        let eq = parse_equation("Y[k] = E[k] + T[k]").unwrap();
+        match &eq.rhs {
+            Rhs::SumOfProducts(terms) => {
+                assert_eq!(terms.len(), 2);
+                assert_eq!(terms[1].0, Sign::Plus);
+            }
+            _ => panic!("expected sum"),
+        }
+        let eq = parse_equation("M[v] = P1[v] - P0[v]").unwrap();
+        match &eq.rhs {
+            Rhs::SumOfProducts(terms) => assert_eq!(terms[1].0, Sign::Minus),
+            _ => panic!("expected sum"),
+        }
+    }
+
+    #[test]
+    fn parses_three_factor_product() {
+        let eq = parse_equation("C[i, r] = T[i, j, k] * B[j, r] * A[k, r]").unwrap();
+        assert_eq!(eq.rhs.accesses().len(), 3);
+        assert_eq!(eq.iteration_ranks(), vec!["I", "R", "J", "K"]);
+    }
+
+    #[test]
+    fn parses_bare_alias() {
+        let eq = parse_equation("P1 = P0").unwrap();
+        assert!(eq.output.indices.is_empty());
+        assert_eq!(eq.rhs.accesses()[0].tensor, "P0");
+    }
+
+    #[test]
+    fn output_with_affine_index_is_rejected() {
+        assert!(parse_equation("O[q + s] = I[q]").is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        assert!(parse_equation("Z[m] = A[m] garbage").is_err());
+        assert!(parse_equation("Z[m] = ").is_err());
+    }
+
+    #[test]
+    fn numeric_suffixes_in_names() {
+        let eq = parse_equation("A1[v] = take(M[v], P1[v], 1)").unwrap();
+        assert_eq!(eq.name(), "A1");
+        assert_eq!(eq.input_tensors(), vec!["M", "P1"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error types for specification parsing, validation, and lowering.
+
+use std::fmt;
+
+use crate::yaml::YamlError;
+
+/// Errors produced while parsing or validating TeAAL specifications and
+/// lowering them to the loop-nest IR.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SpecError {
+    /// The YAML skeleton failed to parse.
+    Yaml(YamlError),
+    /// An Einsum equation failed to parse.
+    Einsum {
+        /// What went wrong.
+        message: String,
+        /// The equation source text.
+        source_text: String,
+    },
+    /// A specification section was missing or had the wrong type.
+    Structure {
+        /// Dotted path to the offending node (e.g. `mapping.loop-order.Z`).
+        path: String,
+        /// What was expected.
+        message: String,
+    },
+    /// Cross-validation of the specification failed (unknown tensors,
+    /// non-permutation rank orders, loop orders not covering the iteration
+    /// space, ...).
+    Validation {
+        /// Which Einsum or tensor the problem concerns.
+        context: String,
+        /// What is inconsistent.
+        message: String,
+    },
+    /// Lowering to the IR failed.
+    Lowering {
+        /// Which Einsum the problem concerns.
+        einsum: String,
+        /// What could not be lowered.
+        message: String,
+    },
+    /// An underlying fibertree operation failed during planning.
+    Fibertree(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::Yaml(e) => write!(f, "{e}"),
+            SpecError::Einsum { message, source_text } => {
+                write!(f, "einsum parse error in `{source_text}`: {message}")
+            }
+            SpecError::Structure { path, message } => {
+                write!(f, "malformed specification at {path}: {message}")
+            }
+            SpecError::Validation { context, message } => {
+                write!(f, "invalid specification for {context}: {message}")
+            }
+            SpecError::Lowering { einsum, message } => {
+                write!(f, "cannot lower einsum {einsum}: {message}")
+            }
+            SpecError::Fibertree(msg) => write!(f, "fibertree operation failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SpecError::Yaml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<YamlError> for SpecError {
+    fn from(e: YamlError) -> Self {
+        SpecError::Yaml(e)
+    }
+}
+
+impl From<teaal_fibertree::FibertreeError> for SpecError {
+    fn from(e: teaal_fibertree::FibertreeError) -> Self {
+        SpecError::Fibertree(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_context() {
+        let e = SpecError::Validation {
+            context: "einsum Z".into(),
+            message: "loop order misses rank K".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("einsum Z"));
+        assert!(s.contains("rank K"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<SpecError>();
+    }
+}

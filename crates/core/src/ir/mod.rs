@@ -1,0 +1,16 @@
+//! The imperative-style intermediate representation (paper §4.3).
+//!
+//! Lowering turns each mapped Einsum into an [`EinsumPlan`]: an ordered
+//! loop nest over derived ranks, per-tensor transform pipelines, and
+//! per-access participation roles. The simulator (`teaal-sim`) interprets
+//! these plans over real fibertrees.
+
+pub mod fusion;
+pub mod plan;
+pub mod rankspace;
+
+pub use fusion::{can_fuse, infer_blocks, EinsumBlock};
+pub use plan::{
+    lower, AccessRoles, Descent, EinsumPlan, LoopRank, OutputPlan, PlanStep, TensorPlan,
+};
+pub use rankspace::{RankDef, RankSpace};

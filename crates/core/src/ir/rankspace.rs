@@ -1,0 +1,336 @@
+//! The derived rank space of one mapped Einsum.
+//!
+//! Partitioning directives transform the Einsum's root iteration ranks into
+//! *derived* ranks: `(K, M)` flattens to `KM`; two occupancy splits of `KM`
+//! produce `KM2, KM1, KM0`. The rank space records every derived rank's
+//! provenance so lowering can decide which tensors each directive affects,
+//! which loop ranks bind index variables, and how output coordinates map
+//! back to root ranks.
+
+use std::collections::BTreeMap;
+
+use crate::einsum::Equation;
+use crate::error::SpecError;
+use crate::spec::mapping::{PartitionDirective, PartitionOp, PartitionTarget};
+
+/// Provenance of a derived rank.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RankDef {
+    /// A root iteration rank of the Einsum.
+    Root,
+    /// Produced by flattening the listed component ranks (top rank first).
+    Flattened {
+        /// The ranks combined, in order.
+        components: Vec<String>,
+    },
+    /// Produced by splitting `parent`.
+    Split {
+        /// The rank that was split.
+        parent: String,
+        /// Distance from the bottom of the split chain: level 0 holds the
+        /// parent's original element coordinates; higher levels hold
+        /// partition-start markers.
+        level: usize,
+        /// The split operation that created this rank's boundary.
+        op: PartitionOp,
+    },
+}
+
+/// The rank space of one Einsum: all root and derived ranks.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RankSpace {
+    defs: BTreeMap<String, RankDef>,
+    /// Ranks that have been consumed by a later transform.
+    consumed: Vec<String>,
+    /// Leaf ranks in derivation order.
+    leaves: Vec<String>,
+}
+
+impl RankSpace {
+    /// Builds the rank space for `equation` under the given directives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Lowering`] if a directive references an unknown
+    /// rank or re-partitions a consumed one.
+    pub fn build(
+        equation: &Equation,
+        directives: &[PartitionDirective],
+    ) -> Result<Self, SpecError> {
+        let mut space = RankSpace {
+            defs: BTreeMap::new(),
+            consumed: Vec::new(),
+            leaves: Vec::new(),
+        };
+        for r in equation.iteration_ranks() {
+            space.defs.insert(r.clone(), RankDef::Root);
+            space.leaves.push(r);
+        }
+        let err = |message: String| SpecError::Lowering {
+            einsum: equation.name().to_string(),
+            message,
+        };
+        for d in directives {
+            match (&d.target, d.ops.as_slice()) {
+                (PartitionTarget::Tuple(comps), [PartitionOp::Flatten]) => {
+                    for c in comps {
+                        if !space.is_leaf(c) {
+                            return Err(err(format!(
+                                "flatten target {c:?} is not an available rank"
+                            )));
+                        }
+                    }
+                    if comps.len() != 2 {
+                        return Err(err(format!(
+                            "flatten supports exactly two ranks, got {comps:?}"
+                        )));
+                    }
+                    let name = d.target.flattened_name();
+                    let pos = space
+                        .leaves
+                        .iter()
+                        .position(|l| l == &comps[0])
+                        .expect("checked leaf");
+                    space.leaves.retain(|l| !comps.contains(l));
+                    space.leaves.insert(pos.min(space.leaves.len()), name.clone());
+                    for c in comps {
+                        space.consumed.push(c.clone());
+                    }
+                    space
+                        .defs
+                        .insert(name, RankDef::Flattened { components: comps.clone() });
+                }
+                (PartitionTarget::Tuple(_), _) => {
+                    return Err(err(
+                        "tuple targets support only the flatten() directive".into(),
+                    ))
+                }
+                (PartitionTarget::Rank(r), ops) => {
+                    if ops.iter().any(|o| matches!(o, PartitionOp::Flatten)) {
+                        return Err(err(format!(
+                            "flatten() needs a tuple target, got rank {r:?}"
+                        )));
+                    }
+                    if !space.is_leaf(r) {
+                        return Err(err(format!(
+                            "partition target {r:?} is not an available rank"
+                        )));
+                    }
+                    let n = ops.len();
+                    let pos = space
+                        .leaves
+                        .iter()
+                        .position(|l| l == r)
+                        .expect("checked leaf");
+                    let mut new_names = Vec::new();
+                    for (i, op) in ops.iter().enumerate() {
+                        let upper = format!("{r}{}", n - i);
+                        space.defs.insert(
+                            upper.clone(),
+                            RankDef::Split {
+                                parent: r.clone(),
+                                level: n - i,
+                                op: op.clone(),
+                            },
+                        );
+                        new_names.push(upper);
+                    }
+                    let bottom = format!("{r}0");
+                    space.defs.insert(
+                        bottom.clone(),
+                        RankDef::Split {
+                            parent: r.clone(),
+                            level: 0,
+                            op: ops.last().expect("nonempty ops").clone(),
+                        },
+                    );
+                    new_names.push(bottom);
+                    space.consumed.push(r.clone());
+                    space.leaves.splice(pos..=pos, new_names);
+                }
+            }
+        }
+        Ok(space)
+    }
+
+    fn is_leaf(&self, rank: &str) -> bool {
+        self.leaves.iter().any(|l| l == rank)
+    }
+
+    /// The leaf (iterable) ranks in derivation order.
+    pub fn leaf_ranks(&self) -> &[String] {
+        &self.leaves
+    }
+
+    /// The definition of a rank, if known.
+    pub fn def(&self, rank: &str) -> Option<&RankDef> {
+        self.defs.get(rank)
+    }
+
+    /// The root iteration ranks a derived rank covers, in coordinate
+    /// component order.
+    pub fn roots_of(&self, rank: &str) -> Vec<String> {
+        match self.defs.get(rank) {
+            None => Vec::new(),
+            Some(RankDef::Root) => vec![rank.to_string()],
+            Some(RankDef::Flattened { components }) => {
+                components.iter().flat_map(|c| self.roots_of(c)).collect()
+            }
+            Some(RankDef::Split { parent, .. }) => self.roots_of(parent),
+        }
+    }
+
+    /// Whether iterating this rank touches original element coordinates
+    /// (roots, unsplit flattened ranks, and level-0 splits); upper split
+    /// ranks hold partition-start markers instead.
+    pub fn is_bottom(&self, rank: &str) -> bool {
+        match self.defs.get(rank) {
+            None => false,
+            Some(RankDef::Root | RankDef::Flattened { .. }) => true,
+            Some(RankDef::Split { level, .. }) => *level == 0,
+        }
+    }
+
+    /// The `(root rank, coordinate component)` pairs bound when iterating
+    /// `rank` at the bottom level; empty for upper split ranks.
+    pub fn bindings_of(&self, rank: &str) -> Vec<(String, usize)> {
+        if !self.is_bottom(rank) {
+            return Vec::new();
+        }
+        self.roots_of(rank).into_iter().enumerate().map(|(i, r)| (r, i)).collect()
+    }
+
+    /// The split chain (outermost first) that a partition target expanded
+    /// to, if `rank` was split; used to plan tensor-side transforms.
+    pub fn split_chain(&self, rank: &str) -> Option<Vec<String>> {
+        // A split chain exists if `rank` was consumed by Split defs.
+        let mut chain: Vec<(usize, String)> = self
+            .defs
+            .iter()
+            .filter_map(|(name, def)| match def {
+                RankDef::Split { parent, level, .. } if parent == rank => {
+                    Some((*level, name.clone()))
+                }
+                _ => None,
+            })
+            .collect();
+        if chain.is_empty() {
+            return None;
+        }
+        chain.sort_by(|a, b| b.0.cmp(&a.0));
+        Some(chain.into_iter().map(|(_, n)| n).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::einsum::parse_equation;
+    use crate::spec::mapping::MappingSpec;
+    use crate::yaml;
+
+    fn directives(src: &str, einsum: &str) -> Vec<PartitionDirective> {
+        let doc = yaml::parse(src).unwrap();
+        let m = MappingSpec::from_yaml(&doc).unwrap();
+        m.partitioning_of(einsum).to_vec()
+    }
+
+    #[test]
+    fn outerspace_multiply_rank_space() {
+        let eq = parse_equation("T[k, m, n] = A[k, m] * B[k, n]").unwrap();
+        let dirs = directives(
+            concat!(
+                "partitioning:\n",
+                "  T:\n",
+                "    (K, M): [flatten()]\n",
+                "    KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n",
+            ),
+            "T",
+        );
+        let rs = RankSpace::build(&eq, &dirs).unwrap();
+        assert_eq!(rs.leaf_ranks(), &["KM2", "KM1", "KM0", "N"]);
+        assert_eq!(rs.roots_of("KM0"), vec!["K", "M"]);
+        assert_eq!(rs.roots_of("N"), vec!["N"]);
+        assert!(rs.is_bottom("KM0"));
+        assert!(!rs.is_bottom("KM1"));
+        assert!(!rs.is_bottom("KM2"));
+        assert_eq!(rs.bindings_of("KM0"), vec![("K".to_string(), 0), ("M".to_string(), 1)]);
+        assert_eq!(
+            rs.split_chain("KM").unwrap(),
+            vec!["KM2".to_string(), "KM1".to_string(), "KM0".to_string()]
+        );
+    }
+
+    #[test]
+    fn sigma_chained_directives() {
+        let eq = parse_equation("Z[m, n] = T[k, m] * B[k, n]").unwrap();
+        let dirs = directives(
+            concat!(
+                "partitioning:\n",
+                "  Z:\n",
+                "    K: [uniform_shape(128)]\n",
+                "    (M, K0): [flatten()]\n",
+                "    MK0: [uniform_occupancy(T.16384)]\n",
+            ),
+            "Z",
+        );
+        let rs = RankSpace::build(&eq, &dirs).unwrap();
+        assert_eq!(rs.leaf_ranks(), &["MK01", "MK00", "N", "K1"]);
+        assert_eq!(rs.roots_of("MK00"), vec!["M", "K"]);
+        assert!(rs.is_bottom("MK00"));
+        assert!(!rs.is_bottom("K1") || rs.is_bottom("K1"));
+        // K1 is an upper split rank: not bottom.
+        assert!(!rs.is_bottom("K1"));
+    }
+
+    #[test]
+    fn extensor_shape_splits() {
+        let eq = parse_equation("Z[m, n] = A[k, m] * B[k, n]").unwrap();
+        let dirs = directives(
+            concat!(
+                "partitioning:\n",
+                "  Z:\n",
+                "    K: [uniform_shape(64), uniform_shape(8)]\n",
+                "    M: [uniform_shape(64)]\n",
+            ),
+            "Z",
+        );
+        let rs = RankSpace::build(&eq, &dirs).unwrap();
+        assert_eq!(rs.leaf_ranks(), &["M1", "M0", "N", "K2", "K1", "K0"]);
+        assert!(rs.is_bottom("K0"));
+        assert!(!rs.is_bottom("K1"));
+        assert!(!rs.is_bottom("K2"));
+        assert_eq!(rs.roots_of("K1"), vec!["K"]);
+    }
+
+    #[test]
+    fn unknown_target_is_rejected() {
+        let eq = parse_equation("Z[m] = A[m]").unwrap();
+        let dirs = directives("partitioning:\n  Z:\n    Q: [uniform_shape(4)]\n", "Z");
+        assert!(RankSpace::build(&eq, &dirs).is_err());
+    }
+
+    #[test]
+    fn repartitioning_consumed_rank_is_rejected() {
+        let eq = parse_equation("Z[m, n] = A[k, m] * B[k, n]").unwrap();
+        let dirs = directives(
+            concat!(
+                "partitioning:\n",
+                "  Z:\n",
+                "    (K, M): [flatten()]\n",
+                "    K: [uniform_shape(4)]\n",
+            ),
+            "Z",
+        );
+        assert!(RankSpace::build(&eq, &dirs).is_err());
+    }
+
+    #[test]
+    fn no_directives_leaves_roots() {
+        let eq = parse_equation("Z[m, n] = A[k, m] * B[k, n]").unwrap();
+        let rs = RankSpace::build(&eq, &[]).unwrap();
+        assert_eq!(rs.leaf_ranks(), &["M", "N", "K"]);
+        assert!(rs.is_bottom("K"));
+        assert_eq!(rs.bindings_of("M"), vec![("M".to_string(), 0)]);
+    }
+}

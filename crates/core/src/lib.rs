@@ -1,0 +1,42 @@
+//! # teaal-core
+//!
+//! The TeAAL declarative language and compiler (MICRO 2023): extended
+//! Einsums and cascades, the five-part specification (einsum, mapping,
+//! format, architecture, binding), and the lowering pass that turns mapped
+//! Einsums into executable loop-nest plans over fibertrees.
+//!
+//! The pipeline mirrors Fig. 6 of the paper:
+//!
+//! ```text
+//! YAML spec ──parse──▶ TeaalSpec ──lower──▶ Vec<EinsumPlan> ──(teaal-sim)──▶ stats
+//! ```
+//!
+//! ```
+//! use teaal_core::spec::TeaalSpec;
+//! use teaal_core::ir;
+//!
+//! let spec = TeaalSpec::parse(concat!(
+//!     "einsum:\n",
+//!     "  declaration:\n",
+//!     "    A: [K, M]\n",
+//!     "    B: [K, N]\n",
+//!     "    Z: [M, N]\n",
+//!     "  expressions:\n",
+//!     "    - Z[m, n] = A[k, m] * B[k, n]\n",
+//! ))?;
+//! let plans = ir::lower(&spec)?;
+//! assert_eq!(plans.len(), 1);
+//! assert_eq!(plans[0].loop_ranks.len(), 3); // M, N, K
+//! # Ok::<(), teaal_core::SpecError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod einsum;
+pub mod error;
+pub mod ir;
+pub mod spec;
+pub mod yaml;
+
+pub use error::SpecError;
+pub use spec::TeaalSpec;

@@ -1,0 +1,404 @@
+//! The architecture specification: accelerator topology as a tree of
+//! compute and storage components (paper §4.1.2, Table 3, Fig. 5f).
+//!
+//! A design may define several named topologies (*configurations*) because
+//! accelerators like OuterSPACE reorganize themselves between phases; the
+//! binding assigns each Einsum to one configuration.
+
+use std::collections::BTreeMap;
+
+use teaal_fibertree::IntersectPolicy;
+
+use crate::error::SpecError;
+use crate::yaml::Yaml;
+
+/// The component classes of Table 3.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ComponentClass {
+    /// Off-chip memory; attribute: bandwidth (GB/s).
+    Dram {
+        /// Sustained bandwidth in bytes per second.
+        bandwidth: f64,
+    },
+    /// On-chip buffer; explicitly managed (buffet) or hardware cache.
+    Buffer {
+        /// `buffet` (explicitly managed) vs `cache` (tag-matched LRU).
+        kind: BufferKind,
+        /// Word width in bits.
+        width: u64,
+        /// Number of words.
+        depth: u64,
+        /// Bandwidth in bytes per second.
+        bandwidth: f64,
+    },
+    /// Intersection unit; policy per Table 3.
+    Intersect {
+        /// Which co-iteration strategy the unit implements.
+        policy: IntersectPolicy,
+    },
+    /// High-radix hardware merger (sort/merge of intermediate tensors).
+    Merger {
+        /// Number of input lists merged concurrently.
+        inputs: u64,
+        /// Comparator radix (ways merged per pass).
+        comparator_radix: u64,
+        /// Concurrent output streams.
+        outputs: u64,
+        /// `fifo` or `opt` scheduling of merge passes.
+        order: MergeOrder,
+        /// Whether the merger also reduces equal-coordinate values.
+        reduce: bool,
+    },
+    /// Sequencer driving loop iteration.
+    Sequencer {
+        /// Number of loop ranks the sequencer tracks.
+        num_ranks: u64,
+    },
+    /// Functional unit.
+    Compute {
+        /// The operation class (`mul` or `add`).
+        op: ComputeOp,
+    },
+}
+
+/// Buffer management discipline.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BufferKind {
+    /// Explicitly managed fill/drain (buffet).
+    Buffet,
+    /// Tag-matched cache with LRU replacement.
+    Cache,
+}
+
+/// Merge-pass scheduling.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MergeOrder {
+    /// First-in-first-out pass order.
+    Fifo,
+    /// Optimized (balanced-tree) pass order.
+    Opt,
+}
+
+/// Compute operation classes.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ComputeOp {
+    /// Multipliers.
+    Mul,
+    /// Adders / reducers.
+    Add,
+}
+
+/// One named component instance.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Component {
+    /// Instance name (binding targets refer to it).
+    pub name: String,
+    /// Class and attributes.
+    pub class: ComponentClass,
+    /// How many copies exist at this level (multiplied by enclosing
+    /// levels' counts to get the total).
+    pub count: u64,
+}
+
+/// One level of the topology tree.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ArchLevel {
+    /// Level name (`System`, `PT`, `PE`, ...).
+    pub name: String,
+    /// How many instances of this level exist within its parent.
+    pub count: u64,
+    /// Components local to this level.
+    pub local: Vec<Component>,
+    /// Sub-levels.
+    pub subtrees: Vec<ArchLevel>,
+}
+
+impl ArchLevel {
+    /// Finds a component anywhere in the tree, returning it together with
+    /// the product of level counts above it (total instance count).
+    pub fn find(&self, name: &str) -> Option<(&Component, u64)> {
+        self.find_with_mult(name, 1)
+    }
+
+    fn find_with_mult(&self, name: &str, mult: u64) -> Option<(&Component, u64)> {
+        let here = mult * self.count.max(1);
+        for c in &self.local {
+            if c.name == name {
+                return Some((c, here * c.count.max(1)));
+            }
+        }
+        for s in &self.subtrees {
+            if let Some(found) = s.find_with_mult(name, here) {
+                return Some(found);
+            }
+        }
+        None
+    }
+
+    /// All components in the tree with their total instance counts.
+    pub fn all_components(&self) -> Vec<(&Component, u64)> {
+        let mut out = Vec::new();
+        self.collect(1, &mut out);
+        out
+    }
+
+    fn collect<'a>(&'a self, mult: u64, out: &mut Vec<(&'a Component, u64)>) {
+        let here = mult * self.count.max(1);
+        for c in &self.local {
+            out.push((c, here * c.count.max(1)));
+        }
+        for s in &self.subtrees {
+            s.collect(here, out);
+        }
+    }
+}
+
+/// The architecture specification: named configurations plus global
+/// attributes (clock frequency).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct ArchSpec {
+    /// Clock frequency in Hz shared by all configurations.
+    pub clock_hz: f64,
+    /// Topology configurations by name.
+    pub configs: BTreeMap<String, ArchLevel>,
+}
+
+impl ArchSpec {
+    /// Parses the `architecture:` section.
+    ///
+    /// Expected shape:
+    ///
+    /// ```yaml
+    /// architecture:
+    ///   clock: 1_000_000_000
+    ///   configs:
+    ///     Default:
+    ///       name: System
+    ///       local:
+    ///         - name: HBM
+    ///           class: DRAM
+    ///           bandwidth: 128e9
+    ///       subtree:
+    ///         - name: PE
+    ///           count: 32
+    ///           local:
+    ///             - name: ALU
+    ///               class: compute
+    ///               op: mul
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] on malformed sections.
+    pub fn from_yaml(node: &Yaml) -> Result<Self, SpecError> {
+        let mut spec = ArchSpec { clock_hz: 1e9, configs: BTreeMap::new() };
+        if let Some(clock) = node.get("clock") {
+            spec.clock_hz = clock.as_f64().ok_or_else(|| SpecError::Structure {
+                path: "architecture.clock".into(),
+                message: "expected a frequency in Hz".into(),
+            })?;
+        }
+        let configs = node.get("configs").unwrap_or(&Yaml::Null);
+        for (name, level) in configs.entries().unwrap_or(&[]) {
+            spec.configs.insert(name.clone(), parse_level(level, name)?);
+        }
+        Ok(spec)
+    }
+
+    /// Looks up a configuration, falling back to the sole configuration
+    /// when only one exists.
+    pub fn config(&self, name: Option<&str>) -> Option<&ArchLevel> {
+        match name {
+            Some(n) => self.configs.get(n),
+            None if self.configs.len() == 1 => self.configs.values().next(),
+            None => self.configs.get("Default").or_else(|| self.configs.values().next()),
+        }
+    }
+}
+
+fn parse_level(node: &Yaml, path: &str) -> Result<ArchLevel, SpecError> {
+    let mut level = ArchLevel {
+        name: node
+            .get("name")
+            .and_then(Yaml::as_str)
+            .unwrap_or(path)
+            .to_string(),
+        count: node.get("count").and_then(|v| v.as_u64()).unwrap_or(1),
+        ..ArchLevel::default()
+    };
+    if let Some(local) = node.get("local") {
+        for (i, comp) in local.items().unwrap_or(&[]).iter().enumerate() {
+            level.local.push(parse_component(comp, &format!("{path}.local[{i}]"))?);
+        }
+    }
+    if let Some(sub) = node.get("subtree") {
+        for (i, child) in sub.items().unwrap_or(&[]).iter().enumerate() {
+            level.subtrees.push(parse_level(child, &format!("{path}.subtree[{i}]"))?);
+        }
+    }
+    Ok(level)
+}
+
+fn parse_component(node: &Yaml, path: &str) -> Result<Component, SpecError> {
+    let err = |message: String| SpecError::Structure { path: path.to_string(), message };
+    let name = node
+        .get("name")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| err("component needs a name".into()))?
+        .to_string();
+    let class_name = node
+        .get("class")
+        .and_then(Yaml::as_str)
+        .ok_or_else(|| err("component needs a class".into()))?
+        .to_lowercase();
+    let num = |key: &str, default: f64| -> f64 {
+        node.get(key).and_then(|v| v.as_f64()).unwrap_or(default)
+    };
+    let class = match class_name.as_str() {
+        "dram" => ComponentClass::Dram { bandwidth: num("bandwidth", 64e9) },
+        "buffet" | "cache" => ComponentClass::Buffer {
+            kind: if class_name == "cache" { BufferKind::Cache } else { BufferKind::Buffet },
+            width: num("width", 64.0) as u64,
+            depth: num("depth", 1024.0) as u64,
+            bandwidth: num("bandwidth", 1e12),
+        },
+        "intersect" => {
+            let policy = match node.get("type").and_then(Yaml::as_str).unwrap_or("two-finger")
+            {
+                "two-finger" => IntersectPolicy::TwoFinger,
+                "leader-follower" => IntersectPolicy::LeaderFollower {
+                    leader: num("leader", 0.0) as usize,
+                },
+                "skip-ahead" => IntersectPolicy::SkipAhead,
+                other => return Err(err(format!("unknown intersection type {other:?}"))),
+            };
+            ComponentClass::Intersect { policy }
+        }
+        "merger" => ComponentClass::Merger {
+            inputs: num("inputs", 64.0) as u64,
+            comparator_radix: num("comparator_radix", 64.0) as u64,
+            outputs: num("outputs", 1.0) as u64,
+            order: match node.get("order").and_then(Yaml::as_str).unwrap_or("fifo") {
+                "fifo" => MergeOrder::Fifo,
+                "opt" => MergeOrder::Opt,
+                other => return Err(err(format!("unknown merge order {other:?}"))),
+            },
+            reduce: node.get("reduce").and_then(Yaml::as_bool).unwrap_or(false),
+        },
+        "sequencer" => ComponentClass::Sequencer { num_ranks: num("num_ranks", 1.0) as u64 },
+        "compute" => ComponentClass::Compute {
+            op: match node.get("op").and_then(Yaml::as_str).unwrap_or("mul") {
+                "mul" => ComputeOp::Mul,
+                "add" => ComputeOp::Add,
+                other => return Err(err(format!("unknown compute op {other:?}"))),
+            },
+        },
+        other => return Err(err(format!("unknown component class {other:?}"))),
+    };
+    Ok(Component {
+        name,
+        class,
+        count: node.get("count").and_then(|v| v.as_u64()).unwrap_or(1),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml;
+
+    fn sample() -> ArchSpec {
+        let doc = yaml::parse(concat!(
+            "clock: 1_500_000_000\n",
+            "configs:\n",
+            "  Multiply:\n",
+            "    name: System\n",
+            "    local:\n",
+            "      - name: HBM\n",
+            "        class: DRAM\n",
+            "        bandwidth: 128000000000\n",
+            "    subtree:\n",
+            "      - name: PT\n",
+            "        count: 16\n",
+            "        local:\n",
+            "          - name: L0\n",
+            "            class: cache\n",
+            "            width: 512\n",
+            "            depth: 256\n",
+            "        subtree:\n",
+            "          - name: PE\n",
+            "            count: 16\n",
+            "            local:\n",
+            "              - name: ALU\n",
+            "                class: compute\n",
+            "                op: mul\n",
+        ))
+        .unwrap();
+        ArchSpec::from_yaml(&doc).unwrap()
+    }
+
+    #[test]
+    fn parses_hierarchy_with_counts() {
+        let spec = sample();
+        assert_eq!(spec.clock_hz, 1.5e9);
+        let cfg = spec.config(Some("Multiply")).unwrap();
+        let (alu, total) = cfg.find("ALU").unwrap();
+        assert_eq!(total, 256); // 16 PTs × 16 PEs
+        assert!(matches!(alu.class, ComponentClass::Compute { op: ComputeOp::Mul }));
+        let (_, l0s) = cfg.find("L0").unwrap();
+        assert_eq!(l0s, 16);
+        let (_, hbms) = cfg.find("HBM").unwrap();
+        assert_eq!(hbms, 1);
+    }
+
+    #[test]
+    fn sole_config_is_default() {
+        let spec = sample();
+        assert!(spec.config(None).is_some());
+        assert!(spec.config(Some("Missing")).is_none());
+    }
+
+    #[test]
+    fn all_components_enumerates_tree() {
+        let spec = sample();
+        let cfg = spec.config(None).unwrap();
+        let names: Vec<&str> =
+            cfg.all_components().iter().map(|(c, _)| c.name.as_str()).collect();
+        assert_eq!(names, vec!["HBM", "L0", "ALU"]);
+    }
+
+    #[test]
+    fn intersect_and_merger_parse() {
+        let doc = yaml::parse(concat!(
+            "configs:\n",
+            "  D:\n",
+            "    local:\n",
+            "      - name: IX\n",
+            "        class: intersect\n",
+            "        type: skip-ahead\n",
+            "      - name: MG\n",
+            "        class: merger\n",
+            "        inputs: 64\n",
+            "        comparator_radix: 64\n",
+            "        reduce: true\n",
+        ))
+        .unwrap();
+        let spec = ArchSpec::from_yaml(&doc).unwrap();
+        let cfg = spec.config(Some("D")).unwrap();
+        let (ix, _) = cfg.find("IX").unwrap();
+        assert!(matches!(
+            ix.class,
+            ComponentClass::Intersect { policy: IntersectPolicy::SkipAhead }
+        ));
+        let (mg, _) = cfg.find("MG").unwrap();
+        assert!(matches!(mg.class, ComponentClass::Merger { reduce: true, .. }));
+    }
+
+    #[test]
+    fn unknown_class_is_rejected() {
+        let doc =
+            yaml::parse("configs:\n  D:\n    local:\n      - name: X\n        class: warp\n")
+                .unwrap();
+        assert!(ArchSpec::from_yaml(&doc).is_err());
+    }
+}

@@ -1,0 +1,354 @@
+//! The binding specification: matching fibertree operations to concrete
+//! representations and hardware components (paper §4.1.3, Fig. 5e).
+//!
+//! Each Einsum is bound to one architecture configuration. Storage bindings
+//! say which tensor data lives on which component, at which rank
+//! granularity, whether elements move lazily (per access) or eagerly
+//! (whole subtree on first touch), and — for explicitly managed buffers —
+//! when the data is evicted (`evict-on`). Compute bindings place operations
+//! on functional units; merger bindings place online rank swizzles.
+
+use std::collections::BTreeMap;
+
+use crate::error::SpecError;
+use crate::yaml::Yaml;
+
+/// What part of the fibertree data a storage binding covers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DataType {
+    /// Coordinates only.
+    Coords,
+    /// Payloads only.
+    Payloads,
+    /// Interleaved coordinate/payload elements.
+    #[default]
+    Elem,
+}
+
+impl DataType {
+    /// Parses `coords` / `payloads` / `elem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] on any other string.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "coords" => Ok(DataType::Coords),
+            "payloads" => Ok(DataType::Payloads),
+            "elem" => Ok(DataType::Elem),
+            other => Err(SpecError::Structure {
+                path: "binding.type".into(),
+                message: format!("unknown data type {other:?}"),
+            }),
+        }
+    }
+}
+
+/// Lazy vs eager data movement (paper §4.1.3).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum BindStyle {
+    /// Load/store only the element on access.
+    #[default]
+    Lazy,
+    /// Load/store the entire subtree below an element on access.
+    Eager,
+}
+
+impl BindStyle {
+    /// Parses `lazy` / `eager`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] on any other string.
+    pub fn parse(s: &str) -> Result<Self, SpecError> {
+        match s {
+            "lazy" => Ok(BindStyle::Lazy),
+            "eager" => Ok(BindStyle::Eager),
+            other => Err(SpecError::Structure {
+                path: "binding.style".into(),
+                message: format!("unknown binding style {other:?}"),
+            }),
+        }
+    }
+}
+
+/// A storage binding: tensor data resident on a storage component.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StorageBinding {
+    /// The storage component's name in the architecture.
+    pub component: String,
+    /// The tensor whose data is bound.
+    pub tensor: String,
+    /// Format configuration name, when the tensor has several.
+    pub config: Option<String>,
+    /// The rank at which data is bound (the subtree below it moves).
+    pub rank: String,
+    /// Which arrays move.
+    pub dtype: DataType,
+    /// Lazy or eager movement.
+    pub style: BindStyle,
+    /// For explicitly managed buffers: drain old data when this loop rank's
+    /// coordinate changes.
+    pub evict_on: Option<String>,
+}
+
+/// A compute binding: an operation class placed on a functional unit.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ComputeBinding {
+    /// The compute component's name.
+    pub component: String,
+    /// `mul` or `add` (interpreted through the cascade's semiring).
+    pub op: String,
+}
+
+/// A merger binding: the online rank swizzle of a tensor placed on a
+/// hardware merger.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergerBinding {
+    /// The merger component's name.
+    pub component: String,
+    /// The tensor whose swizzle the merger performs.
+    pub tensor: String,
+}
+
+/// An intersection binding: the Einsum's co-iteration placed on a specific
+/// intersection unit (whose Table 3 `type`/`leader` attributes set the
+/// policy).
+#[derive(Clone, Debug, PartialEq)]
+pub struct IntersectBinding {
+    /// The intersection component's name.
+    pub component: String,
+}
+
+/// All bindings for one Einsum.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct EinsumBinding {
+    /// Architecture configuration executing this Einsum.
+    pub arch_config: Option<String>,
+    /// Storage bindings.
+    pub storage: Vec<StorageBinding>,
+    /// Compute bindings.
+    pub compute: Vec<ComputeBinding>,
+    /// Merger bindings.
+    pub mergers: Vec<MergerBinding>,
+    /// Intersection-unit bindings.
+    pub intersects: Vec<IntersectBinding>,
+}
+
+impl EinsumBinding {
+    /// Storage bindings for a given tensor, outermost (DRAM-side) first in
+    /// specification order.
+    pub fn storage_for(&self, tensor: &str) -> Vec<&StorageBinding> {
+        self.storage.iter().filter(|b| b.tensor == tensor).collect()
+    }
+}
+
+/// The full binding specification: per-Einsum bindings.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct BindingSpec {
+    /// Einsum (output tensor name) → bindings.
+    pub einsums: BTreeMap<String, EinsumBinding>,
+}
+
+impl BindingSpec {
+    /// Parses the `binding:` section.
+    ///
+    /// Expected shape:
+    ///
+    /// ```yaml
+    /// binding:
+    ///   Z:
+    ///     config: Merge
+    ///     storage:
+    ///       - component: HBM
+    ///         tensor: T
+    ///         rank: M
+    ///         type: elem
+    ///         style: lazy
+    ///     compute:
+    ///       - component: ALU
+    ///         op: add
+    ///     merger:
+    ///       - component: SortHW
+    ///         tensor: T
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] on malformed entries.
+    pub fn from_yaml(node: &Yaml) -> Result<Self, SpecError> {
+        let mut spec = BindingSpec::default();
+        for (einsum, b) in node.entries().unwrap_or(&[]) {
+            let mut eb = EinsumBinding {
+                arch_config: b.get("config").and_then(Yaml::as_str).map(str::to_string),
+                ..EinsumBinding::default()
+            };
+            for (i, s) in b
+                .get("storage")
+                .and_then(Yaml::items)
+                .unwrap_or(&[])
+                .iter()
+                .enumerate()
+            {
+                let path = format!("binding.{einsum}.storage[{i}]");
+                let need = |key: &str| -> Result<String, SpecError> {
+                    s.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
+                        SpecError::Structure {
+                            path: path.clone(),
+                            message: format!("missing {key}"),
+                        }
+                    })
+                };
+                eb.storage.push(StorageBinding {
+                    component: need("component")?,
+                    tensor: need("tensor")?,
+                    config: s.get("config").and_then(Yaml::as_str).map(str::to_string),
+                    rank: need("rank")?,
+                    dtype: match s.get("type").and_then(Yaml::as_str) {
+                        Some(t) => DataType::parse(t)?,
+                        None => DataType::Elem,
+                    },
+                    style: match s.get("style").and_then(Yaml::as_str) {
+                        Some(t) => BindStyle::parse(t)?,
+                        None => BindStyle::Lazy,
+                    },
+                    evict_on: s.get("evict-on").and_then(Yaml::as_str).map(str::to_string),
+                });
+            }
+            for (i, c) in b
+                .get("compute")
+                .and_then(Yaml::items)
+                .unwrap_or(&[])
+                .iter()
+                .enumerate()
+            {
+                let path = format!("binding.{einsum}.compute[{i}]");
+                let need = |key: &str| -> Result<String, SpecError> {
+                    c.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
+                        SpecError::Structure {
+                            path: path.clone(),
+                            message: format!("missing {key}"),
+                        }
+                    })
+                };
+                eb.compute.push(ComputeBinding { component: need("component")?, op: need("op")? });
+            }
+            for (i, m) in b
+                .get("merger")
+                .and_then(Yaml::items)
+                .unwrap_or(&[])
+                .iter()
+                .enumerate()
+            {
+                let path = format!("binding.{einsum}.merger[{i}]");
+                let need = |key: &str| -> Result<String, SpecError> {
+                    m.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
+                        SpecError::Structure {
+                            path: path.clone(),
+                            message: format!("missing {key}"),
+                        }
+                    })
+                };
+                eb.mergers
+                    .push(MergerBinding { component: need("component")?, tensor: need("tensor")? });
+            }
+            for (i, m) in b
+                .get("intersect")
+                .and_then(Yaml::items)
+                .unwrap_or(&[])
+                .iter()
+                .enumerate()
+            {
+                let path = format!("binding.{einsum}.intersect[{i}]");
+                let component = m
+                    .get("component")
+                    .and_then(Yaml::as_str)
+                    .map(str::to_string)
+                    .ok_or_else(|| SpecError::Structure {
+                        path,
+                        message: "missing component".into(),
+                    })?;
+                eb.intersects.push(IntersectBinding { component });
+            }
+            spec.einsums.insert(einsum.clone(), eb);
+        }
+        Ok(spec)
+    }
+
+    /// The binding for an Einsum (default empty binding if unspecified).
+    pub fn for_einsum(&self, einsum: &str) -> EinsumBinding {
+        self.einsums.get(einsum).cloned().unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml;
+
+    #[test]
+    fn parses_full_binding() {
+        let doc = yaml::parse(concat!(
+            "Z:\n",
+            "  config: Merge\n",
+            "  storage:\n",
+            "    - component: HBM\n",
+            "      tensor: T\n",
+            "      config: LinkedLists\n",
+            "      rank: M\n",
+            "      type: elem\n",
+            "      style: lazy\n",
+            "    - component: CacheSPM\n",
+            "      tensor: T\n",
+            "      rank: N\n",
+            "      type: elem\n",
+            "      style: eager\n",
+            "      evict-on: M\n",
+            "  compute:\n",
+            "    - component: ALU\n",
+            "      op: add\n",
+            "  merger:\n",
+            "    - component: SortHW\n",
+            "      tensor: T\n",
+        ))
+        .unwrap();
+        let spec = BindingSpec::from_yaml(&doc).unwrap();
+        let z = spec.for_einsum("Z");
+        assert_eq!(z.arch_config.as_deref(), Some("Merge"));
+        assert_eq!(z.storage.len(), 2);
+        assert_eq!(z.storage[1].style, BindStyle::Eager);
+        assert_eq!(z.storage[1].evict_on.as_deref(), Some("M"));
+        assert_eq!(z.storage[0].config.as_deref(), Some("LinkedLists"));
+        assert_eq!(z.compute[0].op, "add");
+        assert_eq!(z.mergers[0].tensor, "T");
+        assert_eq!(z.storage_for("T").len(), 2);
+    }
+
+    #[test]
+    fn missing_fields_are_rejected() {
+        let doc = yaml::parse("Z:\n  storage:\n    - component: HBM\n").unwrap();
+        assert!(BindingSpec::from_yaml(&doc).is_err());
+    }
+
+    #[test]
+    fn unspecified_einsum_gets_default() {
+        let spec = BindingSpec::default();
+        let b = spec.for_einsum("Q");
+        assert!(b.storage.is_empty());
+        assert!(b.arch_config.is_none());
+    }
+
+    #[test]
+    fn bad_style_is_rejected() {
+        let doc = yaml::parse(concat!(
+            "Z:\n",
+            "  storage:\n",
+            "    - component: HBM\n",
+            "      tensor: T\n",
+            "      rank: M\n",
+            "      style: sideways\n",
+        ))
+        .unwrap();
+        assert!(BindingSpec::from_yaml(&doc).is_err());
+    }
+}

@@ -1,0 +1,336 @@
+//! The mapping specification: rank-order, partitioning, loop-order, and
+//! spacetime (paper §3, Fig. 3).
+
+use std::collections::BTreeMap;
+
+use crate::error::SpecError;
+use crate::yaml::Yaml;
+
+/// A partitioning operation applied to a rank (paper §3.2.1).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionOp {
+    /// `uniform_shape(n)`: fixed coordinate chunks of width `n`.
+    UniformShape(u64),
+    /// `uniform_occupancy(L.n)`: equal-element groups of size `n`, with
+    /// tensor `L` as the leader whose boundaries followers adopt.
+    UniformOccupancy {
+        /// The leader tensor whose element counts set the boundaries.
+        leader: String,
+        /// Elements per partition.
+        size: usize,
+    },
+    /// `flatten()`: combine the target tuple of ranks into one.
+    Flatten,
+}
+
+impl PartitionOp {
+    /// Parses one directive such as `uniform_occupancy(A.256)`,
+    /// `uniform_shape(128)`, or `flatten()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] on unknown directives or malformed
+    /// arguments.
+    pub fn parse(text: &str) -> Result<Self, SpecError> {
+        let bad = |msg: &str| SpecError::Structure {
+            path: format!("partitioning directive `{text}`"),
+            message: msg.to_string(),
+        };
+        let text = text.trim();
+        if text == "flatten()" {
+            return Ok(PartitionOp::Flatten);
+        }
+        if let Some(rest) = text.strip_prefix("uniform_shape(") {
+            let arg = rest.strip_suffix(')').ok_or_else(|| bad("missing `)`"))?;
+            let n = arg.trim().parse().map_err(|_| bad("expected an integer size"))?;
+            if n == 0 {
+                return Err(bad("size must be nonzero"));
+            }
+            return Ok(PartitionOp::UniformShape(n));
+        }
+        if let Some(rest) = text.strip_prefix("uniform_occupancy(") {
+            let arg = rest.strip_suffix(')').ok_or_else(|| bad("missing `)`"))?;
+            let (leader, size) =
+                arg.split_once('.').ok_or_else(|| bad("expected `leader.size`"))?;
+            let size = size.trim().parse().map_err(|_| bad("expected an integer size"))?;
+            if size == 0 {
+                return Err(bad("size must be nonzero"));
+            }
+            return Ok(PartitionOp::UniformOccupancy { leader: leader.trim().to_string(), size });
+        }
+        Err(bad("unknown directive (expected uniform_shape, uniform_occupancy, or flatten)"))
+    }
+}
+
+/// The target of a partitioning directive: a single rank or a tuple of
+/// ranks to flatten (`(K, M)`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum PartitionTarget {
+    /// One rank by name.
+    Rank(String),
+    /// A tuple of ranks (flattening target), top rank first.
+    Tuple(Vec<String>),
+}
+
+impl PartitionTarget {
+    /// Parses `K` or `(K, M)`.
+    pub fn parse(text: &str) -> Self {
+        let t = text.trim();
+        if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
+            PartitionTarget::Tuple(
+                inner.split(',').map(|p| p.trim().to_string()).collect(),
+            )
+        } else {
+            PartitionTarget::Rank(t.to_string())
+        }
+    }
+
+    /// The canonical name of the rank this target produces when flattened
+    /// (concatenation: `(K, M)` → `KM`), or the rank itself.
+    pub fn flattened_name(&self) -> String {
+        match self {
+            PartitionTarget::Rank(r) => r.clone(),
+            PartitionTarget::Tuple(rs) => rs.concat(),
+        }
+    }
+}
+
+/// One ordered partitioning directive: a target and the operations applied
+/// to it (order matters — directives chain).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionDirective {
+    /// What is partitioned or flattened.
+    pub target: PartitionTarget,
+    /// The operations, applied in order.
+    pub ops: Vec<PartitionOp>,
+}
+
+/// A spacetime stamp for one rank: iterated in space (parallel hardware) or
+/// time (sequentially), with optional `.coord` marking coordinate-stamped
+/// time (paper Fig. 8c, `N.coord`).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RankStamp {
+    /// The (derived) rank name.
+    pub rank: String,
+    /// Whether time is stamped by coordinate rather than position.
+    pub coord_stamped: bool,
+}
+
+impl RankStamp {
+    /// Parses `KM1` or `N.coord`.
+    pub fn parse(text: &str) -> Self {
+        match text.strip_suffix(".coord") {
+            Some(rank) => RankStamp { rank: rank.trim().to_string(), coord_stamped: true },
+            None => match text.strip_suffix(".pos") {
+                Some(rank) => {
+                    RankStamp { rank: rank.trim().to_string(), coord_stamped: false }
+                }
+                None => RankStamp { rank: text.trim().to_string(), coord_stamped: false },
+            },
+        }
+    }
+}
+
+/// The spacetime assignment for one Einsum: which loop ranks map to space
+/// (parallel PEs) and which to time.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct SpaceTime {
+    /// Ranks iterated in space.
+    pub space: Vec<RankStamp>,
+    /// Ranks iterated in time.
+    pub time: Vec<RankStamp>,
+}
+
+/// The full mapping specification for a cascade.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MappingSpec {
+    /// Per-tensor storage rank order (offline swizzles of inputs).
+    pub rank_order: BTreeMap<String, Vec<String>>,
+    /// Per-Einsum ordered partitioning directives.
+    pub partitioning: BTreeMap<String, Vec<PartitionDirective>>,
+    /// Per-Einsum loop order over derived ranks, outermost first.
+    pub loop_order: BTreeMap<String, Vec<String>>,
+    /// Per-Einsum spacetime assignment.
+    pub spacetime: BTreeMap<String, SpaceTime>,
+}
+
+impl MappingSpec {
+    /// Parses the `mapping:` section of a TeAAL document.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError::Structure`] when sections have unexpected
+    /// shapes or directives fail to parse.
+    pub fn from_yaml(node: &Yaml) -> Result<Self, SpecError> {
+        let mut spec = MappingSpec::default();
+        if let Some(ro) = node.get("rank-order") {
+            for (tensor, ranks) in ro.entries().unwrap_or(&[]) {
+                let list = ranks.as_str_list().ok_or_else(|| SpecError::Structure {
+                    path: format!("mapping.rank-order.{tensor}"),
+                    message: "expected a list of rank ids".into(),
+                })?;
+                spec.rank_order.insert(tensor.clone(), list);
+            }
+        }
+        if let Some(part) = node.get("partitioning") {
+            for (einsum, dirs) in part.entries().unwrap_or(&[]) {
+                let mut directives = Vec::new();
+                for (target, ops) in dirs.entries().unwrap_or(&[]) {
+                    let op_list = ops.as_str_list().ok_or_else(|| SpecError::Structure {
+                        path: format!("mapping.partitioning.{einsum}.{target}"),
+                        message: "expected a list of directives".into(),
+                    })?;
+                    let ops = op_list
+                        .iter()
+                        .map(|s| PartitionOp::parse(s))
+                        .collect::<Result<Vec<_>, _>>()?;
+                    directives
+                        .push(PartitionDirective { target: PartitionTarget::parse(target), ops });
+                }
+                spec.partitioning.insert(einsum.clone(), directives);
+            }
+        }
+        if let Some(lo) = node.get("loop-order") {
+            for (einsum, ranks) in lo.entries().unwrap_or(&[]) {
+                let list = ranks.as_str_list().ok_or_else(|| SpecError::Structure {
+                    path: format!("mapping.loop-order.{einsum}"),
+                    message: "expected a list of rank ids".into(),
+                })?;
+                spec.loop_order.insert(einsum.clone(), list);
+            }
+        }
+        if let Some(st) = node.get("spacetime") {
+            for (einsum, stnode) in st.entries().unwrap_or(&[]) {
+                let parse_list = |key: &str| -> Result<Vec<RankStamp>, SpecError> {
+                    match stnode.get(key) {
+                        None => Ok(Vec::new()),
+                        Some(v) => {
+                            let list =
+                                v.as_str_list().ok_or_else(|| SpecError::Structure {
+                                    path: format!("mapping.spacetime.{einsum}.{key}"),
+                                    message: "expected a list of rank stamps".into(),
+                                })?;
+                            Ok(list.iter().map(|s| RankStamp::parse(s)).collect())
+                        }
+                    }
+                };
+                spec.spacetime.insert(
+                    einsum.clone(),
+                    SpaceTime { space: parse_list("space")?, time: parse_list("time")? },
+                );
+            }
+        }
+        Ok(spec)
+    }
+
+    /// The loop order for an Einsum, if specified.
+    pub fn loop_order_of(&self, einsum: &str) -> Option<&[String]> {
+        self.loop_order.get(einsum).map(Vec::as_slice)
+    }
+
+    /// The partitioning directives for an Einsum (empty if none).
+    pub fn partitioning_of(&self, einsum: &str) -> &[PartitionDirective] {
+        self.partitioning.get(einsum).map_or(&[], Vec::as_slice)
+    }
+
+    /// The spacetime assignment for an Einsum, if specified.
+    pub fn spacetime_of(&self, einsum: &str) -> Option<&SpaceTime> {
+        self.spacetime.get(einsum)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::yaml;
+
+    #[test]
+    fn parse_partition_ops() {
+        assert_eq!(PartitionOp::parse("flatten()").unwrap(), PartitionOp::Flatten);
+        assert_eq!(
+            PartitionOp::parse("uniform_shape(128)").unwrap(),
+            PartitionOp::UniformShape(128)
+        );
+        assert_eq!(
+            PartitionOp::parse("uniform_occupancy(A.256)").unwrap(),
+            PartitionOp::UniformOccupancy { leader: "A".into(), size: 256 }
+        );
+        assert!(PartitionOp::parse("uniform_shape(0)").is_err());
+        assert!(PartitionOp::parse("banana(3)").is_err());
+        assert!(PartitionOp::parse("uniform_occupancy(A:256)").is_err());
+    }
+
+    #[test]
+    fn parse_targets() {
+        assert_eq!(PartitionTarget::parse("K"), PartitionTarget::Rank("K".into()));
+        assert_eq!(
+            PartitionTarget::parse("(K, M)"),
+            PartitionTarget::Tuple(vec!["K".into(), "M".into()])
+        );
+        assert_eq!(PartitionTarget::parse("(K, M)").flattened_name(), "KM");
+        assert_eq!(PartitionTarget::parse("(M, K0)").flattened_name(), "MK0");
+    }
+
+    #[test]
+    fn parse_rank_stamps() {
+        assert_eq!(
+            RankStamp::parse("N.coord"),
+            RankStamp { rank: "N".into(), coord_stamped: true }
+        );
+        assert_eq!(
+            RankStamp::parse("KM1"),
+            RankStamp { rank: "KM1".into(), coord_stamped: false }
+        );
+        assert_eq!(
+            RankStamp::parse("K.pos"),
+            RankStamp { rank: "K".into(), coord_stamped: false }
+        );
+    }
+
+    #[test]
+    fn outerspace_mapping_parses() {
+        let doc = yaml::parse(concat!(
+            "rank-order:\n",
+            "  A: [K, M]\n",
+            "  T: [M, K, N]\n",
+            "partitioning:\n",
+            "  T:\n",
+            "    (K, M): [flatten()]\n",
+            "    KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n",
+            "loop-order:\n",
+            "  T: [KM2, KM1, KM0, N]\n",
+            "spacetime:\n",
+            "  T:\n",
+            "    space: [KM1, KM0]\n",
+            "    time: [KM2, N]\n",
+        ))
+        .unwrap();
+        let m = MappingSpec::from_yaml(&doc).unwrap();
+        assert_eq!(m.rank_order["T"], vec!["M", "K", "N"]);
+        let dirs = m.partitioning_of("T");
+        assert_eq!(dirs.len(), 2);
+        assert_eq!(dirs[0].target.flattened_name(), "KM");
+        assert_eq!(dirs[0].ops, vec![PartitionOp::Flatten]);
+        assert_eq!(dirs[1].ops.len(), 2);
+        assert_eq!(m.loop_order_of("T").unwrap(), &["KM2", "KM1", "KM0", "N"]);
+        assert_eq!(m.spacetime_of("T").unwrap().space.len(), 2);
+    }
+
+    #[test]
+    fn directive_order_is_preserved() {
+        // SIGMA chains shape → flatten → occupancy; order is semantic.
+        let doc = yaml::parse(concat!(
+            "partitioning:\n",
+            "  Z:\n",
+            "    K: [uniform_shape(128)]\n",
+            "    (M, K0): [flatten()]\n",
+            "    MK0: [uniform_occupancy(T.16384)]\n",
+        ))
+        .unwrap();
+        let m = MappingSpec::from_yaml(&doc).unwrap();
+        let dirs = m.partitioning_of("Z");
+        assert_eq!(dirs[0].target, PartitionTarget::Rank("K".into()));
+        assert_eq!(dirs[1].target, PartitionTarget::Tuple(vec!["M".into(), "K0".into()]));
+        assert_eq!(dirs[2].target, PartitionTarget::Rank("MK0".into()));
+    }
+}

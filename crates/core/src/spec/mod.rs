@@ -1,0 +1,233 @@
+//! The five-part TeAAL specification (paper Fig. 7): einsum, mapping,
+//! format, architecture, and binding.
+//!
+//! The einsum + mapping sections are the concise top of the abstraction
+//! pyramid (Figs. 3 and 8); format/architecture/binding pin down the
+//! implementation level for high-fidelity modeling (Fig. 5).
+
+pub mod arch;
+pub mod binding;
+pub mod format;
+pub mod mapping;
+
+use std::collections::BTreeMap;
+
+use crate::einsum::Cascade;
+use crate::error::SpecError;
+use crate::yaml::{self, Yaml};
+
+pub use arch::{ArchLevel, ArchSpec, BufferKind, Component, ComponentClass, ComputeOp, MergeOrder};
+pub use binding::{BindStyle, BindingSpec, DataType, EinsumBinding, IntersectBinding, StorageBinding};
+pub use format::{FormatSpec, FormatType, Layout, RankFormat, TensorFormat};
+pub use mapping::{
+    MappingSpec, PartitionDirective, PartitionOp, PartitionTarget, RankStamp, SpaceTime,
+};
+
+/// A complete TeAAL specification document.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TeaalSpec {
+    /// The cascade of Einsums with declarations.
+    pub cascade: Cascade,
+    /// The mapping (rank-order / partitioning / loop-order / spacetime).
+    pub mapping: MappingSpec,
+    /// Concrete tensor formats.
+    pub format: FormatSpec,
+    /// Accelerator topology.
+    pub architecture: ArchSpec,
+    /// Operation/data placement.
+    pub binding: BindingSpec,
+}
+
+impl TeaalSpec {
+    /// Parses a full TeAAL YAML document (`einsum:` and `mapping:` are
+    /// required; `format:`, `architecture:`, and `binding:` are optional
+    /// and default to empty).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SpecError`] on parse or validation failure.
+    pub fn parse(source: &str) -> Result<Self, SpecError> {
+        let doc = yaml::parse(source)?;
+        let einsum = doc.get("einsum").ok_or_else(|| SpecError::Structure {
+            path: "einsum".into(),
+            message: "missing einsum section".into(),
+        })?;
+
+        let mut declarations: BTreeMap<String, Vec<String>> = BTreeMap::new();
+        let decl = einsum.get("declaration").unwrap_or(&Yaml::Null);
+        for (tensor, ranks) in decl.entries().unwrap_or(&[]) {
+            let list = ranks.as_str_list().ok_or_else(|| SpecError::Structure {
+                path: format!("einsum.declaration.{tensor}"),
+                message: "expected a list of rank ids".into(),
+            })?;
+            declarations.insert(tensor.clone(), list);
+        }
+
+        let exprs = einsum
+            .get("expressions")
+            .and_then(Yaml::items)
+            .ok_or_else(|| SpecError::Structure {
+                path: "einsum.expressions".into(),
+                message: "expected a list of equations".into(),
+            })?;
+        let sources: Vec<&str> = exprs
+            .iter()
+            .map(|e| {
+                e.as_str().ok_or_else(|| SpecError::Structure {
+                    path: "einsum.expressions".into(),
+                    message: "each expression must be a scalar equation string".into(),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let cascade = Cascade::new(declarations, &sources)?;
+
+        let mapping = match doc.get("mapping") {
+            Some(m) => MappingSpec::from_yaml(m)?,
+            None => MappingSpec::default(),
+        };
+        let format = match doc.get("format") {
+            Some(f) => FormatSpec::from_yaml(f)?,
+            None => FormatSpec::default(),
+        };
+        let architecture = match doc.get("architecture") {
+            Some(a) => ArchSpec::from_yaml(a)?,
+            None => ArchSpec::default(),
+        };
+        let binding = match doc.get("binding") {
+            Some(b) => BindingSpec::from_yaml(b)?,
+            None => BindingSpec::default(),
+        };
+
+        let spec = TeaalSpec { cascade, mapping, format, architecture, binding };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn validate(&self) -> Result<(), SpecError> {
+        // rank-order entries must be permutations of declared ranks.
+        for (tensor, order) in &self.mapping.rank_order {
+            if let Some(declared) = self.cascade.ranks_of(tensor) {
+                let mut a = declared.clone();
+                let mut b = order.clone();
+                a.sort();
+                b.sort();
+                if a != b {
+                    return Err(SpecError::Validation {
+                        context: format!("tensor {tensor}"),
+                        message: format!(
+                            "rank-order {order:?} is not a permutation of declared ranks \
+                             {declared:?}"
+                        ),
+                    });
+                }
+            }
+        }
+        // loop-order / partitioning / spacetime keys must be Einsums.
+        for section in [
+            self.mapping.loop_order.keys().collect::<Vec<_>>(),
+            self.mapping.partitioning.keys().collect(),
+            self.mapping.spacetime.keys().collect(),
+        ] {
+            for einsum in section {
+                if self.cascade.equation(einsum).is_none() {
+                    return Err(SpecError::Validation {
+                        context: format!("einsum {einsum}"),
+                        message: "mapping refers to an einsum that is not in the cascade"
+                            .into(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Storage rank order for a tensor: the mapping's `rank-order` entry,
+    /// falling back to the declaration.
+    pub fn rank_order_of(&self, tensor: &str) -> Option<Vec<String>> {
+        self.mapping
+            .rank_order
+            .get(tensor)
+            .cloned()
+            .or_else(|| self.cascade.ranks_of(tensor))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const OUTERSPACE_EM: &str = concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    T: [K, M, N]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - T[k, m, n] = A[k, m] * B[k, n]\n",
+        "    - Z[m, n] = T[k, m, n]\n",
+        "mapping:\n",
+        "  rank-order:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    T: [M, K, N]\n",
+        "    Z: [M, N]\n",
+        "  partitioning:\n",
+        "    T:\n",
+        "      (K, M): [flatten()]\n",
+        "      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n",
+        "    Z:\n",
+        "      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]\n",
+        "  loop-order:\n",
+        "    T: [KM2, KM1, KM0, N]\n",
+        "    Z: [M2, M1, M0, N, K]\n",
+        "  spacetime:\n",
+        "    T:\n",
+        "      space: [KM1, KM0]\n",
+        "      time: [KM2, N]\n",
+        "    Z:\n",
+        "      space: [M1, M0]\n",
+        "      time: [M2, N, K]\n",
+    );
+
+    #[test]
+    fn fig3_outerspace_spec_parses_and_validates() {
+        let spec = TeaalSpec::parse(OUTERSPACE_EM).unwrap();
+        assert_eq!(spec.cascade.equations().len(), 2);
+        assert_eq!(spec.rank_order_of("T").unwrap(), vec!["M", "K", "N"]);
+        assert_eq!(spec.mapping.loop_order_of("Z").unwrap().len(), 5);
+    }
+
+    #[test]
+    fn bad_rank_order_is_rejected() {
+        let bad = OUTERSPACE_EM.replace("    T: [M, K, N]\n", "    T: [M, K]\n");
+        assert!(TeaalSpec::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn mapping_for_unknown_einsum_is_rejected() {
+        let bad = OUTERSPACE_EM.replace("    Z: [M2, M1, M0, N, K]\n", "    Q: [M]\n");
+        assert!(TeaalSpec::parse(&bad).is_err());
+    }
+
+    #[test]
+    fn missing_einsum_section_is_rejected() {
+        assert!(TeaalSpec::parse("mapping:\n  rank-order:\n    A: [K]\n").is_err());
+    }
+
+    #[test]
+    fn minimal_spec_defaults_optional_sections() {
+        let spec = TeaalSpec::parse(concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K]\n",
+            "    Z: [K]\n",
+            "  expressions:\n",
+            "    - Z[k] = A[k]\n",
+        ))
+        .unwrap();
+        assert!(spec.format.tensors.is_empty());
+        assert!(spec.architecture.configs.is_empty());
+        assert_eq!(spec.rank_order_of("A").unwrap(), vec!["K"]);
+    }
+}

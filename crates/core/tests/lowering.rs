@@ -1,0 +1,258 @@
+//! Direct tests of the lowering pass: the paper's §3 examples expressed
+//! as assertions on the generated plans.
+
+use teaal_core::ir::{self, Descent, PlanStep};
+use teaal_core::TeaalSpec;
+
+const OUTERSPACE: &str = concat!(
+    "einsum:\n",
+    "  declaration:\n",
+    "    A: [K, M]\n",
+    "    B: [K, N]\n",
+    "    T: [K, M, N]\n",
+    "    Z: [M, N]\n",
+    "  expressions:\n",
+    "    - T[k, m, n] = A[k, m] * B[k, n]\n",
+    "    - Z[m, n] = T[k, m, n]\n",
+    "mapping:\n",
+    "  rank-order:\n",
+    "    A: [K, M]\n",
+    "    B: [K, N]\n",
+    "    T: [M, K, N]\n",
+    "    Z: [M, N]\n",
+    "  partitioning:\n",
+    "    T:\n",
+    "      (K, M): [flatten()]\n",
+    "      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n",
+    "    Z:\n",
+    "      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]\n",
+    "  loop-order:\n",
+    "    T: [KM2, KM1, KM0, N]\n",
+    "    Z: [M2, M1, M0, N, K]\n",
+    "  spacetime:\n",
+    "    T:\n",
+    "      space: [KM1, KM0]\n",
+    "      time: [KM2, N]\n",
+    "    Z:\n",
+    "      space: [M1, M0]\n",
+    "      time: [M2, N, K]\n",
+);
+
+#[test]
+fn outerspace_multiply_phase_plan() {
+    let spec = TeaalSpec::parse(OUTERSPACE).unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let t = &plans[0];
+
+    // A is flattened then occupancy-partitioned twice, as the leader.
+    let a = t.tensor_plan("A").unwrap();
+    assert_eq!(
+        a.steps,
+        vec![
+            PlanStep::Flatten { upper: "K".into(), new_name: "KM".into() },
+            PlanStep::SplitOccLeader {
+                rank: "KM".into(),
+                size: 256,
+                upper: "KM2".into(),
+                lower: "KM1".into(),
+            },
+            PlanStep::SplitOccLeader {
+                rank: "KM1".into(),
+                size: 16,
+                upper: "KM1".into(),
+                lower: "KM0".into(),
+            },
+        ]
+    );
+    assert_eq!(a.working_order, vec!["KM2", "KM1", "KM0"]);
+    assert!(!a.online_swizzle, "inputs swizzle offline");
+
+    // B keeps [K, N] and projects its K at the flattened bottom rank.
+    let b = t.tensor_plan("B").unwrap();
+    assert!(b.steps.is_empty());
+    assert_eq!(b.working_order, vec!["K", "N"]);
+    let b_roles = &t.access_roles[1].roles;
+    assert!(b_roles[0].is_empty(), "skip at KM2");
+    assert!(b_roles[1].is_empty(), "skip at KM1");
+    assert_eq!(b_roles[2], vec![Descent::Project { component: 0 }], "project k at KM0");
+    assert_eq!(b_roles[3], vec![Descent::CoIterate], "co-iterate N");
+
+    // T is produced in [K, M, N] root order but stored [M, K, N]:
+    // the §3.2.2 online swizzle.
+    assert_eq!(t.output.produced_order, vec!["K", "M", "N"]);
+    assert_eq!(t.output.target_order, vec!["M", "K", "N"]);
+    assert!(t.output.online_swizzle);
+
+    // Spacetime: KM1/KM0 in space, KM2/N in time.
+    let spaces: Vec<&str> =
+        t.space_ranks().iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(spaces, vec!["KM1", "KM0"]);
+}
+
+#[test]
+fn outerspace_merge_phase_plan() {
+    let spec = TeaalSpec::parse(OUTERSPACE).unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let z = &plans[1];
+
+    // T arrives as [M, K, N], is partitioned on M (leader T itself), and
+    // needs an online swizzle to put K innermost for the merge.
+    let t = z.tensor_plan("T").unwrap();
+    assert!(t.online_swizzle, "intermediate reorders online");
+    assert_eq!(t.working_order, vec!["M2", "M1", "M0", "N", "K"]);
+    assert!(matches!(
+        t.steps.last(),
+        Some(PlanStep::Swizzle(order)) if order.last() == Some(&"K".to_string())
+    ));
+
+    // K is a pure reduction rank.
+    let k = z.loop_ranks.iter().find(|l| l.name == "K").unwrap();
+    assert!(k.reduction);
+    let n = z.loop_ranks.iter().find(|l| l.name == "N").unwrap();
+    assert!(!n.reduction);
+
+    // Upper occupancy ranks bind no variables; bottom ranks do.
+    let m2 = z.loop_ranks.iter().find(|l| l.name == "M2").unwrap();
+    assert!(m2.binds.is_empty());
+    let m0 = z.loop_ranks.iter().find(|l| l.name == "M0").unwrap();
+    assert_eq!(m0.binds, vec![("M".to_string(), 0)]);
+}
+
+#[test]
+fn gamma_follower_adopts_aligned_context_only() {
+    let spec = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    T: [K, M, N]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - T[k, m, n] = take(A[k, m], B[k, n], 1)\n",
+        "    - Z[m, n] = T[k, m, n] * A[k, m]\n",
+        "mapping:\n",
+        "  rank-order:\n",
+        "    A: [M, K]\n",
+        "    B: [K, N]\n",
+        "    T: [M, K, N]\n",
+        "    Z: [M, N]\n",
+        "  partitioning:\n",
+        "    T:\n",
+        "      M: [uniform_occupancy(A.32)]\n",
+        "      K: [uniform_occupancy(A.64)]\n",
+        "    Z:\n",
+        "      M: [uniform_occupancy(A.32)]\n",
+        "      K: [uniform_occupancy(A.64)]\n",
+        "  loop-order:\n",
+        "    T: [M1, M0, K1, K0, N]\n",
+        "    Z: [M1, M0, K1, N, K0]\n",
+    ))
+    .unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let t = &plans[0];
+
+    // A (the leader) is partitioned on both M and K.
+    let a = t.tensor_plan("A").unwrap();
+    assert_eq!(
+        a.steps.iter().filter(|s| matches!(s, PlanStep::SplitOccLeader { .. })).count(),
+        2
+    );
+
+    // B's K sits at the top level while the leader's K sits under M:
+    // contexts differ, so B must NOT adopt the partitioning — it projects
+    // at K0 instead.
+    let b = t.tensor_plan("B").unwrap();
+    assert!(b.steps.is_empty(), "B skips misaligned occupancy splits: {:?}", b.steps);
+    assert_eq!(b.working_order, vec!["K", "N"]);
+
+    // In the second Einsum, T (same [M, K, ...] context as A) adopts both
+    // splits as a follower.
+    let z = &plans[1];
+    let t_in_z = z.tensor_plan("T").unwrap();
+    assert_eq!(
+        t_in_z
+            .steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::SplitOccFollower { .. }))
+            .count(),
+        2
+    );
+}
+
+#[test]
+fn extensor_hierarchical_tiles_coiterate() {
+    let spec = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - Z[m, n] = A[k, m] * B[k, n]\n",
+        "mapping:\n",
+        "  partitioning:\n",
+        "    Z:\n",
+        "      K: [uniform_shape(128), uniform_shape(16)]\n",
+        "      M: [uniform_shape(128), uniform_shape(16)]\n",
+        "      N: [uniform_shape(128), uniform_shape(16)]\n",
+        "  loop-order:\n",
+        "    Z: [N2, K2, M2, M1, N1, K1, M0, N0, K0]\n",
+    ))
+    .unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let z = &plans[0];
+    // Both operands co-iterate at every K level: hierarchical (tile-level
+    // then element-level) intersection emerges from the mapping alone.
+    for (ai, _) in z.equation.rhs.accesses().iter().enumerate() {
+        for (li, l) in z.loop_ranks.iter().enumerate() {
+            if l.name.starts_with('K') {
+                assert_eq!(
+                    z.access_roles[ai].roles[li],
+                    vec![Descent::CoIterate],
+                    "access {ai} must co-iterate {}",
+                    l.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn loop_order_must_cover_derived_ranks() {
+    let bad = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    Z: [M]\n",
+        "  expressions:\n",
+        "    - Z[m] = A[k, m]\n",
+        "mapping:\n",
+        "  partitioning:\n",
+        "    Z:\n",
+        "      K: [uniform_shape(4)]\n",
+        "  loop-order:\n",
+        "    Z: [M, K]\n", // K was split into K1/K0: stale loop order
+    ))
+    .unwrap();
+    assert!(ir::lower(&bad).is_err());
+}
+
+#[test]
+fn default_loop_order_is_derived_leaf_order() {
+    let spec = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - Z[m, n] = A[k, m] * B[k, n]\n",
+    ))
+    .unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let names: Vec<&str> =
+        plans[0].loop_ranks.iter().map(|l| l.name.as_str()).collect();
+    assert_eq!(names, vec!["M", "N", "K"]);
+    // Everything defaults to temporal.
+    assert!(plans[0].space_ranks().is_empty());
+}

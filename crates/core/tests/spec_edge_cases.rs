@@ -1,0 +1,198 @@
+//! Edge-case coverage for the specification front end: malformed YAML,
+//! inconsistent specs, and unusual-but-legal constructions.
+
+use teaal_core::{ir, TeaalSpec};
+
+fn minimal(extra: &str) -> String {
+    format!(
+        concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K, M]\n",
+            "    B: [K, N]\n",
+            "    Z: [M, N]\n",
+            "  expressions:\n",
+            "    - Z[m, n] = A[k, m] * B[k, n]\n",
+            "{extra}",
+        ),
+        extra = extra
+    )
+}
+
+#[test]
+fn scalar_output_einsum_lowers() {
+    // Full reduction to a 0-tensor — no output ranks at all.
+    let spec = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K]\n",
+        "    B: [K]\n",
+        "    Z: []\n",
+        "  expressions:\n",
+        "    - Z = A[k] * B[k]\n",
+    ));
+    // A bare scalar output is parsed as a zero-index access.
+    let spec = spec.unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    assert_eq!(plans[0].loop_ranks.len(), 1);
+    assert!(plans[0].loop_ranks[0].reduction);
+}
+
+#[test]
+fn duplicate_rank_in_loop_order_is_rejected() {
+    let s = minimal("mapping:\n  loop-order:\n    Z: [M, M, K]\n");
+    let spec = TeaalSpec::parse(&s).unwrap();
+    assert!(ir::lower(&spec).is_err());
+}
+
+#[test]
+fn missing_rank_in_loop_order_is_rejected() {
+    let s = minimal("mapping:\n  loop-order:\n    Z: [M, N]\n");
+    let spec = TeaalSpec::parse(&s).unwrap();
+    assert!(ir::lower(&spec).is_err());
+}
+
+#[test]
+fn partitioning_unknown_tensor_rank_is_rejected() {
+    let s = minimal("mapping:\n  partitioning:\n    Z:\n      Q: [uniform_shape(4)]\n");
+    let spec = TeaalSpec::parse(&s).unwrap();
+    assert!(ir::lower(&spec).is_err());
+}
+
+#[test]
+fn flatten_of_three_ranks_is_rejected() {
+    let s = minimal(concat!(
+        "mapping:\n",
+        "  partitioning:\n",
+        "    Z:\n",
+        "      (K, M, N): [flatten()]\n",
+    ));
+    let spec = TeaalSpec::parse(&s).unwrap();
+    assert!(ir::lower(&spec).is_err());
+}
+
+#[test]
+fn flatten_on_single_rank_target_is_rejected() {
+    let s = minimal("mapping:\n  partitioning:\n    Z:\n      K: [flatten()]\n");
+    let spec = TeaalSpec::parse(&s).unwrap();
+    assert!(ir::lower(&spec).is_err());
+}
+
+#[test]
+fn yaml_tab_indentation_is_a_parse_error() {
+    let err = TeaalSpec::parse("einsum:\n\tdeclaration:\n").unwrap_err();
+    assert!(err.to_string().contains("tab"));
+}
+
+#[test]
+fn unknown_format_type_is_rejected() {
+    let s = minimal(concat!(
+        "format:\n",
+        "  A:\n",
+        "    X:\n",
+        "      K:\n",
+        "        format: Q\n",
+    ));
+    assert!(TeaalSpec::parse(&s).is_err());
+}
+
+#[test]
+fn spacetime_covering_disjoint_rank_sets() {
+    // Spacetime lists may reference only some loop ranks; the rest default
+    // to temporal.
+    let s = minimal(concat!(
+        "mapping:\n",
+        "  loop-order:\n",
+        "    Z: [M, N, K]\n",
+        "  spacetime:\n",
+        "    Z:\n",
+        "      space: [M]\n",
+        "      time: [N, K]\n",
+    ));
+    let spec = TeaalSpec::parse(&s).unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    assert!(plans[0].loop_ranks[0].is_space);
+    assert!(!plans[0].loop_ranks[1].is_space);
+}
+
+#[test]
+fn coord_stamped_time_rank_is_recorded() {
+    let s = minimal(concat!(
+        "mapping:\n",
+        "  loop-order:\n",
+        "    Z: [M, N, K]\n",
+        "  spacetime:\n",
+        "    Z:\n",
+        "      space: [M]\n",
+        "      time: [N.coord, K]\n",
+    ));
+    let spec = TeaalSpec::parse(&s).unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    let n = plans[0].loop_ranks.iter().find(|l| l.name == "N").unwrap();
+    assert!(n.coord_stamped);
+}
+
+#[test]
+fn intersect_binding_roundtrips() {
+    let s = minimal(concat!(
+        "architecture:\n",
+        "  configs:\n",
+        "    Default:\n",
+        "      name: Sys\n",
+        "      local:\n",
+        "        - name: IX\n",
+        "          class: intersect\n",
+        "          type: leader-follower\n",
+        "          leader: 1\n",
+        "binding:\n",
+        "  Z:\n",
+        "    config: Default\n",
+        "    intersect:\n",
+        "      - component: IX\n",
+    ));
+    let spec = TeaalSpec::parse(&s).unwrap();
+    let b = spec.binding.for_einsum("Z");
+    assert_eq!(b.intersects.len(), 1);
+    assert_eq!(b.intersects[0].component, "IX");
+}
+
+#[test]
+fn deeply_chained_partitioning_produces_many_ranks() {
+    let s = minimal(concat!(
+        "mapping:\n",
+        "  partitioning:\n",
+        "    Z:\n",
+        "      K: [uniform_shape(64), uniform_shape(16), uniform_shape(4)]\n",
+        "  loop-order:\n",
+        "    Z: [K3, K2, K1, M, N, K0]\n",
+    ));
+    let spec = TeaalSpec::parse(&s).unwrap();
+    let plans = ir::lower(&spec).unwrap();
+    assert_eq!(plans[0].loop_ranks.len(), 6);
+    let k0 = plans[0].loop_ranks.iter().find(|l| l.name == "K0").unwrap();
+    assert_eq!(k0.binds, vec![("K".to_string(), 0)]);
+    let k3 = plans[0].loop_ranks.iter().find(|l| l.name == "K3").unwrap();
+    assert!(k3.binds.is_empty());
+}
+
+#[test]
+fn self_multiplication_uses_one_tensor_twice() {
+    // Z[m, n] = A[k, m] * A[k, n]: the same tensor appears as two
+    // accesses with different index patterns (Aᵀ·A proper).
+    let spec = TeaalSpec::parse(concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - Z[m, n] = A[k, m] * A[k, n]\n",
+    ))
+    .unwrap();
+    // Note: both accesses share one tensor plan keyed by name, so the
+    // second access reuses the first's working order. Lowering must not
+    // crash; execution correctness for self-products with *different*
+    // orders per access is documented as unsupported.
+    let lowered = ir::lower(&spec);
+    // Either a clean plan or a clean error — never a panic.
+    let _ = lowered;
+}

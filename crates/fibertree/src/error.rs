@@ -1,0 +1,101 @@
+//! Error types for fibertree construction and transforms.
+
+use std::fmt;
+
+use crate::coord::{Coord, Shape};
+
+/// Errors produced by fibertree construction and transformation.
+#[derive(Clone, PartialEq, Debug)]
+pub enum FibertreeError {
+    /// Coordinates were not strictly increasing.
+    Unsorted {
+        /// The earlier coordinate.
+        prev: Coord,
+        /// The offending (non-increasing) coordinate.
+        next: Coord,
+    },
+    /// A coordinate fell outside the fiber's shape.
+    OutOfShape {
+        /// The offending coordinate.
+        coord: Coord,
+        /// The shape it violates.
+        shape: Shape,
+    },
+    /// An operation addressed a rank that the tensor does not have.
+    UnknownRank {
+        /// The requested rank id.
+        rank: String,
+        /// The tensor's actual rank ids.
+        have: Vec<String>,
+    },
+    /// A rank order given to swizzle was not a permutation of the tensor's
+    /// ranks.
+    BadPermutation {
+        /// The requested order.
+        requested: Vec<String>,
+        /// The tensor's actual rank ids.
+        have: Vec<String>,
+    },
+    /// A transform needed an interval-shaped rank but found a tuple shape
+    /// (e.g. uniform-shape partitioning of an already-flattened rank).
+    NotAnInterval {
+        /// The rank whose shape was not an interval.
+        rank: String,
+    },
+    /// The arity of an entry did not match the tensor's rank count.
+    ArityMismatch {
+        /// Expected number of coordinates.
+        expected: usize,
+        /// Number of coordinates provided.
+        got: usize,
+    },
+    /// A partition size of zero was requested.
+    ZeroPartition,
+}
+
+impl fmt::Display for FibertreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FibertreeError::Unsorted { prev, next } => {
+                write!(f, "coordinates not strictly increasing: {prev} then {next}")
+            }
+            FibertreeError::OutOfShape { coord, shape } => {
+                write!(f, "coordinate {coord} outside shape {shape}")
+            }
+            FibertreeError::UnknownRank { rank, have } => {
+                write!(f, "unknown rank {rank:?}; tensor has ranks {have:?}")
+            }
+            FibertreeError::BadPermutation { requested, have } => {
+                write!(f, "rank order {requested:?} is not a permutation of {have:?}")
+            }
+            FibertreeError::NotAnInterval { rank } => {
+                write!(f, "rank {rank:?} does not have an interval shape")
+            }
+            FibertreeError::ArityMismatch { expected, got } => {
+                write!(f, "expected {expected} coordinates per point, got {got}")
+            }
+            FibertreeError::ZeroPartition => write!(f, "partition size must be nonzero"),
+        }
+    }
+}
+
+impl std::error::Error for FibertreeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = FibertreeError::UnknownRank { rank: "Q".into(), have: vec!["M".into()] };
+        let msg = e.to_string();
+        assert!(msg.contains("unknown rank"));
+        assert!(msg.contains('Q'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Send + Sync + std::error::Error>() {}
+        assert_traits::<FibertreeError>();
+    }
+}

@@ -1,0 +1,388 @@
+//! Co-iteration over fibers: intersection, union, and projection lookup.
+//!
+//! Sparse accelerators "sparsify" the iteration space (paper §2.4) by
+//! co-iterating the operands of each loop rank. Multiplicative operands are
+//! *intersected* (a point contributes only when all operands are present);
+//! additive operands are *unioned*. The hardware that performs intersection
+//! varies across designs, so the [`IntersectPolicy`] models the three unit
+//! types of Table 3 — two-finger, leader-follower, and skip-ahead — and
+//! reports the number of coordinate comparisons ("work") each would spend.
+
+use serde::{Deserialize, Serialize};
+
+use crate::coord::Coord;
+use crate::fiber::{Fiber, Payload};
+
+/// The intersection unit type (Table 3 of the paper).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum IntersectPolicy {
+    /// Classic merge: two pointers advance one coordinate at a time.
+    #[default]
+    TwoFinger,
+    /// The leader's coordinates are looked up in the followers; work is
+    /// proportional to the leader's occupancy. `leader` is the operand
+    /// index.
+    LeaderFollower {
+        /// Index of the leading operand.
+        leader: usize,
+    },
+    /// Galloping/skip-ahead: pointers advance by exponentially probing,
+    /// modelling ExTensor-style skip-ahead intersection.
+    SkipAhead,
+}
+
+
+/// Result of co-iterating fibers: the matching coordinates plus the work
+/// metric charged to the intersection unit.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct CoIterStats {
+    /// Number of coordinate comparisons performed by the modelled unit.
+    pub comparisons: u64,
+    /// Number of coordinates emitted (i.e. matches for intersection).
+    pub matches: u64,
+}
+
+/// Intersects two fibers, returning the positions of each match.
+///
+/// Each output tuple is `(coord, position in a, position in b)`. The
+/// returned [`CoIterStats`] charges comparisons per `policy`:
+///
+/// - two-finger: one comparison per pointer advance (≈ `|a| + |b|` worst
+///   case, less when one side exhausts early),
+/// - leader-follower: one probe per leader element,
+/// - skip-ahead: galloping probes, `O(matches · log(skip))`.
+pub fn intersect2(
+    a: &Fiber,
+    b: &Fiber,
+    policy: IntersectPolicy,
+) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
+    match policy {
+        IntersectPolicy::TwoFinger => intersect_two_finger(a, b),
+        IntersectPolicy::LeaderFollower { leader } => {
+            let swap = leader == 1;
+            let (lead, follow) = if swap { (b, a) } else { (a, b) };
+            let (matches, stats) = intersect_leader(lead, follow);
+            let matches = matches
+                .into_iter()
+                .map(|(c, pl, pf)| if swap { (c, pf, pl) } else { (c, pl, pf) })
+                .collect();
+            (matches, stats)
+        }
+        IntersectPolicy::SkipAhead => intersect_skip_ahead(a, b),
+    }
+}
+
+fn intersect_two_finger(a: &Fiber, b: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
+    let (ae, be) = (a.elements(), b.elements());
+    let mut out = Vec::new();
+    let mut stats = CoIterStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ae.len() && j < be.len() {
+        stats.comparisons += 1;
+        match ae[i].coord.cmp(&be[j].coord) {
+            std::cmp::Ordering::Equal => {
+                out.push((ae[i].coord.clone(), i, j));
+                stats.matches += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+        }
+    }
+    (out, stats)
+}
+
+fn intersect_leader(lead: &Fiber, follow: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
+    let mut out = Vec::new();
+    let mut stats = CoIterStats::default();
+    for (pl, e) in lead.iter().enumerate() {
+        stats.comparisons += 1; // one probe per leader element
+        if let Some(pf) = follow.position(&e.coord) {
+            out.push((e.coord.clone(), pl, pf));
+            stats.matches += 1;
+        }
+    }
+    (out, stats)
+}
+
+fn intersect_skip_ahead(a: &Fiber, b: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
+    let (ae, be) = (a.elements(), b.elements());
+    let mut out = Vec::new();
+    let mut stats = CoIterStats::default();
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < ae.len() && j < be.len() {
+        stats.comparisons += 1;
+        match ae[i].coord.cmp(&be[j].coord) {
+            std::cmp::Ordering::Equal => {
+                out.push((ae[i].coord.clone(), i, j));
+                stats.matches += 1;
+                i += 1;
+                j += 1;
+            }
+            std::cmp::Ordering::Less => {
+                let (ni, probes) = gallop(ae, i, &be[j].coord);
+                stats.comparisons += probes;
+                i = ni;
+            }
+            std::cmp::Ordering::Greater => {
+                let (nj, probes) = gallop(be, j, &ae[i].coord);
+                stats.comparisons += probes;
+                j = nj;
+            }
+        }
+    }
+    (out, stats)
+}
+
+/// Gallops forward from `start` to the first position whose coordinate is
+/// `>= target`, returning `(position, probes spent)`.
+fn gallop(
+    elems: &[crate::fiber::Element],
+    start: usize,
+    target: &Coord,
+) -> (usize, u64) {
+    let mut probes = 0u64;
+    let mut step = 1usize;
+    let mut lo = start;
+    let mut hi = start;
+    // Exponential probe.
+    while hi < elems.len() && elems[hi].coord < *target {
+        probes += 1;
+        lo = hi;
+        hi = (hi + step).min(elems.len());
+        step *= 2;
+    }
+    // Binary search within (lo, hi].
+    let mut left = lo;
+    let mut right = hi;
+    while left < right {
+        probes += 1;
+        let mid = (left + right) / 2;
+        if elems[mid].coord < *target {
+            left = mid + 1;
+        } else {
+            right = mid;
+        }
+    }
+    (left, probes)
+}
+
+/// Intersects any number of fibers with a two-finger cascade, returning for
+/// each matching coordinate the per-fiber positions.
+///
+/// Comparisons are accumulated as if the fibers were intersected pairwise
+/// left to right, which is how multi-way intersections are built from
+/// two-input units in hardware.
+pub fn intersect_many(
+    fibers: &[&Fiber],
+    policy: IntersectPolicy,
+) -> (Vec<(Coord, Vec<usize>)>, CoIterStats) {
+    assert!(!fibers.is_empty(), "intersect_many needs at least one fiber");
+    let mut stats = CoIterStats::default();
+    let mut acc: Vec<(Coord, Vec<usize>)> = fibers[0]
+        .iter()
+        .enumerate()
+        .map(|(i, e)| (e.coord.clone(), vec![i]))
+        .collect();
+    for f in &fibers[1..] {
+        let (matched, s) = intersect_positions(&acc, f, policy);
+        stats.comparisons += s.comparisons;
+        acc = matched;
+    }
+    stats.matches = acc.len() as u64;
+    (acc, stats)
+}
+
+fn intersect_positions(
+    acc: &[(Coord, Vec<usize>)],
+    f: &Fiber,
+    policy: IntersectPolicy,
+) -> (Vec<(Coord, Vec<usize>)>, CoIterStats) {
+    let mut out = Vec::new();
+    let mut stats = CoIterStats::default();
+    match policy {
+        IntersectPolicy::LeaderFollower { .. } => {
+            for (c, ps) in acc {
+                stats.comparisons += 1;
+                if let Some(pf) = f.position(c) {
+                    let mut ps = ps.clone();
+                    ps.push(pf);
+                    out.push((c.clone(), ps));
+                }
+            }
+        }
+        _ => {
+            let fe = f.elements();
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < acc.len() && j < fe.len() {
+                stats.comparisons += 1;
+                match acc[i].0.cmp(&fe[j].coord) {
+                    std::cmp::Ordering::Equal => {
+                        let mut ps = acc[i].1.clone();
+                        ps.push(j);
+                        out.push((acc[i].0.clone(), ps));
+                        i += 1;
+                        j += 1;
+                    }
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                }
+            }
+        }
+    }
+    stats.matches = out.len() as u64;
+    (out, stats)
+}
+
+/// Unions any number of fibers: yields every coordinate present in at least
+/// one fiber, with the per-fiber position when present.
+pub fn union_many(fibers: &[&Fiber]) -> (Vec<(Coord, Vec<Option<usize>>)>, CoIterStats) {
+    let n = fibers.len();
+    let mut cursors = vec![0usize; n];
+    let mut out: Vec<(Coord, Vec<Option<usize>>)> = Vec::new();
+    let mut stats = CoIterStats::default();
+    loop {
+        // Find the minimum current coordinate across all fibers.
+        let mut min: Option<Coord> = None;
+        for (f, &cur) in fibers.iter().zip(&cursors) {
+            if let Some(e) = f.elements().get(cur) {
+                stats.comparisons += 1;
+                match &min {
+                    None => min = Some(e.coord.clone()),
+                    Some(m) if e.coord < *m => min = Some(e.coord.clone()),
+                    _ => {}
+                }
+            }
+        }
+        let Some(m) = min else { break };
+        let mut row: Vec<Option<usize>> = Vec::with_capacity(n);
+        for (idx, f) in fibers.iter().enumerate() {
+            let cur = cursors[idx];
+            match f.elements().get(cur) {
+                Some(e) if e.coord == m => {
+                    row.push(Some(cur));
+                    cursors[idx] += 1;
+                }
+                _ => row.push(None),
+            }
+        }
+        out.push((m, row));
+        stats.matches += 1;
+    }
+    (out, stats)
+}
+
+/// Looks up a coordinate in a fiber by *projection*: used when a loop rank
+/// covers several root ranks (after flattening) but a tensor only carries a
+/// subset of them, so the relevant tuple component is extracted and probed.
+pub fn project_lookup<'f>(fiber: &'f Fiber, coord: &Coord, component: usize) -> Option<&'f Payload> {
+    let c = match coord {
+        Coord::Point(_) => {
+            debug_assert_eq!(component, 0, "points have a single component");
+            coord.clone()
+        }
+        Coord::Tuple(cs) => cs.get(component)?.clone(),
+    };
+    fiber.get(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coord::Shape;
+
+    fn fib(coords: &[u64]) -> Fiber {
+        Fiber::from_pairs(Shape::Interval(1000), coords.iter().map(|&c| (c, c as f64 + 1.0)))
+            .expect("test fiber is valid")
+    }
+
+    #[test]
+    fn two_finger_finds_all_matches() {
+        let a = fib(&[1, 3, 5, 7]);
+        let b = fib(&[2, 3, 7, 9]);
+        let (m, s) = intersect2(&a, &b, IntersectPolicy::TwoFinger);
+        let coords: Vec<u64> = m.iter().map(|(c, _, _)| c.as_point().unwrap()).collect();
+        assert_eq!(coords, vec![3, 7]);
+        assert_eq!(s.matches, 2);
+        assert!(s.comparisons >= 2 && s.comparisons <= 8);
+    }
+
+    #[test]
+    fn all_policies_agree_on_matches() {
+        let a = fib(&[0, 2, 4, 6, 8, 10, 50, 51, 52]);
+        let b = fib(&[4, 5, 6, 52, 99]);
+        let (m0, _) = intersect2(&a, &b, IntersectPolicy::TwoFinger);
+        let (m1, _) = intersect2(&a, &b, IntersectPolicy::LeaderFollower { leader: 0 });
+        let (m2, _) = intersect2(&a, &b, IntersectPolicy::LeaderFollower { leader: 1 });
+        let (m3, _) = intersect2(&a, &b, IntersectPolicy::SkipAhead);
+        assert_eq!(m0, m1);
+        assert_eq!(m0, m2);
+        assert_eq!(m0, m3);
+    }
+
+    #[test]
+    fn leader_follower_work_tracks_leader_occupancy() {
+        let small = fib(&[100, 200]);
+        let big = fib(&(0..500).collect::<Vec<u64>>());
+        let (_, s) = intersect2(&small, &big, IntersectPolicy::LeaderFollower { leader: 0 });
+        assert_eq!(s.comparisons, 2);
+        let (_, s) = intersect2(&small, &big, IntersectPolicy::LeaderFollower { leader: 1 });
+        assert_eq!(s.comparisons, 500);
+    }
+
+    #[test]
+    fn skip_ahead_beats_two_finger_on_skewed_inputs() {
+        let sparse = fib(&[999]);
+        let dense = fib(&(0..1000).collect::<Vec<u64>>());
+        let (_, tf) = intersect2(&sparse, &dense, IntersectPolicy::TwoFinger);
+        let (_, sa) = intersect2(&sparse, &dense, IntersectPolicy::SkipAhead);
+        assert!(
+            sa.comparisons < tf.comparisons / 10,
+            "skip-ahead {} should be far below two-finger {}",
+            sa.comparisons,
+            tf.comparisons
+        );
+    }
+
+    #[test]
+    fn intersect_many_matches_pairwise_composition() {
+        let a = fib(&[1, 2, 3, 4, 5]);
+        let b = fib(&[2, 4, 6]);
+        let c = fib(&[4, 5, 6]);
+        let (m, _) = intersect_many(&[&a, &b, &c], IntersectPolicy::TwoFinger);
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].0, Coord::Point(4));
+        assert_eq!(m[0].1, vec![3, 1, 0]);
+    }
+
+    #[test]
+    fn union_yields_every_coordinate_once() {
+        let a = fib(&[1, 3]);
+        let b = fib(&[2, 3, 5]);
+        let (u, s) = union_many(&[&a, &b]);
+        let coords: Vec<u64> = u.iter().map(|(c, _)| c.as_point().unwrap()).collect();
+        assert_eq!(coords, vec![1, 2, 3, 5]);
+        assert_eq!(u[2].1, vec![Some(1), Some(1)]);
+        assert_eq!(u[0].1, vec![Some(0), None]);
+        assert_eq!(s.matches, 4);
+    }
+
+    #[test]
+    fn union_of_empty_fibers_is_empty() {
+        let a = Fiber::new(Shape::Interval(5));
+        let b = Fiber::new(Shape::Interval(5));
+        let (u, _) = union_many(&[&a, &b]);
+        assert!(u.is_empty());
+    }
+
+    #[test]
+    fn project_lookup_extracts_tuple_components() {
+        let f = fib(&[7]);
+        let tuple = Coord::pair(7, 3);
+        assert!(project_lookup(&f, &tuple, 0).is_some());
+        assert!(project_lookup(&f, &tuple, 1).is_none());
+        assert!(project_lookup(&f, &Coord::Point(7), 0).is_some());
+    }
+}

@@ -1,0 +1,58 @@
+//! # teaal-fibertree
+//!
+//! The *fibertree* tensor abstraction (Sze et al.; TeAAL §2.1): tensors as
+//! trees of coordinate/payload fibers, uniformly covering dense and sparse
+//! data, plus the content-preserving transforms — partitioning, flattening,
+//! and swizzling — that the TeAAL paper shows capture sparse accelerator
+//! data-orchestration idioms (§3.2).
+//!
+//! This crate is the substrate of the `teaal-rs` workspace: the language
+//! and IR (`teaal-core`) lower mapped Einsums onto these structures, and
+//! the simulator (`teaal-sim`) executes them on real tensors.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use teaal_fibertree::{Tensor, partition::SplitKind, IntersectPolicy, iterate};
+//!
+//! // Build the sparse matrix from Fig. 1 of the paper.
+//! let a = teaal_fibertree::tensor::fig1_matrix_a();
+//!
+//! // Content-preserving transforms compose:
+//! let flat = a.flatten_rank("M", "MK")?;                       // Fig. 2, step 1
+//! let parts = flat.partition_rank(
+//!     "MK", partition::SplitKind::UniformOccupancy(2), "MK1", "MK0")?; // Fig. 2, step 2
+//! assert_eq!(parts.nnz(), a.nnz());
+//!
+//! // Co-iteration with an explicit intersection-unit policy:
+//! let at = a.swizzle(&["K", "M"])?;
+//! let b = teaal_fibertree::tensor::fig1_vector_b();
+//! let (matches, stats) = iterate::intersect2(
+//!     at.root_fiber().unwrap(),
+//!     b.root_fiber().unwrap(),
+//!     IntersectPolicy::TwoFinger,
+//! );
+//! assert_eq!(matches.len(), 2); // k = 1, 2 present in both
+//! assert!(stats.comparisons >= 2);
+//! # use teaal_fibertree::partition;
+//! # Ok::<(), teaal_fibertree::FibertreeError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod coord;
+pub mod error;
+pub mod fiber;
+pub mod flatten;
+pub mod iterate;
+pub mod partition;
+pub mod semiring;
+pub mod swizzle;
+pub mod tensor;
+
+pub use coord::{Coord, Shape};
+pub use error::FibertreeError;
+pub use fiber::{Element, Fiber, Payload};
+pub use iterate::{CoIterStats, IntersectPolicy};
+pub use semiring::Semiring;
+pub use tensor::{Tensor, TensorBuilder};

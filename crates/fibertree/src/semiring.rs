@@ -1,0 +1,188 @@
+//! Semirings: the redefinable `×`/`+` operator pairs of extended Einsums.
+//!
+//! The paper (§8, Fig. 12) models graph algorithms by "redefining the × and
+//! + operators (e.g., for SSSP, to addition and minimum, respectively)".
+//! A [`Semiring`] carries those two operators together with their
+//! identities; the additive identity doubles as the *implicit value of
+//! missing points* in a sparse fibertree.
+
+use std::fmt;
+
+/// A semiring `(⊕, ⊗, 0, 1)` over `f64`.
+///
+/// `zero` is the additive identity and the implicit value of absent
+/// fibertree points; `one` is the multiplicative identity.
+///
+/// # Examples
+///
+/// ```
+/// use teaal_fibertree::Semiring;
+/// let s = Semiring::arithmetic();
+/// assert_eq!(s.mul(2.0, 3.0), 6.0);
+/// let t = Semiring::min_plus();
+/// assert_eq!(t.mul(2.0, 3.0), 5.0); // path extension
+/// assert_eq!(t.add(2.0, 3.0), 2.0); // best path
+/// ```
+#[derive(Clone, Copy)]
+pub struct Semiring {
+    name: &'static str,
+    mul: fn(f64, f64) -> f64,
+    add: fn(f64, f64) -> f64,
+    zero: f64,
+    one: f64,
+}
+
+impl Semiring {
+    /// Standard arithmetic `(+, ×, 0, 1)` — tensor algebra proper.
+    pub fn arithmetic() -> Self {
+        Semiring {
+            name: "arithmetic",
+            mul: |a, b| a * b,
+            add: |a, b| a + b,
+            zero: 0.0,
+            one: 1.0,
+        }
+    }
+
+    /// Tropical min-plus `(min, +, +∞, 0)` — SSSP path relaxation.
+    pub fn min_plus() -> Self {
+        Semiring {
+            name: "min-plus",
+            mul: |a, b| a + b,
+            add: f64::min,
+            zero: f64::INFINITY,
+            one: 0.0,
+        }
+    }
+
+    /// Boolean or-and `(∨, ∧, 0, 1)` — reachability / structural kernels.
+    pub fn or_and() -> Self {
+        Semiring {
+            name: "or-and",
+            mul: |a, b| f64::from(a != 0.0 && b != 0.0),
+            add: |a, b| f64::from(a != 0.0 || b != 0.0),
+            zero: 0.0,
+            one: 1.0,
+        }
+    }
+
+    /// Max-plus `(max, +, −∞, 0)` — longest/critical path kernels.
+    pub fn max_plus() -> Self {
+        Semiring {
+            name: "max-plus",
+            mul: |a, b| a + b,
+            add: f64::max,
+            zero: f64::NEG_INFINITY,
+            one: 0.0,
+        }
+    }
+
+    /// A custom semiring from raw parts.
+    pub fn custom(
+        name: &'static str,
+        mul: fn(f64, f64) -> f64,
+        add: fn(f64, f64) -> f64,
+        zero: f64,
+        one: f64,
+    ) -> Self {
+        Semiring { name, mul, add, zero, one }
+    }
+
+    /// The semiring's name (for reports).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Applies the multiplicative operator.
+    pub fn mul(&self, a: f64, b: f64) -> f64 {
+        (self.mul)(a, b)
+    }
+
+    /// Applies the additive (reduction) operator.
+    pub fn add(&self, a: f64, b: f64) -> f64 {
+        (self.add)(a, b)
+    }
+
+    /// The additive identity — also the implicit value of missing points.
+    pub fn zero(&self) -> f64 {
+        self.zero
+    }
+
+    /// The multiplicative identity.
+    pub fn one(&self) -> f64 {
+        self.one
+    }
+
+    /// Whether `v` equals the additive identity (treating NaN as nonzero).
+    pub fn is_zero(&self, v: f64) -> bool {
+        v == self.zero
+    }
+}
+
+impl Default for Semiring {
+    fn default() -> Self {
+        Semiring::arithmetic()
+    }
+}
+
+impl fmt::Debug for Semiring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Semiring")
+            .field("name", &self.name)
+            .field("zero", &self.zero)
+            .field("one", &self.one)
+            .finish()
+    }
+}
+
+impl PartialEq for Semiring {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_identities_hold() {
+        let s = Semiring::arithmetic();
+        assert_eq!(s.add(5.0, s.zero()), 5.0);
+        assert_eq!(s.mul(5.0, s.one()), 5.0);
+        assert!(s.is_zero(0.0));
+    }
+
+    #[test]
+    fn min_plus_models_relaxation() {
+        let s = Semiring::min_plus();
+        // dist 4 via edge of weight 2 = 6; min with current 5 keeps 5.
+        let candidate = s.mul(4.0, 2.0);
+        assert_eq!(s.add(candidate, 5.0), 5.0);
+        assert_eq!(s.add(candidate, 7.0), 6.0);
+        assert!(s.is_zero(f64::INFINITY));
+        assert_eq!(s.mul(3.0, s.one()), 3.0);
+    }
+
+    #[test]
+    fn or_and_is_boolean() {
+        let s = Semiring::or_and();
+        assert_eq!(s.mul(2.0, 3.0), 1.0);
+        assert_eq!(s.mul(2.0, 0.0), 0.0);
+        assert_eq!(s.add(0.0, 0.0), 0.0);
+        assert_eq!(s.add(1.0, 0.0), 1.0);
+    }
+
+    #[test]
+    fn max_plus_identities_hold() {
+        let s = Semiring::max_plus();
+        assert_eq!(s.add(3.0, s.zero()), 3.0);
+        assert_eq!(s.mul(3.0, s.one()), 3.0);
+    }
+
+    #[test]
+    fn default_is_arithmetic() {
+        assert_eq!(Semiring::default(), Semiring::arithmetic());
+        assert_eq!(Semiring::default().name(), "arithmetic");
+    }
+}

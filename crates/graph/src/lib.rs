@@ -1,0 +1,346 @@
+//! # teaal-graph
+//!
+//! Vertex-centric programming on TeAAL (paper §8): an iterative driver
+//! that executes the Graphicionado / GraphDynS / proposal Einsum cascades
+//! (Fig. 12) once per superstep, carrying the property vector and active
+//! set between iterations, and aggregating the per-iteration model
+//! statistics the paper reports (apply operations, memory traffic,
+//! execution time — Fig. 13).
+//!
+//! A specific algorithm manifests by redefining the `×` and `+` operators:
+//! BFS and SSSP both run over the min-plus semiring
+//! ([`teaal_sim::OpTable::sssp`]); BFS simply uses unit edge weights.
+
+#![warn(missing_docs)]
+
+use teaal_accel::vertex_centric::{self, GraphDesign, GRAPHDYNS_CHUNKS};
+use teaal_fibertree::Tensor;
+use teaal_sim::{OpTable, SimError, Simulator};
+use teaal_workloads::Graph;
+
+/// Which vertex-centric algorithm to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Algorithm {
+    /// Breadth-first search (hop counts; unit weights).
+    Bfs,
+    /// Single-source shortest paths (weighted relaxation).
+    Sssp,
+}
+
+impl Algorithm {
+    /// Whether edge weights are loaded (affects the CSR format, §8).
+    pub fn weighted(&self) -> bool {
+        matches!(self, Algorithm::Sssp)
+    }
+
+    /// Display name.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Algorithm::Bfs => "BFS",
+            Algorithm::Sssp => "SSSP",
+        }
+    }
+}
+
+/// Finite stand-in for "undiscovered": keeps the dense property vector
+/// explicitly materialized (the min-plus empty value `+∞` would be pruned
+/// as an implicit zero).
+pub const UNDISCOVERED: f64 = 1e30;
+
+/// Model statistics for one superstep.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct IterationStats {
+    /// Active vertices entering the iteration.
+    pub active: usize,
+    /// Vertices receiving messages (`nnz(R)`).
+    pub touched: usize,
+    /// Vertices actually modified (`nnz(M)`).
+    pub modified: usize,
+    /// Apply operations the design performs this iteration.
+    pub apply_ops: u64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// Modelled execution time in seconds.
+    pub seconds: f64,
+    /// Modelled energy in joules.
+    pub energy_joules: f64,
+}
+
+/// Aggregated run metrics.
+#[derive(Clone, Debug, Default)]
+pub struct RunMetrics {
+    /// Per-iteration statistics.
+    pub iterations: Vec<IterationStats>,
+}
+
+impl RunMetrics {
+    /// Total modelled time.
+    pub fn total_seconds(&self) -> f64 {
+        self.iterations.iter().map(|i| i.seconds).sum()
+    }
+
+    /// Total DRAM traffic.
+    pub fn total_dram_bytes(&self) -> u64 {
+        self.iterations.iter().map(|i| i.dram_bytes).sum()
+    }
+
+    /// Total apply operations.
+    pub fn total_apply_ops(&self) -> u64 {
+        self.iterations.iter().map(|i| i.apply_ops).sum()
+    }
+
+    /// Total energy.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.iterations.iter().map(|i| i.energy_joules).sum()
+    }
+}
+
+/// The result of a vertex-centric run.
+#[derive(Clone, Debug)]
+pub struct VertexRun {
+    /// Final per-vertex property (distance), `f64::INFINITY` when
+    /// unreached.
+    pub distances: Vec<f64>,
+    /// Model statistics.
+    pub metrics: RunMetrics,
+}
+
+/// Runs `algorithm` from `root` on `graph` using `design`'s cascade, one
+/// simulated superstep per frontier expansion.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the generated specification fails to lower or
+/// execute (it cannot for the shipped designs; covered by tests).
+pub fn run(
+    design: GraphDesign,
+    algorithm: Algorithm,
+    graph: &Graph,
+    root: u64,
+) -> Result<VertexRun, SimError> {
+    let v = graph.vertices;
+    let weighted = algorithm.weighted();
+    let spec = vertex_centric::spec(design, v, weighted);
+    let sim = Simulator::new(spec)?.with_ops(OpTable::sssp());
+
+    let g = build_adjacency(graph, weighted);
+
+    let mut properties = vec![UNDISCOVERED; v as usize];
+    properties[root as usize] = 0.0;
+    let mut active: Vec<(u64, f64)> = vec![(root, 0.0)];
+    let mut metrics = RunMetrics::default();
+    let chunk = (v / GRAPHDYNS_CHUNKS).max(1);
+
+    let max_iterations = 10_000;
+    for _ in 0..max_iterations {
+        if active.is_empty() {
+            break;
+        }
+        let a0 = build_vector("A0", "S", v, active.iter().copied());
+        let p0 = build_vector(
+            "P0",
+            "V",
+            v,
+            properties.iter().enumerate().map(|(i, &p)| (i as u64, p)),
+        );
+        let report = sim.run(&[g.clone(), a0, p0])?;
+
+        let r = report.outputs.get("R").map_or(0, Tensor::nnz);
+        let modified = report.outputs.get("M").map_or(0, Tensor::nnz);
+        let updates: Vec<(u64, f64)> = match design {
+            GraphDesign::Graphicionado => {
+                let p1 = report.outputs.get("P1").expect("cascade produces P1");
+                p1.entries().into_iter().map(|(p, val)| (p[0], val)).collect()
+            }
+            _ => {
+                let pw = report.outputs.get("PW").expect("cascade produces PW");
+                pw.entries().into_iter().map(|(p, val)| (p[0], val)).collect()
+            }
+        };
+
+        let apply_ops = match design {
+            // Graphicionado applies to every vertex, every iteration.
+            GraphDesign::Graphicionado => v,
+            // GraphDynS applies at bitmap-chunk granularity: every vertex
+            // of every chunk that received a message.
+            GraphDesign::GraphDynS => {
+                let touched_chunks = report
+                    .outputs
+                    .get("R")
+                    .map(|r| {
+                        let mut chunks: Vec<u64> =
+                            r.entries().iter().map(|(p, _)| p[0] / chunk).collect();
+                        chunks.sort_unstable();
+                        chunks.dedup();
+                        chunks.len() as u64
+                    })
+                    .unwrap_or(0);
+                (touched_chunks * chunk).min(v)
+            }
+            // The proposal applies only to vertices actually modified.
+            GraphDesign::Proposal => modified as u64,
+        };
+
+        metrics.iterations.push(IterationStats {
+            active: active.len(),
+            touched: r,
+            modified,
+            apply_ops,
+            dram_bytes: report.dram_bytes(),
+            seconds: report.seconds,
+            energy_joules: report.energy_joules,
+        });
+
+        // Commit property updates and build the next frontier.
+        for &(vertex, value) in &updates {
+            properties[vertex as usize] = value;
+        }
+        let a1 = report.outputs.get("A1").expect("cascade produces A1");
+        active = a1.entries().into_iter().map(|(p, val)| (p[0], val)).collect();
+    }
+
+    let distances = properties
+        .into_iter()
+        .map(|p| if p >= UNDISCOVERED { f64::INFINITY } else { p })
+        .collect();
+    Ok(VertexRun { distances, metrics })
+}
+
+/// Builds the adjacency tensor with the rank names the cascades use,
+/// directly in the mapping's `[S, V]` storage order (source-major) so the
+/// engine's offline swizzle is the identity — rebuilding a multi-million
+/// edge tensor once per superstep would dominate the wall clock.
+fn build_adjacency(graph: &Graph, weighted: bool) -> Tensor {
+    let v = graph.vertices;
+    let mut entries = Vec::with_capacity(graph.edges);
+    for (p, w) in graph.adjacency.entries() {
+        let weight = if weighted { w } else { 1.0 };
+        entries.push((vec![p[1], p[0]], weight)); // (s, v)
+    }
+    Tensor::from_entries("G", &["S", "V"], &[v, v], entries)
+        .expect("adjacency entries are in range")
+}
+
+/// Builds a 1-tensor that may legitimately hold `0.0` payloads (the root's
+/// distance), bypassing the implicit-zero dropping of
+/// `Tensor::from_entries`.
+fn build_vector(
+    name: &str,
+    rank: &str,
+    extent: u64,
+    entries: impl Iterator<Item = (u64, f64)>,
+) -> Tensor {
+    let mut t = Tensor::empty(name, &[rank], &[extent]);
+    let mut sorted: Vec<(u64, f64)> = entries.collect();
+    sorted.sort_by_key(|(c, _)| *c);
+    for (c, val) in sorted {
+        t.set(&[c], val);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teaal_workloads::graphs::{reference_bfs, reference_sssp};
+
+    fn small_graph(weighted: bool) -> Graph {
+        Graph::power_law(200, 900, weighted, 17)
+    }
+
+    #[test]
+    fn bfs_matches_reference_on_all_designs() {
+        let g = small_graph(false);
+        let root = g.hub();
+        let want = reference_bfs(&g, root);
+        for design in
+            [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal]
+        {
+            let run = run(design, Algorithm::Bfs, &g, root).expect("runs");
+            assert_eq!(run.distances, want, "{design:?} BFS distances diverge");
+            assert!(!run.metrics.iterations.is_empty());
+        }
+    }
+
+    #[test]
+    fn sssp_matches_reference_on_all_designs() {
+        let g = small_graph(true);
+        let root = g.hub();
+        let want = reference_sssp(&g, root);
+        for design in
+            [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal]
+        {
+            let run = run(design, Algorithm::Sssp, &g, root).expect("runs");
+            for (vtx, (got, exp)) in run.distances.iter().zip(&want).enumerate() {
+                assert!(
+                    (got - exp).abs() < 1e-9 || (got.is_infinite() && exp.is_infinite()),
+                    "{design:?} SSSP vertex {vtx}: {got} vs {exp}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn apply_ops_order_matches_the_paper() {
+        // Graphicionado ≥ GraphDynS ≥ Proposal, with strict separation on
+        // a graph where the frontier stays well below |V|.
+        let g = small_graph(false);
+        let root = g.hub();
+        let gi = run(GraphDesign::Graphicionado, Algorithm::Bfs, &g, root).unwrap();
+        let gd = run(GraphDesign::GraphDynS, Algorithm::Bfs, &g, root).unwrap();
+        let pr = run(GraphDesign::Proposal, Algorithm::Bfs, &g, root).unwrap();
+        let (a, b, c) = (
+            gi.metrics.total_apply_ops(),
+            gd.metrics.total_apply_ops(),
+            pr.metrics.total_apply_ops(),
+        );
+        assert!(a >= b, "Graphicionado {a} vs GraphDynS {b}");
+        assert!(b >= c, "GraphDynS {b} vs Proposal {c}");
+        assert!(a > c, "the proposal must beat the baseline: {a} vs {c}");
+    }
+
+    #[test]
+    fn proposal_is_fastest_graphicionado_slowest() {
+        let g = small_graph(false);
+        let root = g.hub();
+        let gi = run(GraphDesign::Graphicionado, Algorithm::Bfs, &g, root).unwrap();
+        let pr = run(GraphDesign::Proposal, Algorithm::Bfs, &g, root).unwrap();
+        assert!(
+            pr.metrics.total_seconds() < gi.metrics.total_seconds(),
+            "proposal {} should beat graphicionado {}",
+            pr.metrics.total_seconds(),
+            gi.metrics.total_seconds()
+        );
+        assert!(pr.metrics.total_dram_bytes() < gi.metrics.total_dram_bytes());
+    }
+
+    #[test]
+    fn iteration_stats_are_populated() {
+        let g = small_graph(false);
+        let run = run(GraphDesign::Proposal, Algorithm::Bfs, &g, g.hub()).unwrap();
+        let first = &run.metrics.iterations[0];
+        assert_eq!(first.active, 1);
+        assert!(first.touched > 0);
+        assert!(first.dram_bytes > 0);
+        assert!(first.seconds > 0.0);
+        assert!(run.metrics.total_energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn unreachable_vertices_stay_infinite() {
+        // Vertex 3 has no incoming edges.
+        let adjacency = Tensor::from_entries(
+            "G",
+            &["D", "S"],
+            &[4, 4],
+            vec![(vec![1, 0], 1.0), (vec![2, 1], 1.0)],
+        )
+        .unwrap();
+        let g = Graph { adjacency, vertices: 4, edges: 2 };
+        let run = run(GraphDesign::Proposal, Algorithm::Bfs, &g, 0).unwrap();
+        assert_eq!(run.distances[0], 0.0);
+        assert_eq!(run.distances[1], 1.0);
+        assert_eq!(run.distances[2], 2.0);
+        assert!(run.distances[3].is_infinite());
+    }
+}

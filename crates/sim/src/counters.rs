@@ -1,0 +1,464 @@
+//! Instrumentation: the engine's trace consumers.
+//!
+//! Rather than materializing full access traces and replaying them (the
+//! Python TeAAL flow), the engine streams every access event into
+//! [`Instruments`] as it executes. Channels apply the binding semantics on
+//! line (buffet epoch dedup, cache replay, eager subtree fills) so that
+//! the per-component action counts of paper §4.3 fall out at the end.
+
+use std::collections::{BTreeMap, HashMap};
+
+use teaal_fibertree::{Fiber, Payload};
+
+/// LRU cache model with a fixed number of lines (fully associative; caches
+/// in the modelled accelerators are small scratchpad-like structures).
+#[derive(Clone, Debug, Default)]
+pub struct Lru {
+    capacity_lines: usize,
+    // line id -> last-use stamp
+    lines: HashMap<u64, u64>,
+    clock: u64,
+    /// Hits observed.
+    pub hits: u64,
+    /// Misses observed (each miss is a line fill).
+    pub misses: u64,
+}
+
+impl Lru {
+    /// Creates a cache with the given line capacity.
+    pub fn new(capacity_lines: usize) -> Self {
+        Lru { capacity_lines: capacity_lines.max(1), ..Lru::default() }
+    }
+
+    /// Accesses a line, recording a hit or a miss (with LRU eviction).
+    pub fn access(&mut self, line: u64) -> bool {
+        self.clock += 1;
+        if let Some(stamp) = self.lines.get_mut(&line) {
+            *stamp = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if self.lines.len() >= self.capacity_lines {
+            if let Some((&victim, _)) = self.lines.iter().min_by_key(|(_, &s)| s) {
+                self.lines.remove(&victim);
+            }
+        }
+        self.lines.insert(line, self.clock);
+        false
+    }
+}
+
+/// Static configuration of one tensor's traffic channel, resolved from the
+/// binding specification by the model layer.
+#[derive(Clone, Debug, Default)]
+pub struct ChannelCfg {
+    /// Bits moved per element touch, per working rank — ordered
+    /// top-to-bottom (the tensor's working rank order).
+    pub rank_bits: Vec<(String, u64)>,
+    /// Explicitly managed buffer: data re-fills when this loop rank's
+    /// iteration advances (buffet `evict-on`).
+    pub evict_on: Option<String>,
+    /// Eager binding: touching an element of this rank fills the entire
+    /// subtree below it.
+    pub eager_rank: Option<String>,
+    /// Whether misses/fills count as DRAM traffic.
+    pub dram_backed: bool,
+    /// Optional cache in front of DRAM: capacity in lines and line size.
+    pub cache_lines: Option<usize>,
+    /// Cache line size in bits.
+    pub line_bits: u64,
+}
+
+impl ChannelCfg {
+    /// A fully-buffered default: every element is fetched from DRAM once.
+    pub fn fully_buffered(rank_bits: Vec<(String, u64)>) -> Self {
+        ChannelCfg { rank_bits, dram_backed: true, line_bits: 512, ..ChannelCfg::default() }
+    }
+
+    fn bits_of(&self, rank: &str) -> u64 {
+        self.rank_bits
+            .iter()
+            .find(|(r, _)| r == rank)
+            .map(|(_, b)| *b)
+            .unwrap_or(96)
+    }
+
+    fn rank_pos(&self, rank: &str) -> Option<usize> {
+        self.rank_bits.iter().position(|(r, _)| r == rank)
+    }
+}
+
+/// Per-tensor traffic accounting.
+#[derive(Clone, Debug, Default)]
+pub struct TensorChannel {
+    cfg: ChannelCfg,
+    /// Element touches per working rank.
+    pub reads_by_rank: BTreeMap<String, u64>,
+    /// Bits filled from DRAM.
+    pub fill_bits: u64,
+    /// Bits read on-chip (buffer-side traffic).
+    pub buffer_read_bits: u64,
+    /// The cache model, when configured.
+    pub cache: Option<Lru>,
+    seen: HashMap<usize, u64>,
+    epoch: u64,
+    next_line: u64,
+    line_of: HashMap<usize, u64>,
+    line_fill: u64,
+}
+
+impl TensorChannel {
+    /// Creates a channel with the given configuration.
+    pub fn new(cfg: ChannelCfg) -> Self {
+        let cache = cfg.cache_lines.map(Lru::new);
+        TensorChannel { cfg, cache, ..TensorChannel::default() }
+    }
+
+    /// The channel's configuration.
+    pub fn cfg(&self) -> &ChannelCfg {
+        &self.cfg
+    }
+
+    /// Called by the engine when the loop advances on `rank`.
+    pub fn rank_advanced(&mut self, rank: &str) {
+        if self.cfg.evict_on.as_deref() == Some(rank) {
+            self.epoch += 1;
+        }
+    }
+
+    /// Records an element touch at `rank`. `key` identifies the element
+    /// stably (the engine passes the payload's address); `payload` lets
+    /// eager bindings size the subtree fill.
+    pub fn touch(&mut self, rank: &str, key: usize, payload: Option<&Payload>) {
+        *self.reads_by_rank.entry(rank.to_string()).or_insert(0) += 1;
+        let bits = self.cfg.bits_of(rank);
+        self.buffer_read_bits += bits;
+
+        let eager = self.cfg.eager_rank.as_deref();
+        // Under an eager binding, only the eager rank generates fills;
+        // deeper touches are on-chip.
+        if let Some(er) = eager {
+            if rank != er {
+                let deeper = self.deeper_than(er, rank);
+                if deeper {
+                    return;
+                }
+            }
+        }
+
+        if let Some(cache) = &mut self.cache {
+            let bits_per_line = self.cfg.line_bits.max(bits);
+            let per_line = (bits_per_line / bits.max(1)).max(1);
+            let id = match self.line_of.get(&key) {
+                Some(&id) => id,
+                None => {
+                    let id = self.next_line;
+                    self.next_line += 1;
+                    self.line_of.insert(key, id);
+                    id
+                }
+            };
+            let line = id / per_line;
+            if !cache.access(line) && self.cfg.dram_backed {
+                let fill = match (eager, payload) {
+                    (Some(er), Some(p)) if rank == er => self.subtree_bits(er, p),
+                    _ => bits_per_line,
+                };
+                self.fill_bits += fill;
+            }
+            return;
+        }
+
+        // Buffet / default path: first touch per epoch fills from DRAM.
+        if self.cfg.dram_backed
+            && self.seen.get(&key) != Some(&self.epoch) {
+                self.seen.insert(key, self.epoch);
+                let fill = match (eager, payload) {
+                    (Some(er), Some(p)) if rank == er => self.subtree_bits(er, p),
+                    _ => bits,
+                };
+                self.fill_bits += fill;
+                self.line_fill += 1;
+            }
+    }
+
+    /// Whether `rank` sits strictly below `eager_rank` in the working
+    /// order.
+    fn deeper_than(&self, eager_rank: &str, rank: &str) -> bool {
+        match (self.cfg.rank_pos(eager_rank), self.cfg.rank_pos(rank)) {
+            (Some(e), Some(r)) => r > e,
+            _ => false,
+        }
+    }
+
+    fn subtree_bits(&self, rank: &str, payload: &Payload) -> u64 {
+        // Sum element bits over the subtree, charging each deeper rank
+        // its configured element width (working-order depth).
+        fn walk(f: &Fiber, ranks: &[(String, u64)], depth: usize, acc: &mut u64) {
+            if depth >= ranks.len() {
+                return;
+            }
+            let bits = ranks[depth].1;
+            *acc += bits * f.occupancy() as u64;
+            for e in f.iter() {
+                if let Payload::Fiber(child) = &e.payload {
+                    walk(child, ranks, depth + 1, acc);
+                }
+            }
+        }
+        let start = self.cfg.rank_pos(rank).unwrap_or(0);
+        match payload {
+            Payload::Val(_) => self.cfg.bits_of(rank),
+            Payload::Fiber(f) => {
+                let mut acc = self.cfg.bits_of(rank);
+                walk(f, &self.cfg.rank_bits[start..], 1, &mut acc);
+                acc
+            }
+        }
+    }
+
+    /// DRAM fill events (element- or line-granular depending on config).
+    pub fn fills(&self) -> u64 {
+        match &self.cache {
+            Some(c) => c.misses,
+            None => self.line_fill,
+        }
+    }
+}
+
+/// Output-side accounting: first writes, reduction updates, and partial
+/// output drains across reduction epochs.
+#[derive(Clone, Debug, Default)]
+pub struct OutputChannel {
+    /// Bits per output element (leaf coordinate + payload).
+    pub elem_bits: u64,
+    /// Partial outputs drain when this loop rank advances.
+    pub evict_on: Option<String>,
+    /// First writes of each output point.
+    pub writes: u64,
+    /// Reduction updates of existing points.
+    pub updates: u64,
+    /// Bits drained to DRAM before the final write (partial outputs).
+    pub drain_bits: u64,
+    /// Bits re-filled from DRAM for revisited partial outputs.
+    pub refill_bits: u64,
+    epoch: u64,
+    last_epoch: HashMap<u64, u64>,
+}
+
+impl OutputChannel {
+    /// Creates an output channel.
+    pub fn new(elem_bits: u64, evict_on: Option<String>) -> Self {
+        OutputChannel { elem_bits, evict_on, ..OutputChannel::default() }
+    }
+
+    /// Called when the loop advances on `rank`.
+    pub fn rank_advanced(&mut self, rank: &str) {
+        if self.evict_on.as_deref() == Some(rank) {
+            self.epoch += 1;
+        }
+    }
+
+    /// Records a write/update of the output point identified by `key`
+    /// (a hash of the output coordinates). `first` marks a fresh point.
+    pub fn record(&mut self, key: u64, first: bool) {
+        if first {
+            self.writes += 1;
+        } else {
+            self.updates += 1;
+        }
+        if self.evict_on.is_some() {
+            match self.last_epoch.get(&key) {
+                Some(&e) if e == self.epoch => {}
+                Some(_) => {
+                    // Revisited in a later epoch: the partial value was
+                    // drained and must return.
+                    self.drain_bits += self.elem_bits;
+                    self.refill_bits += self.elem_bits;
+                }
+                None => {}
+            }
+            self.last_epoch.insert(key, self.epoch);
+        }
+    }
+}
+
+/// One online merge/sort job (a costed rank swizzle).
+#[derive(Clone, Debug, PartialEq)]
+pub struct MergeGroup {
+    /// Tensor being reordered.
+    pub tensor: String,
+    /// Elements flowing through the merger.
+    pub elems: u64,
+    /// Number of sorted lists merged together (fan-in).
+    pub ways: u64,
+}
+
+/// Per-space-id compute counting, for load-imbalance-aware timing.
+#[derive(Clone, Debug, Default)]
+pub struct ComputeCounter {
+    /// Multiplies per space id.
+    pub muls: BTreeMap<Vec<u64>, u64>,
+    /// Additions (reductions) per space id.
+    pub adds: BTreeMap<Vec<u64>, u64>,
+}
+
+impl ComputeCounter {
+    /// Total multiplies.
+    pub fn total_muls(&self) -> u64 {
+        self.muls.values().sum()
+    }
+
+    /// Total additions.
+    pub fn total_adds(&self) -> u64 {
+        self.adds.values().sum()
+    }
+
+    /// The busiest PE's operation count (mul + add per space id).
+    pub fn max_per_pe(&self) -> u64 {
+        let mut per: BTreeMap<&Vec<u64>, u64> = BTreeMap::new();
+        for (k, v) in &self.muls {
+            *per.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in &self.adds {
+            *per.entry(k).or_insert(0) += v;
+        }
+        per.values().copied().max().unwrap_or(0)
+    }
+
+    /// Number of distinct space ids observed.
+    pub fn spaces(&self) -> usize {
+        let mut keys: Vec<&Vec<u64>> = self.muls.keys().chain(self.adds.keys()).collect();
+        keys.sort();
+        keys.dedup();
+        keys.len()
+    }
+}
+
+/// All instrumentation for one Einsum execution.
+#[derive(Clone, Debug, Default)]
+pub struct Instruments {
+    /// Per-input-tensor channels.
+    pub tensors: BTreeMap<String, TensorChannel>,
+    /// Output accounting.
+    pub output: OutputChannel,
+    /// Intersection-unit comparisons per loop rank.
+    pub intersect_by_rank: BTreeMap<String, u64>,
+    /// Coordinate visits per loop rank (sequencer work).
+    pub loop_visits: BTreeMap<String, u64>,
+    /// Compute operations per space id.
+    pub compute: ComputeCounter,
+    /// Online merge jobs.
+    pub merges: Vec<MergeGroup>,
+}
+
+impl Instruments {
+    /// Registers a channel for a tensor.
+    pub fn add_tensor(&mut self, tensor: &str, cfg: ChannelCfg) {
+        self.tensors.insert(tensor.to_string(), TensorChannel::new(cfg));
+    }
+
+    /// Signals that the loop advanced on `rank` (epoch boundaries).
+    pub fn rank_advanced(&mut self, rank: &str) {
+        for ch in self.tensors.values_mut() {
+            ch.rank_advanced(rank);
+        }
+        self.output.rank_advanced(rank);
+    }
+
+    /// Total intersection comparisons.
+    pub fn total_intersections(&self) -> u64 {
+        self.intersect_by_rank.values().sum()
+    }
+
+    /// Total DRAM traffic in bytes (fills of all inputs plus output
+    /// partials; the final output write is added by the model from the
+    /// format footprint).
+    pub fn input_fill_bytes(&self) -> u64 {
+        let bits: u64 = self.tensors.values().map(|c| c.fill_bits).sum();
+        bits.div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_hits_and_misses() {
+        let mut c = Lru::new(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1));
+        assert!(!c.access(3)); // evicts 2 (LRU)
+        assert!(!c.access(2));
+        assert_eq!(c.hits, 1);
+        assert_eq!(c.misses, 4);
+    }
+
+    #[test]
+    fn buffet_epoch_dedup() {
+        let mut cfg = ChannelCfg::fully_buffered(vec![("K".to_string(), 64)]);
+        cfg.evict_on = Some("M".into());
+        let mut ch = TensorChannel::new(cfg);
+        ch.touch("K", 1, None);
+        ch.touch("K", 1, None); // same epoch: no refill
+        assert_eq!(ch.fill_bits, 64);
+        ch.rank_advanced("M");
+        ch.touch("K", 1, None); // new epoch: refill
+        assert_eq!(ch.fill_bits, 128);
+        assert_eq!(ch.reads_by_rank["K"], 3);
+        assert_eq!(ch.buffer_read_bits, 3 * 64);
+    }
+
+    #[test]
+    fn fully_buffered_fetches_once() {
+        let cfg = ChannelCfg::fully_buffered(vec![("K".to_string(), 32)]);
+        let mut ch = TensorChannel::new(cfg);
+        for _ in 0..10 {
+            ch.touch("K", 7, None);
+        }
+        ch.touch("K", 8, None);
+        assert_eq!(ch.fill_bits, 64); // two distinct elements
+    }
+
+    #[test]
+    fn cached_channel_counts_line_misses() {
+        let mut cfg = ChannelCfg::fully_buffered(vec![("K".to_string(), 64)]);
+        cfg.cache_lines = Some(1);
+        cfg.line_bits = 128; // two elements per line
+        let mut ch = TensorChannel::new(cfg);
+        ch.touch("K", 1, None); // line 0 miss
+        ch.touch("K", 2, None); // line 0 hit
+        ch.touch("K", 3, None); // line 1 miss (evicts line 0)
+        ch.touch("K", 1, None); // line 0 miss again
+        assert_eq!(ch.fills(), 3);
+        assert_eq!(ch.fill_bits, 3 * 128);
+    }
+
+    #[test]
+    fn output_partial_drains_across_epochs() {
+        let mut out = OutputChannel::new(96, Some("K2".into()));
+        out.record(42, true);
+        out.rank_advanced("K2");
+        out.record(42, false); // revisited → drain + refill
+        out.record(42, false); // same epoch → no extra traffic
+        assert_eq!(out.writes, 1);
+        assert_eq!(out.updates, 2);
+        assert_eq!(out.drain_bits, 96);
+        assert_eq!(out.refill_bits, 96);
+    }
+
+    #[test]
+    fn compute_counter_tracks_imbalance() {
+        let mut c = ComputeCounter::default();
+        *c.muls.entry(vec![0]).or_insert(0) += 10;
+        *c.muls.entry(vec![1]).or_insert(0) += 2;
+        *c.adds.entry(vec![1]).or_insert(0) += 3;
+        assert_eq!(c.total_muls(), 12);
+        assert_eq!(c.total_adds(), 3);
+        assert_eq!(c.max_per_pe(), 10);
+        assert_eq!(c.spaces(), 2);
+    }
+}

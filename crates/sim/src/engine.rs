@@ -1,0 +1,620 @@
+//! The instrumented execution engine.
+//!
+//! Interprets an [`EinsumPlan`] over real tensors: applies the per-tensor
+//! transform pipeline (publishing leader-follower partition boundaries),
+//! then walks the mapped loop nest co-iterating fibers exactly as the
+//! modelled hardware would — intersecting multiplicative operands,
+//! unioning additive ones, projecting flattened coordinates, resolving
+//! affine indices — while streaming every access into [`Instruments`].
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+
+use teaal_core::einsum::Rhs;
+use teaal_core::ir::{Descent, EinsumPlan, PlanStep};
+use teaal_fibertree::iterate::{intersect_many, union_many};
+use teaal_fibertree::partition::SplitKind;
+use teaal_fibertree::swizzle::from_coord_entries;
+use teaal_fibertree::{Coord, Fiber, IntersectPolicy, Payload, Shape, Tensor};
+
+use crate::counters::{Instruments, MergeGroup};
+use crate::error::SimError;
+use crate::ops::OpTable;
+
+/// Boundary lists published by occupancy-partition leaders, keyed by
+/// `(rank, leader tensor)`.
+pub type BoundaryCache = BTreeMap<(String, String), std::collections::BTreeMap<Vec<Coord>, Vec<Coord>>>;
+
+/// The engine executing one Einsum plan.
+pub struct Engine<'p> {
+    plan: &'p EinsumPlan,
+    ops: OpTable,
+    policy: IntersectPolicy,
+    rank_extents: BTreeMap<String, u64>,
+}
+
+struct Exec<'e, 'p> {
+    engine: &'e Engine<'p>,
+    union_mode: bool,
+    take_which: Option<usize>,
+    /// Maps access index → tensor index in `tensors`.
+    access_tensor: Vec<usize>,
+    /// Working rank consumed by each access at each descent (parallel to
+    /// roles): resolved lazily from tensor plans.
+    access_rank_names: Vec<Vec<String>>,
+}
+
+struct State<'t> {
+    nodes: Vec<Option<&'t Payload>>,
+    binds: Vec<(String, u64)>,
+    space: Vec<u64>,
+    out: BTreeMap<Vec<u64>, f64>,
+}
+
+impl<'p> Engine<'p> {
+    /// Creates an engine for one plan.
+    pub fn new(
+        plan: &'p EinsumPlan,
+        ops: OpTable,
+        policy: IntersectPolicy,
+        rank_extents: BTreeMap<String, u64>,
+    ) -> Self {
+        Engine { plan, ops, policy, rank_extents }
+    }
+
+    /// Executes the plan.
+    ///
+    /// `inputs` must contain every input tensor (cascade inputs and
+    /// already-produced intermediates); `instruments` receives the access
+    /// stream; `boundaries` carries leader partition boundaries across
+    /// tensors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when inputs are missing, a transform fails, or
+    /// a dense loop rank has no known extent.
+    pub fn execute(
+        &self,
+        inputs: &BTreeMap<String, Tensor>,
+        instruments: &mut Instruments,
+        boundaries: &mut BoundaryCache,
+    ) -> Result<Tensor, SimError> {
+        // 1. Transform inputs per plan (leaders first — plan order).
+        // Untransformed inputs are borrowed rather than cloned: the graph
+        // driver re-executes cascades every superstep against the same
+        // multi-million-entry adjacency tensor.
+        let mut tensors: Vec<std::borrow::Cow<'_, Tensor>> = Vec::new();
+        let mut tensor_names: Vec<String> = Vec::new();
+        for tp in &self.plan.tensor_plans {
+            let input = inputs
+                .get(&tp.tensor)
+                .ok_or_else(|| SimError::MissingTensor { tensor: tp.tensor.clone() })?;
+            let needs_swizzle = input.rank_ids() != tp.initial_order.as_slice();
+            let mut t = if needs_swizzle || !tp.steps.is_empty() {
+                let mut t = input.clone();
+                if needs_swizzle {
+                    let want: Vec<&str> =
+                        tp.initial_order.iter().map(String::as_str).collect();
+                    t = t.swizzle(&want)?;
+                }
+                std::borrow::Cow::Owned(t)
+            } else {
+                std::borrow::Cow::Borrowed(input)
+            };
+            for step in &tp.steps {
+                t = std::borrow::Cow::Owned(self.apply_step(
+                    t.into_owned(),
+                    tp.online_swizzle,
+                    step,
+                    instruments,
+                    boundaries,
+                )?);
+            }
+            tensor_names.push(tp.tensor.clone());
+            tensors.push(t);
+        }
+
+        // 2. Access → tensor resolution and per-descent rank names.
+        let accesses = self.plan.equation.rhs.accesses();
+        let mut access_tensor = Vec::with_capacity(accesses.len());
+        let mut access_rank_names = Vec::with_capacity(accesses.len());
+        for (ai, a) in accesses.iter().enumerate() {
+            let ti = tensor_names
+                .iter()
+                .position(|n| *n == a.tensor)
+                .ok_or_else(|| SimError::MissingTensor { tensor: a.tensor.clone() })?;
+            access_tensor.push(ti);
+            // The working rank consumed by the access's k-th descent is the
+            // k-th rank of the tensor's working order.
+            let wo = self.plan.tensor_plans[ti].working_order.clone();
+            let mut per_level = Vec::new();
+            let mut k = 0usize;
+            for level in &self.plan.access_roles[ai].roles {
+                let names: Vec<String> = level
+                    .iter()
+                    .map(|_| {
+                        let name =
+                            wo.get(k).cloned().unwrap_or_else(|| format!("leaf{k}"));
+                        k += 1;
+                        name
+                    })
+                    .collect();
+                per_level.push(names.join("/"));
+            }
+            access_rank_names.push(per_level);
+        }
+
+        let (union_mode, take_which) = match &self.plan.equation.rhs {
+            Rhs::SumOfProducts(terms) => (terms.len() > 1, None),
+            Rhs::Take { which, .. } => (false, Some(*which)),
+        };
+
+        let exec = Exec {
+            engine: self,
+            union_mode,
+            take_which,
+            access_tensor,
+            access_rank_names,
+        };
+
+        // 3. Walk the nest.
+        let mut state = State {
+            nodes: exec.access_tensor.iter().map(|&ti| Some(tensors[ti].root())).collect(),
+            binds: Vec::new(),
+            space: Vec::new(),
+            out: BTreeMap::new(),
+        };
+        exec.level(0, &mut state, instruments)?;
+
+        // 4. Assemble the output tensor.
+        self.build_output(state.out, instruments)
+    }
+
+    fn apply_step(
+        &self,
+        t: Tensor,
+        online: bool,
+        step: &PlanStep,
+        instruments: &mut Instruments,
+        boundaries: &mut BoundaryCache,
+    ) -> Result<Tensor, SimError> {
+        Ok(match step {
+            PlanStep::Swizzle(order) => {
+                if online {
+                    record_merge_groups(&t, order, instruments);
+                }
+                let o: Vec<&str> = order.iter().map(String::as_str).collect();
+                t.swizzle(&o)?
+            }
+            PlanStep::Flatten { upper, new_name } => t.flatten_rank(upper, new_name)?,
+            PlanStep::SplitShape { rank, size, upper, lower } => {
+                t.partition_rank(rank, SplitKind::UniformShape(*size), upper, lower)?
+            }
+            PlanStep::SplitOccLeader { rank, size, upper, lower } => {
+                let bounds = t.occupancy_boundaries_by_path(rank, *size)?;
+                boundaries.insert((rank.clone(), t.name().to_string()), bounds);
+                t.partition_rank(rank, SplitKind::UniformOccupancy(*size), upper, lower)?
+            }
+            PlanStep::SplitOccFollower { rank, leader, size: _, upper, lower } => {
+                let bounds = boundaries
+                    .get(&(rank.clone(), leader.clone()))
+                    .cloned()
+                    .ok_or_else(|| SimError::MissingBoundaries {
+                        rank: rank.clone(),
+                        leader: leader.clone(),
+                    })?;
+                t.partition_rank(rank, SplitKind::BoundariesByPath(bounds), upper, lower)?
+            }
+        })
+    }
+
+    fn build_output(
+        &self,
+        acc: BTreeMap<Vec<u64>, f64>,
+        instruments: &mut Instruments,
+    ) -> Result<Tensor, SimError> {
+        let out_plan = &self.plan.output;
+        let target: Vec<String> = out_plan.target_order.clone();
+        let shapes: Vec<Shape> = target
+            .iter()
+            .map(|r| Shape::Interval(self.rank_extents.get(r).copied().unwrap_or(u64::MAX / 2)))
+            .collect();
+        let zero = self.ops.semiring.zero();
+
+        let entries: Vec<(Vec<Coord>, f64)> = acc
+            .into_iter()
+            .filter(|(_, v)| *v != zero)
+            .map(|(k, v)| (k.into_iter().map(Coord::Point).collect(), v))
+            .collect();
+
+        if out_plan.online_swizzle {
+            // Build in production order first so the merge fan-in reflects
+            // how the hardware sees the data, then swizzle.
+            let produced = &out_plan.produced_order;
+            let perm: Vec<usize> = produced
+                .iter()
+                .map(|r| target.iter().position(|t| t == r).expect("produced ⊆ target"))
+                .collect();
+            let prod_entries: Vec<(Vec<Coord>, f64)> = entries
+                .iter()
+                .map(|(k, v)| (perm.iter().map(|&i| k[i].clone()).collect(), *v))
+                .collect();
+            let prod_shapes: Vec<Shape> =
+                perm.iter().map(|&i| shapes[i].clone()).collect();
+            let prod_tensor = from_coord_entries(
+                &out_plan.tensor,
+                produced.clone(),
+                prod_shapes,
+                prod_entries,
+            );
+            record_merge_groups(&prod_tensor, &target, instruments);
+            let o: Vec<&str> = target.iter().map(String::as_str).collect();
+            return Ok(prod_tensor.swizzle(&o)?);
+        }
+
+        Ok(from_coord_entries(&out_plan.tensor, target, shapes, entries))
+    }
+}
+
+/// Records the merge work of reordering `t` into `new_order`: one group
+/// per fiber at the common-prefix depth, with fan-in equal to that fiber's
+/// occupancy (the number of sorted runs the merger combines).
+fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instruments) {
+    let prefix = t
+        .rank_ids()
+        .iter()
+        .zip(new_order)
+        .take_while(|(a, b)| a == b)
+        .count();
+    if prefix >= t.order() {
+        return;
+    }
+    let Some(root) = t.root_fiber() else { return };
+    fn walk(f: &Fiber, depth: usize, target: usize, merges: &mut Vec<MergeGroup>, name: &str) {
+        if depth == target {
+            let elems = f.leaf_count() as u64;
+            let ways = f.occupancy() as u64;
+            if elems > 0 && ways > 1 {
+                merges.push(MergeGroup { tensor: name.to_string(), elems, ways });
+            }
+            return;
+        }
+        for e in f.iter() {
+            if let Payload::Fiber(child) = &e.payload {
+                walk(child, depth + 1, target, merges, name);
+            }
+        }
+    }
+    walk(root, 0, prefix, &mut instruments.merges, t.name());
+}
+
+impl<'e, 'p> Exec<'e, 'p> {
+    fn level(
+        &self,
+        li: usize,
+        state: &mut State<'_>,
+        inst: &mut Instruments,
+    ) -> Result<(), SimError> {
+        let plan = self.engine.plan;
+        if li == plan.loop_ranks.len() {
+            self.leaf(state, inst);
+            return Ok(());
+        }
+        let lr = &plan.loop_ranks[li];
+
+        // Identify drivers (accesses co-iterating here with live fibers).
+        let mut driver_idx: Vec<usize> = Vec::new();
+        for (ai, roles) in plan.access_roles.iter().enumerate() {
+            if roles.roles[li].contains(&Descent::CoIterate) {
+                driver_idx.push(ai);
+            }
+        }
+
+        // Build the iteration item list.
+        let mut items: Vec<(Coord, Vec<Option<usize>>)> = Vec::new();
+        let live: Vec<(usize, &Fiber)> = driver_idx
+            .iter()
+            .filter_map(|&ai| match state.nodes[ai] {
+                Some(Payload::Fiber(f)) => Some((ai, f)),
+                _ => None,
+            })
+            .collect();
+        if driver_idx.is_empty() {
+            // Dense iteration over the rank's extent (affine kernels).
+            let root = lr
+                .binds
+                .first()
+                .map(|(r, _)| r.clone())
+                .unwrap_or_else(|| lr.name.clone());
+            let extent = self
+                .engine
+                .rank_extents
+                .get(&root)
+                .copied()
+                .ok_or(SimError::MissingExtent { rank: root })?;
+            for c in 0..extent {
+                items.push((Coord::Point(c), Vec::new()));
+            }
+        } else if self.union_mode {
+            if !live.is_empty() {
+                let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
+                let (u, stats) = union_many(&fibers);
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) +=
+                    if fibers.len() > 1 { stats.comparisons } else { 0 };
+                for (c, pos) in u {
+                    // Re-expand to all drivers (dead drivers stay None).
+                    let mut full = Vec::with_capacity(driver_idx.len());
+                    let mut pi = 0usize;
+                    for &ai in &driver_idx {
+                        if live.iter().any(|(lai, _)| *lai == ai) {
+                            full.push(pos[pi]);
+                            pi += 1;
+                        } else {
+                            full.push(None);
+                        }
+                    }
+                    items.push((c, full));
+                }
+            }
+        } else {
+            // Intersection mode: a dead driver kills the whole subtree.
+            if live.len() != driver_idx.len() {
+                return Ok(());
+            }
+            let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
+            let (m, stats) = intersect_many(&fibers, self.engine.policy);
+            if fibers.len() > 1 {
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) +=
+                    stats.comparisons;
+            }
+            for (c, pos) in m {
+                items.push((c, pos.into_iter().map(Some).collect()));
+            }
+        }
+
+        *inst.loop_visits.entry(lr.name.clone()).or_insert(0) += items.len() as u64;
+
+        let binds_depth = state.binds.len();
+        for (pi, (coord, positions)) in items.iter().enumerate() {
+            inst.rank_advanced(&lr.name);
+
+            // Bind loop variables (needed by affine descents below).
+            for (root, comp) in &lr.binds {
+                let comps = coord.components();
+                let Some(v) = comps.get(*comp).and_then(Coord::as_point) else {
+                    continue;
+                };
+                state.binds.push((root.clone(), v));
+            }
+
+            let saved_nodes = state.nodes.clone();
+            let mut dead_product = false;
+
+            // Drivers descend.
+            for (di, &ai) in driver_idx.iter().enumerate() {
+                match positions.get(di).copied().flatten() {
+                    Some(p) => {
+                        let (_, fiber) = live
+                            .iter()
+                            .find(|(lai, _)| *lai == ai)
+                            .expect("driver with a position is live");
+                        let e = &fiber.elements()[p];
+                        self.touch(ai, li, e, inst);
+                        state.nodes[ai] = Some(&e.payload);
+                    }
+                    None => {
+                        state.nodes[ai] = None;
+                        if !self.union_mode {
+                            dead_product = true;
+                        }
+                    }
+                }
+            }
+
+            // Non-driver descents: projections and affine lookups.
+            if !dead_product {
+                for (ai, roles) in plan.access_roles.iter().enumerate() {
+                    for d in &roles.roles[li] {
+                        match d {
+                            Descent::CoIterate => {}
+                            Descent::Project { component } => {
+                                let next = match state.nodes[ai] {
+                                    Some(Payload::Fiber(f)) => {
+                                        let comps = coord.components();
+                                        let key = comps
+                                            .get(*component)
+                                            .cloned()
+                                            .unwrap_or_else(|| coord.clone());
+                                        match f.position(&key) {
+                                            Some(p) => {
+                                                let e = &f.elements()[p];
+                                                self.touch(ai, li, e, inst);
+                                                Some(&e.payload)
+                                            }
+                                            None => None,
+                                        }
+                                    }
+                                    _ => None,
+                                };
+                                state.nodes[ai] = next;
+                                if next.is_none() && !self.union_mode {
+                                    dead_product = true;
+                                }
+                            }
+                            Descent::Affine { index_pos } => {
+                                let access =
+                                    &plan.equation.rhs.accesses()[ai].clone();
+                                let ix = &access.indices[*index_pos];
+                                let val = ix.eval(|v| {
+                                    let upper = v.to_uppercase();
+                                    state
+                                        .binds
+                                        .iter()
+                                        .rev()
+                                        .find(|(r, _)| *r == upper)
+                                        .map(|(_, x)| *x as i64)
+                                });
+                                let next = match (state.nodes[ai], val) {
+                                    (Some(Payload::Fiber(f)), Some(c)) => {
+                                        match f.position(&Coord::Point(c)) {
+                                            Some(p) => {
+                                                let e = &f.elements()[p];
+                                                self.touch(ai, li, e, inst);
+                                                Some(&e.payload)
+                                            }
+                                            None => None,
+                                        }
+                                    }
+                                    _ => None,
+                                };
+                                state.nodes[ai] = next;
+                                if next.is_none() && !self.union_mode {
+                                    dead_product = true;
+                                }
+                            }
+                        }
+                        if dead_product {
+                            break;
+                        }
+                    }
+                    if dead_product {
+                        break;
+                    }
+                }
+            }
+
+            let all_dead = state.nodes.iter().all(Option::is_none);
+            if !dead_product && !all_dead {
+                if lr.is_space {
+                    state.space.push(pi as u64);
+                }
+                self.level(li + 1, state, inst)?;
+                if lr.is_space {
+                    state.space.pop();
+                }
+            }
+
+            state.nodes = saved_nodes;
+            state.binds.truncate(binds_depth);
+        }
+        Ok(())
+    }
+
+    fn touch(
+        &self,
+        ai: usize,
+        li: usize,
+        elem: &teaal_fibertree::Element,
+        inst: &mut Instruments,
+    ) {
+        let tensor = &self.engine.plan.tensor_plans[self.access_tensor[ai]].tensor;
+        let rank = &self.access_rank_names[ai][li];
+        if let Some(ch) = inst.tensors.get_mut(tensor) {
+            let key = &elem.payload as *const Payload as usize;
+            ch.touch(rank, key, Some(&elem.payload));
+        }
+    }
+
+    fn leaf(&self, state: &mut State<'_>, inst: &mut Instruments) {
+        let plan = self.engine.plan;
+        let ops = &self.engine.ops;
+        let zero = ops.semiring.zero();
+
+        let scalar = |n: &Option<&Payload>| -> Option<f64> {
+            match n {
+                Some(Payload::Val(v)) => Some(*v),
+                _ => None,
+            }
+        };
+
+        let (value, muls, term_adds) = match &plan.equation.rhs {
+            Rhs::Take { args: _, which } => {
+                if state.nodes.iter().any(Option::is_none) {
+                    return;
+                }
+                let w = self.take_which.unwrap_or(*which);
+                match scalar(&state.nodes[w]) {
+                    Some(v) => (v, 0u64, 0u64),
+                    None => return,
+                }
+            }
+            Rhs::SumOfProducts(terms) => {
+                let mut acc = zero;
+                let mut present_terms = 0u64;
+                let mut muls = 0u64;
+                let mut ai = 0usize;
+                for (sign, product) in terms {
+                    let mut tv = ops.semiring.one();
+                    let mut present = true;
+                    let mut factors = 0u64;
+                    for _ in &product.factors {
+                        match scalar(&state.nodes[ai]) {
+                            Some(v) => {
+                                tv = ops.semiring.mul(tv, v);
+                                factors += 1;
+                            }
+                            None => present = false,
+                        }
+                        ai += 1;
+                    }
+                    if present {
+                        muls += factors.saturating_sub(1);
+                        present_terms += 1;
+                        acc = match sign {
+                            teaal_core::einsum::Sign::Plus => ops.semiring.add(acc, tv),
+                            teaal_core::einsum::Sign::Minus => (ops.sub)(acc, tv),
+                        };
+                    } else if matches!(sign, teaal_core::einsum::Sign::Minus)
+                        && !self.union_mode
+                    {
+                        return;
+                    }
+                }
+                if present_terms == 0 || ops.is_zero(acc) {
+                    return;
+                }
+                // Combining k present terms costs k−1 additions (the apply
+                // operations of vertex-centric cascades).
+                (acc, muls, present_terms - 1)
+            }
+        };
+
+        // Output key in target rank order.
+        let mut key = Vec::with_capacity(plan.output.target_order.len());
+        for r in &plan.output.target_order {
+            match state.binds.iter().rev().find(|(b, _)| b == r) {
+                Some((_, v)) => key.push(*v),
+                None => return, // unbound output rank: outside iteration
+            }
+        }
+
+        let mut hasher = DefaultHasher::new();
+        key.hash(&mut hasher);
+        let key_hash = hasher.finish();
+
+        let is_take = self.take_which.is_some();
+        let mut adds = term_adds;
+        match state.out.get_mut(&key) {
+            Some(existing) => {
+                if !is_take {
+                    *existing = ops.semiring.add(*existing, value);
+                    adds += 1;
+                }
+                inst.output.record(key_hash, false);
+            }
+            None => {
+                state.out.insert(key, value);
+                inst.output.record(key_hash, true);
+            }
+        }
+
+        let space_id = state.space.clone();
+        if muls > 0 {
+            *inst.compute.muls.entry(space_id.clone()).or_insert(0) += muls;
+        }
+        if adds > 0 {
+            *inst.compute.adds.entry(space_id).or_insert(0) += adds;
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Simulator error types.
+
+use std::fmt;
+
+/// Errors produced while configuring or running the simulator.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SimError {
+    /// An input tensor required by the cascade was not provided.
+    MissingTensor {
+        /// The tensor's name.
+        tensor: String,
+    },
+    /// A dense loop rank has no known extent; provide one with
+    /// `Simulator::with_rank_extent`.
+    MissingExtent {
+        /// The rank missing an extent.
+        rank: String,
+    },
+    /// A follower partition ran before its leader published boundaries.
+    MissingBoundaries {
+        /// The partitioned rank.
+        rank: String,
+        /// The leader tensor that never ran.
+        leader: String,
+    },
+    /// The specification failed to lower.
+    Spec(teaal_core::SpecError),
+    /// A fibertree transform failed during execution.
+    Fibertree(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::MissingTensor { tensor } => {
+                write!(f, "input tensor {tensor} was not provided")
+            }
+            SimError::MissingExtent { rank } => write!(
+                f,
+                "rank {rank} has no extent; no input tensor carries it — provide one \
+                 with with_rank_extent"
+            ),
+            SimError::MissingBoundaries { rank, leader } => write!(
+                f,
+                "follower partitioning of {rank} ran before leader {leader} published \
+                 boundaries"
+            ),
+            SimError::Spec(e) => write!(f, "{e}"),
+            SimError::Fibertree(m) => write!(f, "fibertree operation failed: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Spec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<teaal_core::SpecError> for SimError {
+    fn from(e: teaal_core::SpecError) -> Self {
+        SimError::Spec(e)
+    }
+}
+
+impl From<teaal_fibertree::FibertreeError> for SimError {
+    fn from(e: teaal_fibertree::FibertreeError) -> Self {
+        SimError::Fibertree(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_missing_piece() {
+        let e = SimError::MissingTensor { tensor: "A".into() };
+        assert!(e.to_string().contains('A'));
+        let e = SimError::MissingExtent { rank: "Q".into() };
+        assert!(e.to_string().contains("with_rank_extent"));
+    }
+}

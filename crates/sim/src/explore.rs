@@ -1,0 +1,265 @@
+//! Mapping-space exploration (paper §10, future work).
+//!
+//! The paper positions TeAAL as the middle level of a hierarchical
+//! design-space-exploration flow: faster than RTL, higher fidelity than
+//! analytical models. This module provides the inner loop of such a flow:
+//! enumerate candidate loop orders for one Einsum of a specification, run
+//! each candidate on real tensors, and rank the mappings by the modeled
+//! objective. Everything else in the specification (partitioning, formats,
+//! architecture, bindings) stays fixed, demonstrating the separation of
+//! concerns of Fig. 7.
+
+use teaal_core::TeaalSpec;
+use teaal_fibertree::Tensor;
+
+use crate::error::SimError;
+use crate::model::Simulator;
+use crate::ops::OpTable;
+
+/// What to optimize when ranking mappings.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Objective {
+    /// Modeled execution time (bottleneck analysis).
+    #[default]
+    Time,
+    /// Modeled energy.
+    Energy,
+    /// DRAM traffic in bytes.
+    Traffic,
+}
+
+/// One evaluated mapping candidate.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The loop order tried (outermost first).
+    pub loop_order: Vec<String>,
+    /// Modeled execution time in seconds.
+    pub seconds: f64,
+    /// Modeled energy in joules.
+    pub energy_joules: f64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+}
+
+impl Candidate {
+    /// The candidate's score under `objective` (lower is better).
+    pub fn score(&self, objective: Objective) -> f64 {
+        match objective {
+            Objective::Time => self.seconds,
+            Objective::Energy => self.energy_joules,
+            Objective::Traffic => self.dram_bytes as f64,
+        }
+    }
+}
+
+/// Explores loop orders for `einsum` within `spec`, evaluating each
+/// candidate on `inputs` and returning candidates sorted by `objective`
+/// (best first).
+///
+/// All permutations of the Einsum's derived iteration ranks are tried, up
+/// to `max_candidates` (permutation count grows factorially; 720 covers
+/// six ranks exhaustively). Candidates whose loop order fails to lower —
+/// e.g. orders incompatible with the fixed partitioning — are skipped.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the base specification fails to lower or if
+/// every candidate fails.
+pub fn explore_loop_orders(
+    spec: &TeaalSpec,
+    einsum: &str,
+    inputs: &[Tensor],
+    ops: OpTable,
+    objective: Objective,
+    max_candidates: usize,
+) -> Result<Vec<Candidate>, SimError> {
+    // Discover the derived iteration ranks from the baseline plan.
+    let base = Simulator::new(spec.clone())?;
+    let plan = base
+        .plans()
+        .iter()
+        .find(|p| p.equation.name() == einsum)
+        .ok_or_else(|| SimError::MissingTensor { tensor: einsum.to_string() })?;
+    let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
+
+    let mut results = Vec::new();
+    let mut order = ranks.clone();
+    let mut tried = 0usize;
+    permute(&mut order, 0, &mut |candidate| {
+        if tried >= max_candidates {
+            return;
+        }
+        tried += 1;
+        let mut s = spec.clone();
+        s.mapping.loop_order.insert(einsum.to_string(), candidate.to_vec());
+        // Spacetime entries may reference ranks by name; they stay valid
+        // because the rank *set* is unchanged.
+        let Ok(sim) = Simulator::new(s) else { return };
+        let Ok(report) = sim.run(inputs) else { return };
+        results.push(Candidate {
+            loop_order: candidate.to_vec(),
+            seconds: report.seconds,
+            energy_joules: report.energy_joules,
+            dram_bytes: report.dram_bytes(),
+        });
+    });
+
+    if results.is_empty() {
+        return Err(SimError::Spec(teaal_core::SpecError::Validation {
+            context: format!("einsum {einsum}"),
+            message: "no loop-order candidate lowered and executed successfully".into(),
+        }));
+    }
+    results.sort_by(|a, b| {
+        a.score(objective)
+            .partial_cmp(&b.score(objective))
+            .expect("model outputs are finite")
+    });
+    Ok(results)
+}
+
+/// Heap's algorithm, calling `visit` for every permutation of `items`.
+fn permute(items: &mut [String], k: usize, visit: &mut impl FnMut(&[String])) {
+    if k == items.len() {
+        visit(items);
+        return;
+    }
+    // Recursive Heap variant: stable enough for the small rank counts
+    // mappings have (≤ 9 in every spec in this repository).
+    for i in k..items.len() {
+        items.swap(k, i);
+        permute(items, k + 1, visit);
+        items.swap(k, i);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use teaal_fibertree::TensorBuilder;
+
+    fn base_spec() -> TeaalSpec {
+        TeaalSpec::parse(concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K, M]\n",
+            "    B: [K, N]\n",
+            "    Z: [M, N]\n",
+            "  expressions:\n",
+            "    - Z[m, n] = A[k, m] * B[k, n]\n",
+        ))
+        .unwrap()
+    }
+
+    fn inputs() -> Vec<Tensor> {
+        let a = TensorBuilder::new("A", &["K", "M"], &[8, 8])
+            .entries((0..8).map(|i| (vec![i, (i * 3) % 8], 1.0 + i as f64)))
+            .build()
+            .unwrap();
+        let b = TensorBuilder::new("B", &["K", "N"], &[8, 8])
+            .entries((0..8).map(|i| (vec![i, (i * 5) % 8], 2.0 + i as f64)))
+            .build()
+            .unwrap();
+        vec![a, b]
+    }
+
+    #[test]
+    fn explores_all_six_permutations_of_three_ranks() {
+        let results = explore_loop_orders(
+            &base_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Time,
+            720,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 6);
+        // Sorted best-first.
+        for w in results.windows(2) {
+            assert!(w[0].seconds <= w[1].seconds);
+        }
+        // Every candidate is a permutation of {M, N, K}.
+        for c in &results {
+            let mut lo = c.loop_order.clone();
+            lo.sort();
+            assert_eq!(lo, vec!["K", "M", "N"]);
+        }
+    }
+
+    #[test]
+    fn candidate_cap_is_respected() {
+        let results = explore_loop_orders(
+            &base_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Traffic,
+            2,
+        )
+        .unwrap();
+        assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn objectives_rank_differently_when_models_disagree() {
+        let by_time = explore_loop_orders(
+            &base_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Time,
+            720,
+        )
+        .unwrap();
+        let by_traffic = explore_loop_orders(
+            &base_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Traffic,
+            720,
+        )
+        .unwrap();
+        // Same candidate set either way.
+        assert_eq!(by_time.len(), by_traffic.len());
+        // Traffic ordering is by dram_bytes.
+        for w in by_traffic.windows(2) {
+            assert!(w[0].dram_bytes <= w[1].dram_bytes);
+        }
+    }
+
+    #[test]
+    fn unknown_einsum_is_an_error() {
+        let err = explore_loop_orders(
+            &base_spec(),
+            "Q",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Time,
+            10,
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn all_candidates_compute_the_same_result() {
+        // Mapping changes performance, never the answer (§2.3).
+        let spec = base_spec();
+        let ins = inputs();
+        let mut reference: Option<Tensor> = None;
+        let results =
+            explore_loop_orders(&spec, "Z", &ins, OpTable::arithmetic(), Objective::Time, 720)
+                .unwrap();
+        for c in &results {
+            let mut s = spec.clone();
+            s.mapping.loop_order.insert("Z".into(), c.loop_order.clone());
+            let report = Simulator::new(s).unwrap().run(&ins).unwrap();
+            let z = report.final_output().unwrap().clone();
+            if let Some(r) = &reference {
+                assert_eq!(r.max_abs_diff(&z), 0.0);
+            }
+            reference = Some(z);
+        }
+    }
+}

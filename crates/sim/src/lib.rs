@@ -1,0 +1,29 @@
+//! # teaal-sim
+//!
+//! The TeAAL simulator: executes lowered Einsum plans on real sparse
+//! tensors with full instrumentation, then derives memory traffic,
+//! per-component action counts, bottleneck-analysis execution time, and
+//! energy (paper §4.3).
+//!
+//! The main entry point is [`Simulator`]; see its documentation for a
+//! worked example.
+
+#![warn(missing_docs)]
+
+pub mod counters;
+pub mod energy;
+pub mod engine;
+pub mod error;
+pub mod explore;
+pub mod model;
+pub mod ops;
+pub mod report;
+
+pub use counters::{ChannelCfg, Instruments, Lru, MergeGroup, OutputChannel, TensorChannel};
+pub use energy::{ActionCounts, EnergyTable};
+pub use engine::Engine;
+pub use error::SimError;
+pub use explore::{explore_loop_orders, Candidate, Objective};
+pub use model::Simulator;
+pub use ops::OpTable;
+pub use report::{BlockStats, EinsumStats, SimReport, TensorTraffic};

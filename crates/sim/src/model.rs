@@ -1,0 +1,589 @@
+//! The top-level performance model (paper §4.3, Fig. 6).
+//!
+//! [`Simulator`] composes the whole flow: lower the specification to
+//! plans, resolve bindings into traffic channels, execute each Einsum on
+//! real tensors with the instrumented engine, convert the resulting action
+//! counts into per-component busy times, apply the per-block bottleneck
+//! analysis (blocks inferred by the §4.3 fusion criteria), and translate
+//! action counts into energy.
+
+use std::collections::BTreeMap;
+
+use teaal_core::ir::{self, EinsumBlock, EinsumPlan};
+use teaal_core::spec::{
+    BindStyle, BufferKind, ComponentClass, ComputeOp, TeaalSpec,
+};
+use teaal_core::TeaalSpec as Spec;
+use teaal_fibertree::{IntersectPolicy, Tensor};
+
+use crate::counters::{ChannelCfg, Instruments};
+use crate::energy::{ActionCounts, EnergyTable};
+use crate::engine::{BoundaryCache, Engine};
+use crate::error::SimError;
+use crate::ops::OpTable;
+use crate::report::{passes_for, BlockStats, EinsumStats, SimReport, TensorTraffic};
+
+/// A configured simulator for one TeAAL specification.
+///
+/// # Examples
+///
+/// ```
+/// use teaal_sim::Simulator;
+/// use teaal_core::TeaalSpec;
+/// use teaal_fibertree::Tensor;
+///
+/// let spec = TeaalSpec::parse(concat!(
+///     "einsum:\n",
+///     "  declaration:\n",
+///     "    A: [K, M]\n",
+///     "    B: [K, N]\n",
+///     "    Z: [M, N]\n",
+///     "  expressions:\n",
+///     "    - Z[m, n] = A[k, m] * B[k, n]\n",
+/// ))?;
+/// let sim = Simulator::new(spec)?;
+/// let a = Tensor::from_entries("A", &["K", "M"], &[2, 2],
+///     vec![(vec![0, 0], 1.0), (vec![1, 1], 2.0)]).unwrap();
+/// let b = Tensor::from_entries("B", &["K", "N"], &[2, 2],
+///     vec![(vec![0, 1], 3.0), (vec![1, 0], 4.0)]).unwrap();
+/// let report = sim.run(&[a, b])?;
+/// let z = report.final_output().unwrap();
+/// assert_eq!(z.get(&[0, 1]), Some(3.0)); // A[0,0] * B[0,1]
+/// assert_eq!(z.get(&[1, 0]), Some(8.0)); // A[1,1] * B[1,0]
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Simulator {
+    spec: TeaalSpec,
+    plans: Vec<EinsumPlan>,
+    blocks: Vec<EinsumBlock>,
+    ops: OpTable,
+    extent_overrides: BTreeMap<String, u64>,
+    energy: EnergyTable,
+    /// Intermediates whose producer and all consumers share a fused block:
+    /// they live on-chip and never generate DRAM traffic (Gamma's `T`).
+    on_chip: std::collections::BTreeSet<String>,
+}
+
+impl Simulator {
+    /// Lowers the specification and prepares a simulator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] when lowering fails.
+    pub fn new(spec: Spec) -> Result<Self, SimError> {
+        let plans = ir::lower(&spec)?;
+        let blocks = ir::infer_blocks(&spec, &plans);
+
+        // Fusion keeps intermediates on-chip: when an Einsum's output and
+        // every consumer of that output share one block, the tensor never
+        // touches DRAM (paper §4.3 — Einsums "communicate by sharing
+        // sub-tensors").
+        let mut block_of: BTreeMap<&str, usize> = BTreeMap::new();
+        for (bi, b) in blocks.iter().enumerate() {
+            for &m in &b.members {
+                block_of.insert(plans[m].equation.name(), bi);
+            }
+        }
+        let edges = spec.cascade.dag_edges();
+        let mut on_chip = std::collections::BTreeSet::new();
+        for t in spec.cascade.intermediates() {
+            let Some(&pb) = block_of.get(t.as_str()) else { continue };
+            let consumers: Vec<String> = edges
+                .iter()
+                .filter(|(p, _)| *p == t)
+                .map(|(_, c)| c.clone())
+                .collect();
+            if !consumers.is_empty()
+                && consumers.iter().all(|c| block_of.get(c.as_str()) == Some(&pb))
+            {
+                on_chip.insert(t);
+            }
+        }
+
+        Ok(Simulator {
+            spec,
+            plans,
+            blocks,
+            ops: OpTable::arithmetic(),
+            extent_overrides: BTreeMap::new(),
+            energy: EnergyTable::default(),
+            on_chip,
+        })
+    }
+
+    /// Replaces the operator table (e.g. [`OpTable::sssp`] for graph
+    /// kernels).
+    pub fn with_ops(mut self, ops: OpTable) -> Self {
+        self.ops = ops;
+        self
+    }
+
+    /// Declares the extent of a rank no input tensor carries (needed for
+    /// dense/affine iteration, e.g. the output rank of a convolution).
+    pub fn with_rank_extent(mut self, rank: &str, extent: u64) -> Self {
+        self.extent_overrides.insert(rank.to_string(), extent);
+        self
+    }
+
+    /// Replaces the energy table.
+    pub fn with_energy(mut self, energy: EnergyTable) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// The lowered plans (for inspection and tests).
+    pub fn plans(&self) -> &[EinsumPlan] {
+        &self.plans
+    }
+
+    /// The inferred fusion blocks.
+    pub fn blocks(&self) -> &[EinsumBlock] {
+        &self.blocks
+    }
+
+    /// The specification.
+    pub fn spec(&self) -> &TeaalSpec {
+        &self.spec
+    }
+
+    /// Runs the cascade on the given input tensors (matched by name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when inputs are missing or execution fails.
+    pub fn run(&self, inputs: &[Tensor]) -> Result<SimReport, SimError> {
+        let mut env: BTreeMap<String, Tensor> =
+            inputs.iter().map(|t| (t.name().to_string(), t.clone())).collect();
+
+        // Rank extents from input shapes plus overrides.
+        let mut extents: BTreeMap<String, u64> = BTreeMap::new();
+        for t in inputs {
+            for (i, r) in t.rank_ids().iter().enumerate() {
+                let e = t.rank_shapes()[i].extent();
+                let entry = extents.entry(r.clone()).or_insert(e);
+                *entry = (*entry).max(e);
+            }
+        }
+        extents.extend(self.extent_overrides.clone());
+
+        let mut report = SimReport::default();
+        let mut all_instruments: Vec<Instruments> = Vec::new();
+
+        for plan in &self.plans {
+            let mut instruments = self.build_instruments(plan, &env);
+            let policy = self.intersect_policy(plan);
+            let engine = Engine::new(plan, self.ops, policy, extents.clone());
+            let mut boundaries = BoundaryCache::new();
+            let output = engine.execute(&env, &mut instruments, &mut boundaries)?;
+
+            // Extents learned from the produced output.
+            for (i, r) in output.rank_ids().iter().enumerate() {
+                extents
+                    .entry(r.clone())
+                    .or_insert_with(|| output.rank_shapes()[i].extent());
+            }
+
+            let stats = self.collect_stats(plan, &instruments, &output);
+            report.einsums.push(stats);
+            report.outputs.insert(output.name().to_string(), output.clone());
+            env.insert(output.name().to_string(), output);
+            all_instruments.push(instruments);
+        }
+
+        self.analyze_time(&mut report)?;
+        self.analyze_energy(&mut report);
+        Ok(report)
+    }
+
+    /// Whether `component` is an explicitly-managed (buffet-class) buffer
+    /// that data can be pinned in.
+    fn is_pinnable_buffet(
+        &self,
+        binding: &teaal_core::spec::EinsumBinding,
+        component: &str,
+    ) -> bool {
+        self.spec
+            .architecture
+            .config(binding.arch_config.as_deref())
+            .and_then(|a| a.find(component))
+            .map(|(c, _)| {
+                matches!(
+                    c.class,
+                    ComponentClass::Buffer { kind: BufferKind::Buffet, .. }
+                )
+            })
+            .unwrap_or(false)
+    }
+
+    /// Resolves the intersection policy for an Einsum: its bound
+    /// intersection unit if the binding names one, otherwise the first
+    /// intersection unit in the architecture configuration.
+    fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
+        let binding = self.spec.binding.for_einsum(plan.equation.name());
+        if let Some(cfg) = self.spec.architecture.config(binding.arch_config.as_deref()) {
+            for ib in &binding.intersects {
+                if let Some((c, _)) = cfg.find(&ib.component) {
+                    if let ComponentClass::Intersect { policy } = &c.class {
+                        return *policy;
+                    }
+                }
+            }
+            for (c, _) in cfg.all_components() {
+                if let ComponentClass::Intersect { policy } = &c.class {
+                    return *policy;
+                }
+            }
+        }
+        IntersectPolicy::TwoFinger
+    }
+
+    /// Builds the instrumentation channels for one Einsum from the
+    /// binding + format specifications.
+    fn build_instruments(
+        &self,
+        plan: &EinsumPlan,
+        _env: &BTreeMap<String, Tensor>,
+    ) -> Instruments {
+        let name = plan.equation.name();
+        let binding = self.spec.binding.for_einsum(name);
+        let mut instruments = Instruments::default();
+
+        for tp in &plan.tensor_plans {
+            let declared =
+                self.spec.rank_order_of(&tp.tensor).unwrap_or_default();
+            let storage = binding.storage_for(&tp.tensor);
+            let fmt_config = storage.iter().find_map(|s| s.config.clone());
+            let fmt = self.spec.format.config_or_default(
+                &tp.tensor,
+                fmt_config.as_deref(),
+                &declared,
+            );
+
+            // Per-working-rank element bits: bottom ranks cost their
+            // concrete element; upper partition ranks are bookkeeping.
+            let mut rank_bits = Vec::new();
+            for w in &tp.working_order {
+                let bits = match plan.rank_space.def(w) {
+                    Some(teaal_core::ir::RankDef::Split { level, .. }) if *level > 0 => 0,
+                    _ => {
+                        let roots = plan.rank_space.roots_of(w);
+                        let concrete = roots.last().cloned().unwrap_or_else(|| w.clone());
+                        fmt.element_bits(&concrete)
+                    }
+                };
+                rank_bits.push((w.clone(), bits));
+            }
+
+            let mut cfg = ChannelCfg::fully_buffered(rank_bits);
+            if self.on_chip.contains(&tp.tensor) {
+                cfg.dram_backed = false;
+            }
+            // A tensor bound exclusively to explicitly-managed on-chip
+            // storage with no eviction policy is *pinned* there (e.g.
+            // Graphicionado's temp property array in eDRAM): it never
+            // generates DRAM traffic. Buffets with `evict-on` stream from
+            // DRAM, and caches miss to DRAM, so both stay DRAM-backed.
+            if !storage.is_empty()
+                && storage.iter().all(|s| {
+                    s.evict_on.is_none()
+                        && self.is_pinnable_buffet(&binding, &s.component)
+                })
+            {
+                cfg.dram_backed = false;
+            }
+            for s in &storage {
+                if let Some(arch) =
+                    self.spec.architecture.config(binding.arch_config.as_deref())
+                {
+                    if let Some((comp, _)) = arch.find(&s.component) {
+                        match &comp.class {
+                            ComponentClass::Buffer { kind, width, depth, .. } => {
+                                match kind {
+                                    BufferKind::Cache => {
+                                        let line_bits = (*width).max(64);
+                                        let lines =
+                                            ((width * depth) / line_bits).max(1) as usize;
+                                        cfg.cache_lines = Some(lines);
+                                        cfg.line_bits = line_bits;
+                                    }
+                                    BufferKind::Buffet => {
+                                        cfg.evict_on = s.evict_on.clone();
+                                    }
+                                }
+                            }
+                            ComponentClass::Dram { .. } => {
+                                cfg.dram_backed = true;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+                if s.style == BindStyle::Eager {
+                    // Map the bound storage rank to the working rank that
+                    // covers it.
+                    let er = tp
+                        .working_order
+                        .iter()
+                        .find(|w| {
+                            *w == &s.rank
+                                || plan.rank_space.roots_of(w).contains(&s.rank)
+                        })
+                        .cloned();
+                    cfg.eager_rank = er.or(Some(s.rank.clone()));
+                }
+            }
+            instruments.add_tensor(&tp.tensor, cfg);
+        }
+
+        // Output channel.
+        let out_declared = plan.output.target_order.clone();
+        let out_fmt =
+            self.spec.format.config_or_default(name, None, &out_declared);
+        let leaf_rank = out_declared.last().cloned().unwrap_or_default();
+        let elem_bits = out_fmt.element_bits(&leaf_rank);
+        let evict = binding
+            .storage_for(name)
+            .iter()
+            .find_map(|s| s.evict_on.clone());
+        instruments.output = crate::counters::OutputChannel::new(elem_bits, evict);
+        instruments
+    }
+
+    fn collect_stats(
+        &self,
+        plan: &EinsumPlan,
+        instruments: &Instruments,
+        output: &Tensor,
+    ) -> EinsumStats {
+        let name = plan.equation.name().to_string();
+        let declared = plan.output.target_order.clone();
+        let out_fmt = self.spec.format.config_or_default(&name, None, &declared);
+        let binding = self.spec.binding.for_einsum(&name);
+        let own_storage = binding.storage_for(&name);
+        let output_pinned = !own_storage.is_empty()
+            && own_storage.iter().all(|s| {
+                s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component)
+            });
+        let output_write_bytes = if self.on_chip.contains(&name) || output_pinned {
+            0
+        } else {
+            out_fmt.footprint_bytes(output)
+        };
+
+        let mut traffic = Vec::new();
+        for tp in &plan.tensor_plans {
+            if let Some(ch) = instruments.tensors.get(&tp.tensor) {
+                traffic.push(TensorTraffic {
+                    tensor: tp.tensor.clone(),
+                    fill_bytes: ch.fill_bits.div_ceil(8),
+                    buffer_read_bytes: ch.buffer_read_bits.div_ceil(8),
+                    reads: ch.reads_by_rank.values().sum(),
+                });
+            }
+        }
+
+        EinsumStats {
+            einsum: name,
+            traffic,
+            output_write_bytes,
+            output_partial_bytes: (instruments.output.drain_bits
+                + instruments.output.refill_bits)
+                .div_ceil(8),
+            output_writes: instruments.output.writes,
+            output_updates: instruments.output.updates,
+            muls: instruments.compute.total_muls(),
+            adds: instruments.compute.total_adds(),
+            max_pe_ops: instruments.compute.max_per_pe(),
+            spaces: instruments.compute.spaces(),
+            intersections: instruments.total_intersections(),
+            merges: instruments.merges.clone(),
+            loop_visits: instruments.loop_visits.clone(),
+        }
+    }
+
+    fn analyze_time(&self, report: &mut SimReport) -> Result<(), SimError> {
+        let clock = if self.spec.architecture.clock_hz > 0.0 {
+            self.spec.architecture.clock_hz
+        } else {
+            1e9
+        };
+        for block in &self.blocks {
+            let mut bs = BlockStats::default();
+            let mut dram_bytes = 0u64;
+            let mut buffer_bytes = 0u64;
+            let mut muls = 0u64;
+            let mut adds = 0u64;
+            let mut max_pe = 0u64;
+            let mut isect = 0u64;
+            let mut visits = 0u64;
+            let mut merge_elems: Vec<(u64, u64)> = Vec::new();
+            let mut binding_cfg = None;
+            for &m in &block.members {
+                let stats = &report.einsums[m];
+                bs.members.push(stats.einsum.clone());
+                dram_bytes += stats.dram_bytes();
+                buffer_bytes +=
+                    stats.traffic.iter().map(|t| t.buffer_read_bytes).sum::<u64>();
+                muls += stats.muls;
+                adds += stats.adds;
+                max_pe += stats.max_pe_ops;
+                isect += stats.intersections;
+                visits += stats.loop_visits.values().sum::<u64>();
+                merge_elems
+                    .extend(stats.merges.iter().map(|g| (g.elems, g.ways)));
+                if binding_cfg.is_none() {
+                    binding_cfg = self
+                        .spec
+                        .binding
+                        .for_einsum(&stats.einsum)
+                        .arch_config
+                        .clone();
+                }
+            }
+
+            let arch = self.spec.architecture.config(binding_cfg.as_deref());
+
+            // DRAM time.
+            let dram_bw = arch
+                .and_then(|a| {
+                    a.all_components().into_iter().find_map(|(c, _)| match &c.class {
+                        ComponentClass::Dram { bandwidth } => Some(*bandwidth),
+                        _ => None,
+                    })
+                })
+                .unwrap_or(64e9);
+            bs.component_seconds
+                .insert("DRAM".into(), dram_bytes as f64 / dram_bw);
+
+            // Buffer time (aggregate across buffers).
+            let buf_bw = arch
+                .and_then(|a| {
+                    a.all_components().into_iter().find_map(|(c, n)| match &c.class {
+                        ComponentClass::Buffer { bandwidth, .. } => {
+                            Some(*bandwidth * n as f64)
+                        }
+                        _ => None,
+                    })
+                })
+                .unwrap_or(1e12);
+            bs.component_seconds
+                .insert("Buffers".into(), buffer_bytes as f64 / buf_bw);
+
+            // Compute time: per-PE bottleneck with instance counts.
+            let (mul_units, add_units) = arch
+                .map(|a| {
+                    let mut mu = 0u64;
+                    let mut au = 0u64;
+                    for (c, n) in a.all_components() {
+                        if let ComponentClass::Compute { op } = &c.class {
+                            match op {
+                                ComputeOp::Mul => mu += n,
+                                ComputeOp::Add => au += n,
+                            }
+                        }
+                    }
+                    (mu.max(1), au.max(1))
+                })
+                .unwrap_or((1, 1));
+            let compute_cycles = (max_pe as f64)
+                .max(muls as f64 / mul_units as f64)
+                .max(adds as f64 / add_units as f64);
+            bs.component_seconds
+                .insert("Compute".into(), compute_cycles / clock);
+
+            // Intersection time.
+            let isect_units = arch
+                .map(|a| {
+                    a.all_components()
+                        .into_iter()
+                        .filter(|(c, _)| {
+                            matches!(c.class, ComponentClass::Intersect { .. })
+                        })
+                        .map(|(_, n)| n)
+                        .sum::<u64>()
+                })
+                .filter(|&n| n > 0);
+            if let Some(n) = isect_units {
+                bs.component_seconds
+                    .insert("Intersect".into(), isect as f64 / n as f64 / clock);
+            } else if isect > 0 {
+                // Intersections ride on the sequencers/PEs: one comparison
+                // per cycle across the compute units.
+                bs.component_seconds.insert(
+                    "Intersect".into(),
+                    isect as f64 / mul_units.max(1) as f64 / clock,
+                );
+            }
+
+            // Sequencer time: one coordinate generated per cycle per
+            // sequencer instance (Table 3's num_ranks scales throughput).
+            let sequencer = arch.and_then(|a| {
+                a.all_components().into_iter().find_map(|(c, n)| match &c.class {
+                    ComponentClass::Sequencer { num_ranks } => {
+                        Some(((*num_ranks).max(1), n.max(1)))
+                    }
+                    _ => None,
+                })
+            });
+            if let Some((num_ranks, seqs)) = sequencer {
+                bs.component_seconds.insert(
+                    "Sequencer".into(),
+                    visits as f64 / num_ranks as f64 / seqs as f64 / clock,
+                );
+            }
+
+            // Merger time — charged only when the architecture has merge
+            // hardware; designs whose distribution network reorders data
+            // in flight (SIGMA) absorb the swizzle in the dataflow.
+            let merger = arch.and_then(|a| {
+                a.all_components().into_iter().find_map(|(c, n)| match &c.class {
+                    ComponentClass::Merger { comparator_radix, outputs, .. } => {
+                        Some((*comparator_radix, (*outputs).max(1), n))
+                    }
+                    _ => None,
+                })
+            });
+            if let Some((radix, outputs, mergers)) = merger {
+                let merge_passes: u64 =
+                    merge_elems.iter().map(|(e, w)| e * passes_for(*w, radix)).sum();
+                if merge_passes > 0 {
+                    bs.component_seconds.insert(
+                        "Merger".into(),
+                        merge_passes as f64 / outputs as f64 / mergers as f64 / clock,
+                    );
+                }
+            }
+
+            let (bottleneck, seconds) = bs
+                .component_seconds
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+                .map(|(k, v)| (k.clone(), *v))
+                .unwrap_or(("Compute".into(), 0.0));
+            bs.bottleneck = bottleneck;
+            bs.seconds = seconds;
+            report.seconds += seconds;
+            report.blocks.push(bs);
+        }
+        report.cycles = report.seconds * clock;
+        Ok(())
+    }
+
+    fn analyze_energy(&self, report: &mut SimReport) {
+        let mut actions = ActionCounts::default();
+        for e in &report.einsums {
+            actions.dram_bits += e.dram_bytes() * 8;
+            actions.buffer_bits += e
+                .traffic
+                .iter()
+                .map(|t| t.buffer_read_bytes * 8)
+                .sum::<u64>();
+            actions.muls += e.muls;
+            actions.adds += e.adds;
+            actions.intersections += e.intersections;
+            actions.merge_elem_passes += e.merge_elem_passes(64);
+        }
+        report.energy_joules = actions.energy_joules(&self.energy);
+        report.actions = actions;
+    }
+}

@@ -1,0 +1,73 @@
+//! Operator tables: how an Einsum's syntactic `*`, `+`, and `-` map to
+//! concrete arithmetic.
+//!
+//! Tensor algebra uses the arithmetic semiring; vertex-centric graph
+//! kernels redefine the operators (paper §8, Fig. 12): SSSP maps `×` to
+//! addition and `+` to minimum, and uses `-` as change detection when
+//! building the update mask `M = P1 - P0`.
+
+use teaal_fibertree::Semiring;
+
+/// The operator table used when evaluating a cascade.
+#[derive(Clone, Copy, Debug)]
+pub struct OpTable {
+    /// The `(⊕, ⊗)` pair with identities.
+    pub semiring: Semiring,
+    /// Interpretation of the syntactic `-` operator.
+    pub sub: fn(f64, f64) -> f64,
+}
+
+impl OpTable {
+    /// Standard tensor algebra: `a - b` is arithmetic subtraction.
+    pub fn arithmetic() -> Self {
+        OpTable { semiring: Semiring::arithmetic(), sub: |a, b| a - b }
+    }
+
+    /// SSSP over the min-plus semiring; `-` detects changed values
+    /// (returns the new value when it differs, else the empty value `+∞`).
+    pub fn sssp() -> Self {
+        OpTable {
+            semiring: Semiring::min_plus(),
+            sub: |a, b| if a == b { f64::INFINITY } else { a },
+        }
+    }
+
+    /// BFS: identical algebra to SSSP (all edge weights are 1, so the
+    /// min-plus relaxation computes hop counts).
+    pub fn bfs() -> Self {
+        Self::sssp()
+    }
+
+    /// Whether `v` is the empty (implicit) value.
+    pub fn is_zero(&self, v: f64) -> bool {
+        self.semiring.is_zero(v)
+    }
+}
+
+impl Default for OpTable {
+    fn default() -> Self {
+        OpTable::arithmetic()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_sub_is_subtraction() {
+        let t = OpTable::arithmetic();
+        assert_eq!((t.sub)(5.0, 3.0), 2.0);
+        assert!(t.is_zero(0.0));
+    }
+
+    #[test]
+    fn sssp_sub_detects_change() {
+        let t = OpTable::sssp();
+        assert_eq!((t.sub)(4.0, 4.0), f64::INFINITY); // unchanged → empty
+        assert_eq!((t.sub)(3.0, 4.0), 3.0); // changed → new value
+        assert!(t.is_zero(f64::INFINITY));
+        assert_eq!(t.semiring.mul(2.0, 3.0), 5.0);
+        assert_eq!(t.semiring.add(2.0, 3.0), 2.0);
+    }
+}

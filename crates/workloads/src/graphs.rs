@@ -1,0 +1,181 @@
+//! Graph workloads for the vertex-centric study (§8).
+//!
+//! Graphs are adjacency tensors `G[D, S]` (destination, source) so that
+//! the processing-phase Einsum `R[d] = G[d, s] · A0[s]` gathers incoming
+//! messages. Reference BFS/SSSP implementations validate the
+//! cascade-driven accelerators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use teaal_fibertree::Tensor;
+
+/// A directed graph stored as an adjacency tensor plus metadata.
+#[derive(Clone, Debug)]
+pub struct Graph {
+    /// Adjacency tensor `G[D, S]`: weight of the edge `s → d`.
+    pub adjacency: Tensor,
+    /// Vertex count.
+    pub vertices: u64,
+    /// Edge count.
+    pub edges: usize,
+}
+
+impl Graph {
+    /// Generates a power-law (RMAT-like) directed graph.
+    ///
+    /// `weighted` draws edge weights from `[1, 10)`; unweighted graphs
+    /// (BFS) use weight 1.
+    pub fn power_law(vertices: u64, edges: usize, weighted: bool, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut entries = Vec::with_capacity(edges);
+        let zipf = |rng: &mut StdRng| -> u64 {
+            let u: f64 = rng.random_range(0.0f64..1.0);
+            ((vertices as f64) * u.powf(1.8)) as u64 % vertices
+        };
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..edges {
+            let s = zipf(&mut rng);
+            let d = rng.random_range(0..vertices);
+            // Multigraph edges would sum weights under the implicit-zero
+            // convention; keep the first occurrence only.
+            if !seen.insert((d, s)) {
+                continue;
+            }
+            let w = if weighted { rng.random_range(1.0..10.0f64).round() } else { 1.0 };
+            entries.push((vec![d, s], w));
+        }
+        let adjacency = Tensor::from_entries("G", &["D", "S"], &[vertices, vertices], entries)
+            .expect("edges are in range");
+        let edges = adjacency.nnz();
+        Graph { adjacency, vertices, edges }
+    }
+
+    /// Out-neighbors as `(dst, weight)` lists indexed by source — used by
+    /// the reference algorithms.
+    pub fn out_edges(&self) -> Vec<Vec<(u64, f64)>> {
+        let mut out = vec![Vec::new(); self.vertices as usize];
+        for (p, w) in self.adjacency.entries() {
+            let (d, s) = (p[0], p[1]);
+            out[s as usize].push((d, w));
+        }
+        out
+    }
+
+    /// The highest-out-degree vertex — a natural BFS/SSSP root that
+    /// reaches a large component.
+    pub fn hub(&self) -> u64 {
+        let out = self.out_edges();
+        out.iter()
+            .enumerate()
+            .max_by_key(|(_, es)| es.len())
+            .map(|(v, _)| v as u64)
+            .unwrap_or(0)
+    }
+}
+
+/// Reference BFS: hop distance from `root` (`f64::INFINITY` when
+/// unreachable).
+pub fn reference_bfs(g: &Graph, root: u64) -> Vec<f64> {
+    let out = g.out_edges();
+    let mut dist = vec![f64::INFINITY; g.vertices as usize];
+    dist[root as usize] = 0.0;
+    let mut frontier = vec![root];
+    let mut depth = 0.0;
+    while !frontier.is_empty() {
+        depth += 1.0;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            for &(d, _) in &out[v as usize] {
+                if dist[d as usize].is_infinite() {
+                    dist[d as usize] = depth;
+                    next.push(d);
+                }
+            }
+        }
+        frontier = next;
+    }
+    dist
+}
+
+/// Reference SSSP (Bellman-Ford): weighted distance from `root`.
+pub fn reference_sssp(g: &Graph, root: u64) -> Vec<f64> {
+    let out = g.out_edges();
+    let mut dist = vec![f64::INFINITY; g.vertices as usize];
+    dist[root as usize] = 0.0;
+    let mut active = vec![root];
+    while !active.is_empty() {
+        let mut changed = std::collections::BTreeSet::new();
+        for &v in &active {
+            let dv = dist[v as usize];
+            for &(d, w) in &out[v as usize] {
+                if dv + w < dist[d as usize] {
+                    dist[d as usize] = dv + w;
+                    changed.insert(d);
+                }
+            }
+        }
+        active = changed.into_iter().collect();
+    }
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_deterministic() {
+        let a = Graph::power_law(100, 500, false, 3);
+        let b = Graph::power_law(100, 500, false, 3);
+        assert_eq!(a.adjacency.max_abs_diff(&b.adjacency), 0.0);
+    }
+
+    #[test]
+    fn bfs_on_a_path_graph() {
+        let adjacency = Tensor::from_entries(
+            "G",
+            &["D", "S"],
+            &[4, 4],
+            vec![(vec![1, 0], 1.0), (vec![2, 1], 1.0), (vec![3, 2], 1.0)],
+        )
+        .unwrap();
+        let g = Graph { adjacency, vertices: 4, edges: 3 };
+        let d = reference_bfs(&g, 0);
+        assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn sssp_prefers_cheaper_paths() {
+        // 0 → 1 (cost 5); 0 → 2 (1); 2 → 1 (1): best 0→1 is 2.
+        let adjacency = Tensor::from_entries(
+            "G",
+            &["D", "S"],
+            &[3, 3],
+            vec![(vec![1, 0], 5.0), (vec![2, 0], 1.0), (vec![1, 2], 1.0)],
+        )
+        .unwrap();
+        let g = Graph { adjacency, vertices: 3, edges: 3 };
+        let d = reference_sssp(&g, 0);
+        assert_eq!(d, vec![0.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn bfs_matches_sssp_on_unit_weights() {
+        let g = Graph::power_law(200, 1000, false, 11);
+        let root = g.hub();
+        let bfs = reference_bfs(&g, root);
+        let sssp = reference_sssp(&g, root);
+        assert_eq!(bfs, sssp);
+        // The hub reaches a nontrivial component.
+        let reached = bfs.iter().filter(|d| d.is_finite()).count();
+        assert!(reached > 10, "hub should reach vertices, got {reached}");
+    }
+
+    #[test]
+    fn hub_has_max_degree() {
+        let g = Graph::power_law(100, 400, true, 5);
+        let out = g.out_edges();
+        let hub_deg = out[g.hub() as usize].len();
+        assert!(out.iter().all(|es| es.len() <= hub_deg));
+    }
+}

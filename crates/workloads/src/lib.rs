@@ -1,0 +1,19 @@
+//! # teaal-workloads
+//!
+//! Workload generation for the TeAAL evaluation: deterministic synthetic
+//! substitutes for the Table 4 matrices, uniform-random sweeps
+//! (Figs. 10c/10d), power-law graphs for the vertex-centric study (§8),
+//! and the baseline cost models (MKL-, TPU-, and Sparseloop-like) used to
+//! normalize results.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod datasets;
+pub mod genmat;
+pub mod graphs;
+pub mod io;
+
+pub use baselines::{CpuBaseline, SparseloopLike, TpuBaseline};
+pub use datasets::{by_tag, graph_datasets, validation_datasets, Dataset};
+pub use graphs::Graph;

@@ -1,0 +1,140 @@
+//! `teaal` — the command-line front end.
+//!
+//! ```text
+//! teaal check  <spec.yaml>                 # parse + validate + lower
+//! teaal run    <spec.yaml> [options]       # execute and print the report
+//! teaal output <spec.yaml> [options]       # execute and print result tensors
+//!
+//! options:
+//!   --tensor NAME=FILE     load an input tensor (see workloads::io format)
+//!   --random NAME=RxC:NNZ  generate a uniform random input
+//!   --extent RANK=N        declare a rank extent (affine/dense ranks)
+//!   --ops sssp|arithmetic  operator table (default arithmetic)
+//!   --seed N               RNG seed for --random (default 0)
+//! ```
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use teaal::prelude::*;
+use teaal::workloads::{genmat, io as tio};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage: teaal <check|run|output> <spec.yaml> [--tensor NAME=FILE]");
+            eprintln!("             [--random NAME=RxC:NNZ] [--extent RANK=N]");
+            eprintln!("             [--ops sssp|arithmetic] [--seed N]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let command = args.get(1).ok_or("missing command")?.as_str();
+    let spec_path = args.get(2).ok_or("missing spec path")?;
+    let source =
+        std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
+    let spec = TeaalSpec::parse(&source).map_err(|e| e.to_string())?;
+
+    if command == "check" {
+        let plans = teaal::core::ir::lower(&spec).map_err(|e| e.to_string())?;
+        println!("spec OK: {} einsum(s), {} block(s) after fusion", plans.len(), {
+            teaal::core::ir::infer_blocks(&spec, &plans).len()
+        });
+        for p in &plans {
+            let loops: Vec<&str> = p.loop_ranks.iter().map(|l| l.name.as_str()).collect();
+            println!("  {}: loops [{}]", p.equation, loops.join(", "));
+        }
+        return Ok(());
+    }
+
+    // Collect options.
+    let mut tensors: Vec<Tensor> = Vec::new();
+    let mut extents: Vec<(String, u64)> = Vec::new();
+    let mut ops = OpTable::arithmetic();
+    let mut seed = 0u64;
+    let mut i = 3usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--tensor" => {
+                let kv = args.get(i + 1).ok_or("--tensor needs NAME=FILE")?;
+                let (name, path) = kv.split_once('=').ok_or("--tensor needs NAME=FILE")?;
+                let f = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
+                let t = tio::read_tensor(BufReader::new(f), name)
+                    .map_err(|e| e.to_string())?;
+                tensors.push(t);
+                i += 2;
+            }
+            "--random" => {
+                let kv = args.get(i + 1).ok_or("--random needs NAME=RxC:NNZ")?;
+                let (name, dims) =
+                    kv.split_once('=').ok_or("--random needs NAME=RxC:NNZ")?;
+                let (shape, nnz) = dims.split_once(':').ok_or("--random needs RxC:NNZ")?;
+                let (r, c) = shape.split_once('x').ok_or("--random needs RxC:NNZ")?;
+                let rank_ids = spec
+                    .rank_order_of(name)
+                    .ok_or_else(|| format!("tensor {name} not declared in the spec"))?;
+                if rank_ids.len() != 2 {
+                    return Err("--random only generates 2-tensors".into());
+                }
+                let t = genmat::uniform(
+                    name,
+                    &[&rank_ids[0], &rank_ids[1]],
+                    r.parse().map_err(|_| "bad rows")?,
+                    c.parse().map_err(|_| "bad cols")?,
+                    nnz.parse().map_err(|_| "bad nnz")?,
+                    seed,
+                );
+                tensors.push(t);
+                i += 2;
+            }
+            "--extent" => {
+                let kv = args.get(i + 1).ok_or("--extent needs RANK=N")?;
+                let (rank, n) = kv.split_once('=').ok_or("--extent needs RANK=N")?;
+                extents.push((rank.to_string(), n.parse().map_err(|_| "bad extent")?));
+                i += 2;
+            }
+            "--ops" => {
+                ops = match args.get(i + 1).map(String::as_str) {
+                    Some("sssp") | Some("bfs") => OpTable::sssp(),
+                    Some("arithmetic") => OpTable::arithmetic(),
+                    other => return Err(format!("unknown op table {other:?}")),
+                };
+                i += 2;
+            }
+            "--seed" => {
+                seed = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--seed needs an integer")?;
+                i += 2;
+            }
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+
+    let mut sim = Simulator::new(spec).map_err(|e| e.to_string())?.with_ops(ops);
+    for (rank, n) in extents {
+        sim = sim.with_rank_extent(&rank, n);
+    }
+    let report = sim.run(&tensors).map_err(|e| e.to_string())?;
+
+    match command {
+        "run" => println!("{report}"),
+        "output" => {
+            for (name, tensor) in &report.outputs {
+                println!("# --- {name} ---");
+                tio::write_tensor(std::io::stdout().lock(), tensor)
+                    .map_err(|e| e.to_string())?;
+            }
+        }
+        other => return Err(format!("unknown command {other}")),
+    }
+    Ok(())
+}
