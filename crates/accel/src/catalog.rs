@@ -121,18 +121,54 @@ pub struct FeatureRow {
 /// Table 6: sparse tensor modeling framework comparison.
 pub fn table6() -> Vec<FeatureRow> {
     vec![
-        FeatureRow { feature: "Models Hardware", support: [true, true, true, false, true] },
-        FeatureRow { feature: "Generic Kernels", support: [false, true, true, true, true] },
-        FeatureRow { feature: "Cascaded Einsums", support: [false, false, true, true, true] },
-        FeatureRow { feature: "Index Expressions", support: [false, false, false, true, true] },
-        FeatureRow { feature: "Shape-Based Part.", support: [false, true, true, false, true] },
-        FeatureRow { feature: "Occ.-Based Part.", support: [false, true, false, false, true] },
-        FeatureRow { feature: "Generic Flattening", support: [false, false, false, true, true] },
-        FeatureRow { feature: "Rank Swizzling", support: [false, false, false, true, true] },
-        FeatureRow { feature: "Format Expressivity", support: [true, true, true, false, true] },
-        FeatureRow { feature: "Caches", support: [false, false, false, true, true] },
-        FeatureRow { feature: "Precise Data Set", support: [true, false, true, false, true] },
-        FeatureRow { feature: "High Model Fidelity", support: [true, false, false, false, true] },
+        FeatureRow {
+            feature: "Models Hardware",
+            support: [true, true, true, false, true],
+        },
+        FeatureRow {
+            feature: "Generic Kernels",
+            support: [false, true, true, true, true],
+        },
+        FeatureRow {
+            feature: "Cascaded Einsums",
+            support: [false, false, true, true, true],
+        },
+        FeatureRow {
+            feature: "Index Expressions",
+            support: [false, false, false, true, true],
+        },
+        FeatureRow {
+            feature: "Shape-Based Part.",
+            support: [false, true, true, false, true],
+        },
+        FeatureRow {
+            feature: "Occ.-Based Part.",
+            support: [false, true, false, false, true],
+        },
+        FeatureRow {
+            feature: "Generic Flattening",
+            support: [false, false, false, true, true],
+        },
+        FeatureRow {
+            feature: "Rank Swizzling",
+            support: [false, false, false, true, true],
+        },
+        FeatureRow {
+            feature: "Format Expressivity",
+            support: [true, true, true, false, true],
+        },
+        FeatureRow {
+            feature: "Caches",
+            support: [false, false, false, true, true],
+        },
+        FeatureRow {
+            feature: "Precise Data Set",
+            support: [true, false, true, false, true],
+        },
+        FeatureRow {
+            feature: "High Model Fidelity",
+            support: [true, false, false, false, true],
+        },
     ]
 }
 

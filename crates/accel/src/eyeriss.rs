@@ -129,8 +129,11 @@ mod tests {
         let plans = ir::lower(&s).unwrap();
         assert_eq!(plans.len(), 1);
         // Both R and P are spatial (the row-stationary grid).
-        let spaces: Vec<&str> =
-            plans[0].space_ranks().iter().map(|l| l.name.as_str()).collect();
+        let spaces: Vec<&str> = plans[0]
+            .space_ranks()
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
         assert_eq!(spaces, vec!["P", "R"]);
     }
 
@@ -141,11 +144,7 @@ mod tests {
             .map(|r| (0..6).map(|c| (r * 6 + c) as f64 + 1.0).collect())
             .collect();
         let i = Tensor::from_dense_2d("I", &["H", "W"], &image);
-        let f = Tensor::from_dense_2d(
-            "F",
-            &["R", "S"],
-            &[vec![1.0, 1.0], vec![1.0, 1.0]],
-        );
+        let f = Tensor::from_dense_2d("F", &["R", "S"], &[vec![1.0, 1.0], vec![1.0, 1.0]]);
         let sim = Simulator::new(s)
             .unwrap()
             .with_rank_extent("P", 5)

@@ -180,7 +180,10 @@ mod tests {
         let plans = ir::lower(&s).unwrap();
         let z = &plans[1];
         let t_plan = z.tensor_plan("T").unwrap();
-        assert!(t_plan.online_swizzle, "T reorders to [M, N, K] on the merger");
+        assert!(
+            t_plan.online_swizzle,
+            "T reorders to [M, N, K] on the merger"
+        );
         assert_eq!(*t_plan.working_order.last().unwrap(), "K0");
     }
 }

@@ -217,6 +217,9 @@ mod tests {
             s.binding.for_einsum("T").arch_config.as_deref(),
             Some("Multiply")
         );
-        assert_eq!(s.binding.for_einsum("Z").arch_config.as_deref(), Some("Merge"));
+        assert_eq!(
+            s.binding.for_einsum("Z").arch_config.as_deref(),
+            Some("Merge")
+        );
     }
 }

@@ -171,7 +171,12 @@ mod tests {
         // 1024 bits × 262144 = 32 MB data SRAM.
         let (sram, _) = cfg.find("DataSRAM").unwrap();
         match &sram.class {
-            teaal_core::spec::ComponentClass::Buffer { width, depth, bandwidth, .. } => {
+            teaal_core::spec::ComponentClass::Buffer {
+                width,
+                depth,
+                bandwidth,
+                ..
+            } => {
                 assert_eq!(width * depth / 8, 32 * 1024 * 1024);
                 assert_eq!(*bandwidth, 960e9);
             }

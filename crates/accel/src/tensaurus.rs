@@ -139,7 +139,10 @@ mod tests {
         let plans = ir::lower(&s).unwrap();
         assert_eq!(plans.len(), 1);
         assert_eq!(plans[0].loop_ranks.len(), 4);
-        assert!(plans[0].loop_ranks.iter().any(|l| l.name == "R" && l.is_space));
+        assert!(plans[0]
+            .loop_ranks
+            .iter()
+            .any(|l| l.name == "R" && l.is_space));
     }
 
     #[test]

@@ -335,9 +335,11 @@ pub fn yaml(design: GraphDesign, vertices: u64, weighted: bool) -> String {
                 "    intersect:\n",
                 "      - component: GatherIx\n",
             ));
-            for (einsum, reads) in
-                [("NP", ["R", "MP"]), ("M", ["NP", "MP"]), ("A1", ["M", "NP"])]
-            {
+            for (einsum, reads) in [
+                ("NP", ["R", "MP"]),
+                ("M", ["NP", "MP"]),
+                ("A1", ["M", "NP"]),
+            ] {
                 s.push_str(&format!("  {einsum}:\n    config: Default\n    storage:\n"));
                 for t in reads {
                     s.push_str(&edram(t, "V"));
@@ -365,9 +367,11 @@ pub fn yaml(design: GraphDesign, vertices: u64, weighted: bool) -> String {
                 "    intersect:\n",
                 "      - component: GatherIx\n",
             ));
-            for (einsum, reads) in
-                [("NP", ["R", "MP"]), ("M", ["NP", "MP"]), ("A1", ["M", "NP"])]
-            {
+            for (einsum, reads) in [
+                ("NP", ["R", "MP"]),
+                ("M", ["NP", "MP"]),
+                ("A1", ["M", "NP"]),
+            ] {
                 s.push_str(&format!("  {einsum}:\n    config: Default\n    storage:\n"));
                 for t in reads {
                     s.push_str(&edram(t, "V"));
@@ -403,7 +407,11 @@ mod tests {
 
     #[test]
     fn all_three_designs_parse() {
-        for d in [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal] {
+        for d in [
+            GraphDesign::Graphicionado,
+            GraphDesign::GraphDynS,
+            GraphDesign::Proposal,
+        ] {
             let s = spec(d, 65536, true);
             assert!(s.cascade.equations().len() >= 5, "{d:?}");
             assert_eq!(s.architecture.clock_hz, 1e9);
@@ -431,7 +439,11 @@ mod tests {
         }
         // And loads property chunks eagerly.
         let b = s.binding.for_einsum("MP");
-        let p0 = b.storage.iter().find(|st| st.tensor == "P0").expect("P0 bound");
+        let p0 = b
+            .storage
+            .iter()
+            .find(|st| st.tensor == "P0")
+            .expect("P0 bound");
         assert_eq!(p0.style, teaal_core::spec::BindStyle::Eager);
         assert_eq!(p0.rank, "V1");
     }
@@ -441,7 +453,11 @@ mod tests {
         let s = spec(GraphDesign::Proposal, 65536, false);
         assert!(s.mapping.partitioning_of("MP").is_empty());
         let b = s.binding.for_einsum("MP");
-        let p0 = b.storage.iter().find(|st| st.tensor == "P0").expect("P0 bound");
+        let p0 = b
+            .storage
+            .iter()
+            .find(|st| st.tensor == "P0")
+            .expect("P0 bound");
         assert_eq!(p0.style, teaal_core::spec::BindStyle::Lazy);
     }
 

@@ -25,7 +25,11 @@ fn all_accelerators_run_and_agree_on_wi() {
             .unwrap_or_else(|e| panic!("{} failed: {e}", accel.label()));
         assert!(report.dram_bytes() > 0, "{} must move data", accel.label());
         assert!(report.seconds > 0.0, "{} must take time", accel.label());
-        assert!(report.energy_joules > 0.0, "{} must burn energy", accel.label());
+        assert!(
+            report.energy_joules > 0.0,
+            "{} must burn energy",
+            accel.label()
+        );
         outputs.push((accel.label(), report.final_output().unwrap().clone()));
     }
     for w in outputs.windows(2) {
@@ -66,7 +70,10 @@ fn extensor_reports_partial_output_traffic() {
     let report = sim.run(&[a, b]).unwrap();
     // The K2 tile loop revisits output tiles: Fig. 9a's PO component.
     let z = &report.einsums[0];
-    assert!(z.output_partial_bytes > 0, "ExTensor should drain partial outputs");
+    assert!(
+        z.output_partial_bytes > 0,
+        "ExTensor should drain partial outputs"
+    );
 }
 
 #[test]

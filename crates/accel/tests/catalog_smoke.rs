@@ -1,0 +1,66 @@
+//! Catalog smoke test: every SpMSpM accelerator in the validation study
+//! (OuterSPACE, ExTensor, Gamma, SIGMA) must parse from its embedded
+//! YAML, validate, and lower to a non-trivial [`EinsumPlan`] list — the
+//! front half of the pipeline, independent of any simulator run.
+
+use teaal_accel::{catalog, SpmspmAccel};
+use teaal_core::ir::{infer_blocks, lower};
+
+#[test]
+fn all_four_spmspm_specs_parse_validate_and_lower() {
+    // Cascade lengths from the paper: OuterSPACE T+Z, ExTensor Z,
+    // Gamma T+Z, SIGMA S+T+Z.
+    let expected_einsums = [
+        (SpmspmAccel::OuterSpace, 2),
+        (SpmspmAccel::ExTensor, 1),
+        (SpmspmAccel::Gamma, 2),
+        (SpmspmAccel::Sigma, 3),
+    ];
+    for (accel, einsums) in expected_einsums {
+        // `spec()` panics if the embedded YAML fails to parse/validate.
+        let spec = accel.spec();
+        let plans =
+            lower(&spec).unwrap_or_else(|e| panic!("{} failed to lower: {e}", accel.label()));
+        assert_eq!(plans.len(), einsums, "{} cascade length", accel.label());
+        for plan in &plans {
+            assert!(
+                !plan.loop_ranks.is_empty(),
+                "{}: plan for {} has no loop ranks",
+                accel.label(),
+                plan.equation
+            );
+        }
+        // Fusion inference must place every plan in exactly one block.
+        let blocks = infer_blocks(&spec, &plans);
+        let mut covered: Vec<usize> = blocks.iter().flat_map(|b| b.members.clone()).collect();
+        covered.sort_unstable();
+        assert_eq!(
+            covered,
+            (0..plans.len()).collect::<Vec<_>>(),
+            "{}: fusion blocks must partition the cascade",
+            accel.label()
+        );
+        // And a simulator must be constructible from the lowered spec.
+        accel
+            .simulator()
+            .unwrap_or_else(|e| panic!("{} failed to build a simulator: {e}", accel.label()));
+    }
+}
+
+#[test]
+fn catalog_marks_exactly_the_modeled_accelerators() {
+    // Table 1's `modeled` flags must agree with what `SpmspmAccel::all()`
+    // (plus the Eyeriss/Tensaurus modules) actually ships.
+    let modeled: Vec<&str> = catalog::table1()
+        .into_iter()
+        .filter(|e| e.modeled)
+        .map(|e| e.name)
+        .collect();
+    for accel in SpmspmAccel::all() {
+        assert!(
+            modeled.contains(&accel.label()),
+            "{} is executable but not marked modeled in Table 1",
+            accel.label()
+        );
+    }
+}

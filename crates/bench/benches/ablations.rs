@@ -142,5 +142,10 @@ fn ablation_merger(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, ablation_intersect, ablation_partitioning, ablation_merger);
+criterion_group!(
+    benches,
+    ablation_intersect,
+    ablation_partitioning,
+    ablation_merger
+);
 criterion_main!(benches);

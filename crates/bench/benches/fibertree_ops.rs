@@ -35,12 +35,31 @@ fn bench_transforms(c: &mut Criterion) {
 fn bench_intersection(c: &mut Criterion) {
     let a = genmat::uniform("A", &["M", "K"], 1, 100_000, 5_000, 2);
     let b = genmat::uniform("B", &["M", "K"], 1, 100_000, 5_000, 3);
-    let fa = a.root_fiber().unwrap().iter().next().unwrap().payload.as_fiber().unwrap();
-    let fb = b.root_fiber().unwrap().iter().next().unwrap().payload.as_fiber().unwrap();
+    let fa = a
+        .root_fiber()
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .payload
+        .as_fiber()
+        .unwrap();
+    let fb = b
+        .root_fiber()
+        .unwrap()
+        .iter()
+        .next()
+        .unwrap()
+        .payload
+        .as_fiber()
+        .unwrap();
     let mut g = c.benchmark_group("fibertree_intersection");
     for (name, policy) in [
         ("two_finger", IntersectPolicy::TwoFinger),
-        ("leader_follower", IntersectPolicy::LeaderFollower { leader: 0 }),
+        (
+            "leader_follower",
+            IntersectPolicy::LeaderFollower { leader: 0 },
+        ),
         ("skip_ahead", IntersectPolicy::SkipAhead),
     ] {
         g.bench_with_input(BenchmarkId::new("policy", name), &policy, |bch, p| {

@@ -10,7 +10,11 @@ fn bench_traffic_models(c: &mut Criterion) {
     let (a, b) = spmspm_pair_by_tag("wi", 64);
     let mut g = c.benchmark_group("fig09_traffic_model");
     g.sample_size(10);
-    for accel in [SpmspmAccel::ExTensor, SpmspmAccel::Gamma, SpmspmAccel::OuterSpace] {
+    for accel in [
+        SpmspmAccel::ExTensor,
+        SpmspmAccel::Gamma,
+        SpmspmAccel::OuterSpace,
+    ] {
         let sim = accel.simulator().expect("lowers");
         g.bench_with_input(BenchmarkId::new("accel", accel.label()), &sim, |bch, s| {
             bch.iter(|| s.run(&[a.clone(), b.clone()]).expect("runs"))

@@ -11,7 +11,11 @@ fn bench_graph_models(c: &mut Criterion) {
     let root = g.hub();
     let mut grp = c.benchmark_group("fig13_graph_model");
     grp.sample_size(10);
-    for design in [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal] {
+    for design in [
+        GraphDesign::Graphicionado,
+        GraphDesign::GraphDynS,
+        GraphDesign::Proposal,
+    ] {
         grp.bench_with_input(
             BenchmarkId::new("bfs", design.label()),
             &design,

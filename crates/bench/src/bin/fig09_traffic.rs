@@ -6,8 +6,8 @@
 
 use teaal_accel::SpmspmAccel;
 use teaal_bench::{
-    algorithmic_min_bytes, arg_scale, arithmetic_mean, pct_error, print_table,
-    reported, spmspm_pair_by_tag, DEFAULT_MATRIX_SCALE,
+    algorithmic_min_bytes, arg_scale, arithmetic_mean, pct_error, print_table, reported,
+    spmspm_pair_by_tag, DEFAULT_MATRIX_SCALE,
 };
 
 fn run_accel(accel: SpmspmAccel, scale: u64) {
@@ -54,11 +54,17 @@ fn run_accel(accel: SpmspmAccel, scale: u64) {
         ));
     }
     print_table(
-        &format!("{fig}: {} normalized memory traffic (scale 1/{scale})", accel.label()),
+        &format!(
+            "{fig}: {} normalized memory traffic (scale 1/{scale})",
+            accel.label()
+        ),
         &["A", "B", "Z", "PO", "T", "total", "reported", "err %"],
         &rows,
     );
-    println!("mean |error| vs digitized reported bars: {:.1}%", arithmetic_mean(&errors));
+    println!(
+        "mean |error| vs digitized reported bars: {:.1}%",
+        arithmetic_mean(&errors)
+    );
 }
 
 fn main() {
@@ -69,7 +75,11 @@ fn main() {
         "extensor" => vec![SpmspmAccel::ExTensor],
         "gamma" => vec![SpmspmAccel::Gamma],
         "outerspace" => vec![SpmspmAccel::OuterSpace],
-        _ => vec![SpmspmAccel::ExTensor, SpmspmAccel::Gamma, SpmspmAccel::OuterSpace],
+        _ => vec![
+            SpmspmAccel::ExTensor,
+            SpmspmAccel::Gamma,
+            SpmspmAccel::OuterSpace,
+        ],
     };
     for accel in accels {
         run_accel(accel, scale);

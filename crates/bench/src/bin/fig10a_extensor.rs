@@ -9,7 +9,9 @@ use teaal_bench::{
     arg_scale, arithmetic_mean, pct_error, print_table, reported, spmspm_pair_by_tag,
     DEFAULT_MATRIX_SCALE,
 };
-use teaal_workloads::baselines::{spgemm_cpu_bytes, spmspm_multiplies, CpuBaseline, SparseloopLike};
+use teaal_workloads::baselines::{
+    spgemm_cpu_bytes, spmspm_multiplies, CpuBaseline, SparseloopLike,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();

@@ -33,5 +33,8 @@ fn main() {
         &["reported", "TeAAL"],
         &rows,
     );
-    println!("mean |error|: {:.1}% (paper: 6.6%)", arithmetic_mean(&errors));
+    println!(
+        "mean |error|: {:.1}% (paper: 6.6%)",
+        arithmetic_mean(&errors)
+    );
 }

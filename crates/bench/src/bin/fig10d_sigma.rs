@@ -46,9 +46,8 @@ fn main() {
         &["reported", "TeAAL"],
         &rows,
     );
-    let geomean = |xs: &[f64]| -> f64 {
-        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
-    };
+    let geomean =
+        |xs: &[f64]| -> f64 { (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp() };
     let measured: Vec<f64> = rows.iter().map(|(_, v)| v[1]).collect();
     let reported_v: Vec<f64> = rows.iter().map(|(_, v)| v[0]).collect();
     println!(

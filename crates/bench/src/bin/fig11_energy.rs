@@ -41,5 +41,8 @@ fn main() {
         &["reported (mJ)", "TeAAL (mJ)", "rescaled (mJ)"],
         &rows,
     );
-    println!("mean |error| after rescale: {:.1}% (paper: 7.8%)", arithmetic_mean(&errors));
+    println!(
+        "mean |error| after rescale: {:.1}% (paper: 7.8%)",
+        arithmetic_mean(&errors)
+    );
 }

@@ -39,7 +39,10 @@ fn speedups(algo: Algorithm, scale: u64) {
         let s_pr = base / pr.metrics.total_seconds();
         improvement.push(s_pr / s_gd);
         let (rep_gd, rep_pr) = repd[i];
-        rows.push((tag.to_string(), vec![rep_gd, rep_pr, s_gd, s_pr, s_pr / s_gd]));
+        rows.push((
+            tag.to_string(),
+            vec![rep_gd, rep_pr, s_gd, s_pr, s_pr / s_gd],
+        ));
     }
     print_table(
         &format!(
@@ -74,7 +77,10 @@ fn apply_ops(scale: u64) {
         .max(gd.metrics.iterations.len())
         .max(pr.metrics.iterations.len());
     let at = |m: &teaal_graph::RunMetrics, i: usize| {
-        m.iterations.get(i).map(|s| s.apply_ops as f64).unwrap_or(0.0)
+        m.iterations
+            .get(i)
+            .map(|s| s.apply_ops as f64)
+            .unwrap_or(0.0)
     };
     let mut rows = Vec::new();
     for i in 0..iters {

@@ -4,7 +4,10 @@ use teaal_accel::catalog;
 
 fn main() {
     println!("== Table 1: selected sparse tensor accelerator proposals ==");
-    println!("{:<14}{:<6}{:<55}Modeled here", "Accelerator", "Year", "Mapping approach");
+    println!(
+        "{:<14}{:<6}{:<55}Modeled here",
+        "Accelerator", "Year", "Mapping approach"
+    );
     for e in catalog::table1() {
         println!(
             "{:<14}{:<6}{:<55}{}",

@@ -19,8 +19,7 @@ fn main() {
         }
         let edges = cascade.dag_edges();
         if !edges.is_empty() {
-            let dag: Vec<String> =
-                edges.iter().map(|(p, c)| format!("{p}→{c}")).collect();
+            let dag: Vec<String> = edges.iter().map(|(p, c)| format!("{p}→{c}")).collect();
             println!("  DAG: {}", dag.join(", "));
         }
     }

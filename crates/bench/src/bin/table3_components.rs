@@ -5,8 +5,14 @@ fn main() {
     let rows = [
         ("DRAM", "bandwidth"),
         ("Buffer", "type (buffet or cache), width, depth, bandwidth"),
-        ("Intersection", "type (two-finger, leader-follower, or skip-ahead), leader"),
-        ("Merger", "inputs, comparator_radix, outputs, order (fifo, opt), reduce"),
+        (
+            "Intersection",
+            "type (two-finger, leader-follower, or skip-ahead), leader",
+        ),
+        (
+            "Merger",
+            "inputs, comparator_radix, outputs, order (fifo, opt), reduce",
+        ),
         ("Sequencer", "num_ranks"),
         ("Compute", "type (mul or add)"),
     ];

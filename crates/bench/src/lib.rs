@@ -127,8 +127,10 @@ mod tests {
 
     #[test]
     fn arg_scale_parses_and_defaults() {
-        let args: Vec<String> =
-            ["prog", "--scale", "32"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["prog", "--scale", "32"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_scale(&args, "--scale", 8), 32);
         assert_eq!(arg_scale(&args, "--missing", 8), 8);
     }

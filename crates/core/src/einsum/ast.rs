@@ -22,7 +22,10 @@ pub struct IndexExpr {
 impl IndexExpr {
     /// A single-variable index.
     pub fn var(name: &str) -> Self {
-        IndexExpr { vars: vec![name.to_string()], offset: 0 }
+        IndexExpr {
+            vars: vec![name.to_string()],
+            offset: 0,
+        }
     }
 
     /// Whether this is a single plain variable with no offset.
@@ -84,7 +87,10 @@ impl TensorAccess {
 
     /// All index variables appearing in this access.
     pub fn vars(&self) -> BTreeSet<String> {
-        self.indices.iter().flat_map(|i| i.vars.iter().cloned()).collect()
+        self.indices
+            .iter()
+            .flat_map(|i| i.vars.iter().cloned())
+            .collect()
     }
 }
 
@@ -151,9 +157,7 @@ impl Rhs {
     /// All tensor accesses on the right-hand side, in source order.
     pub fn accesses(&self) -> Vec<&TensorAccess> {
         match self {
-            Rhs::SumOfProducts(terms) => {
-                terms.iter().flat_map(|(_, p)| p.factors.iter()).collect()
-            }
+            Rhs::SumOfProducts(terms) => terms.iter().flat_map(|(_, p)| p.factors.iter()).collect(),
             Rhs::Take { args, .. } => args.iter().collect(),
         }
     }
@@ -245,7 +249,10 @@ impl Equation {
     /// Rank ids reduced over (in the iteration space but not the output).
     pub fn reduction_ranks(&self) -> Vec<String> {
         let out: BTreeSet<String> = self.output_ranks().into_iter().collect();
-        self.iteration_ranks().into_iter().filter(|r| !out.contains(r)).collect()
+        self.iteration_ranks()
+            .into_iter()
+            .filter(|r| !out.contains(r))
+            .collect()
     }
 
     /// Names of the input tensors read by this equation, in source order
@@ -297,7 +304,10 @@ mod tests {
 
     #[test]
     fn affine_index_evaluation() {
-        let ix = IndexExpr { vars: vec!["q".into(), "s".into()], offset: 0 };
+        let ix = IndexExpr {
+            vars: vec!["q".into(), "s".into()],
+            offset: 0,
+        };
         let val = ix.eval(|v| match v {
             "q" => Some(3),
             "s" => Some(2),
@@ -310,7 +320,10 @@ mod tests {
 
     #[test]
     fn negative_index_results_are_rejected() {
-        let ix = IndexExpr { vars: vec!["q".into()], offset: -5 };
+        let ix = IndexExpr {
+            vars: vec!["q".into()],
+            offset: -5,
+        };
         assert_eq!(ix.eval(|_| Some(3)), None);
         assert_eq!(ix.eval(|_| Some(7)), Some(2));
     }

@@ -53,7 +53,10 @@ impl Cascade {
         for eq in &mut equations {
             expand_bare_accesses(eq, &declarations)?;
         }
-        let cascade = Cascade { declarations, equations };
+        let cascade = Cascade {
+            declarations,
+            equations,
+        };
         cascade.validate()?;
         Ok(cascade)
     }
@@ -142,8 +145,7 @@ impl Cascade {
     /// Tensor names that are inputs to the whole cascade (read but never
     /// produced).
     pub fn cascade_inputs(&self) -> Vec<String> {
-        let produced: BTreeSet<&str> =
-            self.equations.iter().map(|e| e.name()).collect();
+        let produced: BTreeSet<&str> = self.equations.iter().map(|e| e.name()).collect();
         let mut seen = BTreeSet::new();
         let mut out = Vec::new();
         for eq in &self.equations {
@@ -197,13 +199,14 @@ fn expand_bare_accesses(
     let ranks = |t: &str| -> Option<Vec<String>> { declarations.get(t).cloned() };
     let fill = |access: &mut TensorAccess, ranks: &[String]| {
         if access.indices.is_empty() && !ranks.is_empty() {
-            access.indices =
-                ranks.iter().map(|r| IndexExpr::var(&r.to_lowercase())).collect();
+            access.indices = ranks
+                .iter()
+                .map(|r| IndexExpr::var(&r.to_lowercase()))
+                .collect();
         }
     };
-    let donor = ranks(&eq.output.tensor).or_else(|| {
-        eq.rhs.accesses().iter().find_map(|a| ranks(&a.tensor))
-    });
+    let donor = ranks(&eq.output.tensor)
+        .or_else(|| eq.rhs.accesses().iter().find_map(|a| ranks(&a.tensor)));
     if let Some(donor) = donor {
         fill(&mut eq.output, &donor);
         if let Rhs::SumOfProducts(terms) = &mut eq.rhs {
@@ -217,14 +220,25 @@ fn expand_bare_accesses(
     Ok(())
 }
 
-/// Returns the paper's Table 2 cascades as `(label, declarations,
-/// equations)` triples — used by the Table 2 regenerator and tests.
-pub fn table2_cascades() -> Vec<(&'static str, Vec<(&'static str, Vec<&'static str>)>, Vec<&'static str>)>
-{
+/// One Table 2 cascade: `(label, declarations, equations)`, where each
+/// declaration is a `(tensor, rank ids)` pair.
+pub type CascadeRow = (
+    &'static str,
+    Vec<(&'static str, Vec<&'static str>)>,
+    Vec<&'static str>,
+);
+
+/// Returns the paper's Table 2 cascades — used by the Table 2
+/// regenerator and tests.
+pub fn table2_cascades() -> Vec<CascadeRow> {
     vec![
         (
             "ExTensor SpMSpM",
-            vec![("A", vec!["K", "M"]), ("B", vec!["K", "N"]), ("Z", vec!["M", "N"])],
+            vec![
+                ("A", vec!["K", "M"]),
+                ("B", vec!["K", "N"]),
+                ("Z", vec!["M", "N"]),
+            ],
             vec!["Z[m, n] = A[k, m] * B[k, n]"],
         ),
         (
@@ -235,7 +249,10 @@ pub fn table2_cascades() -> Vec<(&'static str, Vec<(&'static str, Vec<&'static s
                 ("T", vec!["K", "M", "N"]),
                 ("Z", vec!["M", "N"]),
             ],
-            vec!["T[k, m, n] = take(A[k, m], B[k, n], 1)", "Z[m, n] = A[k, m] * T[k, m, n]"],
+            vec![
+                "T[k, m, n] = take(A[k, m], B[k, n], 1)",
+                "Z[m, n] = A[k, m] * T[k, m, n]",
+            ],
         ),
         (
             "OuterSPACE SpMSpM",
@@ -303,7 +320,10 @@ pub fn table2_cascades() -> Vec<(&'static str, Vec<(&'static str, Vec<&'static s
                 ("S", vec!["I", "J", "R"]),
                 ("C", vec!["I", "R"]),
             ],
-            vec!["S[i, j, r] = T[i, j, k] * A[k, r]", "C[i, r] = S[i, j, r] * B[j, r]"],
+            vec![
+                "S[i, j, r] = T[i, j, k] * A[k, r]",
+                "C[i, r] = S[i, j, r] * B[j, r]",
+            ],
         ),
         (
             "Cooley-Tukey FFT step",
@@ -334,9 +354,7 @@ mod tests {
     fn decls(pairs: &[(&str, &[&str])]) -> BTreeMap<String, Vec<String>> {
         pairs
             .iter()
-            .map(|(t, rs)| {
-                (t.to_string(), rs.iter().map(|r| r.to_string()).collect())
-            })
+            .map(|(t, rs)| (t.to_string(), rs.iter().map(|r| r.to_string()).collect()))
             .collect()
     }
 
@@ -383,11 +401,7 @@ mod tests {
 
     #[test]
     fn bare_alias_is_expanded() {
-        let c = Cascade::new(
-            decls(&[("P0", &["V"]), ("P1", &["V"])]),
-            &["P1 = P0"],
-        )
-        .unwrap();
+        let c = Cascade::new(decls(&[("P0", &["V"]), ("P1", &["V"])]), &["P1 = P0"]).unwrap();
         let eq = &c.equations()[0];
         assert_eq!(eq.output.indices.len(), 1);
         assert_eq!(eq.rhs.accesses()[0].indices.len(), 1);
@@ -415,9 +429,7 @@ mod tests {
         for (label, declarations, equations) in table2_cascades() {
             let d = declarations
                 .into_iter()
-                .map(|(t, rs)| {
-                    (t.to_string(), rs.into_iter().map(str::to_string).collect())
-                })
+                .map(|(t, rs)| (t.to_string(), rs.into_iter().map(str::to_string).collect()))
                 .collect();
             let c = Cascade::new(d, &equations);
             assert!(c.is_ok(), "cascade {label:?} failed: {:?}", c.err());
@@ -433,7 +445,10 @@ mod tests {
                 ("T", &["K", "M", "N"]),
                 ("Z", &["M", "N"]),
             ]),
-            &["T[k, m, n] = take(A[k, m], B[k, n], 1)", "Z[m, n] = A[k, m] * T[k, m, n]"],
+            &[
+                "T[k, m, n] = take(A[k, m], B[k, n], 1)",
+                "Z[m, n] = A[k, m] * T[k, m, n]",
+            ],
         )
         .unwrap();
         assert_eq!(c.dag_edges(), vec![("T".to_string(), "Z".to_string())]);

@@ -38,7 +38,10 @@ pub fn parse_equation(src: &str) -> Result<Equation, SpecError> {
     let rhs = p.rhs()?;
     p.skip_ws();
     if p.pos != p.src.len() {
-        return Err(p.err(format!("trailing input after equation: {:?}", &p.src[p.pos..])));
+        return Err(p.err(format!(
+            "trailing input after equation: {:?}",
+            &p.src[p.pos..]
+        )));
     }
     Ok(Equation { output, rhs })
 }
@@ -50,13 +53,14 @@ struct Parser<'s> {
 
 impl<'s> Parser<'s> {
     fn err(&self, message: String) -> SpecError {
-        SpecError::Einsum { message, source_text: self.src.to_string() }
+        SpecError::Einsum {
+            message,
+            source_text: self.src.to_string(),
+        }
     }
 
     fn skip_ws(&mut self) {
-        while self.pos < self.src.len()
-            && self.src.as_bytes()[self.pos].is_ascii_whitespace()
-        {
+        while self.pos < self.src.len() && self.src.as_bytes()[self.pos].is_ascii_whitespace() {
             self.pos += 1;
         }
     }
@@ -117,7 +121,11 @@ impl<'s> Parser<'s> {
         loop {
             // Last argument is the integer selector.
             self.skip_ws();
-            if self.src[self.pos..].chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            if self.src[self.pos..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_ascii_digit())
+            {
                 let which = self.integer()?;
                 self.expect(')')?;
                 if args.len() < 2 {
@@ -126,9 +134,7 @@ impl<'s> Parser<'s> {
                 let which = usize::try_from(which)
                     .ok()
                     .filter(|w| *w < args.len())
-                    .ok_or_else(|| {
-                        self.err(format!("take() selector {which} out of range"))
-                    })?;
+                    .ok_or_else(|| self.err(format!("take() selector {which} out of range")))?;
                 return Ok(Rhs::Take { args, which });
             }
             args.push(self.access()?);

@@ -48,7 +48,10 @@ impl fmt::Display for SpecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SpecError::Yaml(e) => write!(f, "{e}"),
-            SpecError::Einsum { message, source_text } => {
+            SpecError::Einsum {
+                message,
+                source_text,
+            } => {
                 write!(f, "einsum parse error in `{source_text}`: {message}")
             }
             SpecError::Structure { path, message } => {

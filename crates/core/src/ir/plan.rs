@@ -187,8 +187,7 @@ impl EinsumPlan {
 /// (loop orders not covering the iteration space, flatten targets the
 /// tensor lacks, ...).
 pub fn lower(spec: &TeaalSpec) -> Result<Vec<EinsumPlan>, SpecError> {
-    let intermediates: BTreeSet<String> =
-        spec.cascade.intermediates().into_iter().collect();
+    let intermediates: BTreeSet<String> = spec.cascade.intermediates().into_iter().collect();
     spec.cascade
         .equations()
         .iter()
@@ -251,7 +250,10 @@ fn lower_einsum(
     plans.sort_by_key(|p| {
         (
             !leader_names.contains(&p.tensor),
-            input_tensors.iter().position(|t| *t == p.tensor).unwrap_or(usize::MAX),
+            input_tensors
+                .iter()
+                .position(|t| *t == p.tensor)
+                .unwrap_or(usize::MAX),
         )
     });
 
@@ -263,7 +265,14 @@ fn lower_einsum(
             .iter()
             .find(|p| p.tensor == access.tensor)
             .expect("every access has a tensor plan");
-        access_roles.push(compute_roles(spec, eq, access, plan, &loop_ranks, &rank_space)?);
+        access_roles.push(compute_roles(
+            spec,
+            eq,
+            access,
+            plan,
+            &loop_ranks,
+            &rank_space,
+        )?);
     }
 
     // Output plan.
@@ -309,9 +318,14 @@ fn build_loop_rank(
         .iter()
         .chain(spacetime.space.iter())
         .any(|s| s.rank == rank && s.coord_stamped);
-    let reduction =
-        !binds.is_empty() && binds.iter().all(|(root, _)| !output_roots.contains(root));
-    LoopRank { name: rank.to_string(), binds, is_space, coord_stamped, reduction }
+    let reduction = !binds.is_empty() && binds.iter().all(|(root, _)| !output_roots.contains(root));
+    LoopRank {
+        name: rank.to_string(),
+        binds,
+        is_space,
+        coord_stamped,
+        reduction,
+    }
 }
 
 /// Plans all input tensors of one Einsum together: partitioning decisions
@@ -334,8 +348,9 @@ fn plan_tensors(
     }
     let mut states: Vec<St> = Vec::new();
     for tensor in eq.input_tensors() {
-        let initial_order =
-            spec.rank_order_of(&tensor).ok_or_else(|| SpecError::Lowering {
+        let initial_order = spec
+            .rank_order_of(&tensor)
+            .ok_or_else(|| SpecError::Lowering {
                 einsum: name.to_string(),
                 message: format!("tensor {tensor} has no declaration or rank-order"),
             })?;
@@ -369,8 +384,12 @@ fn plan_tensors(
                         .iter()
                         .position(|r| comps.contains(r))
                         .expect("components exist");
-                    let mut desired: Vec<String> =
-                        st.cur.iter().filter(|r| !comps.contains(r)).cloned().collect();
+                    let mut desired: Vec<String> = st
+                        .cur
+                        .iter()
+                        .filter(|r| !comps.contains(r))
+                        .cloned()
+                        .collect();
                     for (i, c) in comps.iter().enumerate() {
                         desired.insert((pos + i).min(desired.len()), c.clone());
                     }
@@ -391,10 +410,12 @@ fn plan_tensors(
                 }
             }
             crate::spec::mapping::PartitionTarget::Rank(r) => {
-                let chain = rank_space.split_chain(r).ok_or_else(|| SpecError::Lowering {
-                    einsum: name.to_string(),
-                    message: format!("no split chain recorded for rank {r}"),
-                })?;
+                let chain = rank_space
+                    .split_chain(r)
+                    .ok_or_else(|| SpecError::Lowering {
+                        einsum: name.to_string(),
+                        message: format!("no split chain recorded for rank {r}"),
+                    })?;
                 // Leader of the first occupancy op (if any) and the rank
                 // context above the split in the leader's current order.
                 let first_leader = d.ops.iter().find_map(|op| match op {
@@ -417,16 +438,19 @@ fn plan_tensors(
                     // to followers whose rank sits in the same context;
                     // other tensors project at the bottom rank instead.
                     if let Some(leader) = &first_leader {
-                        let adopts = &st.tensor == leader
-                            || leader_ctx.as_deref() == Some(&st.cur[..pos]);
+                        let adopts =
+                            &st.tensor == leader || leader_ctx.as_deref() == Some(&st.cur[..pos]);
                         if !adopts {
                             continue;
                         }
                     }
                     let n = d.ops.len();
                     for (i, op) in d.ops.iter().enumerate() {
-                        let target_rank =
-                            if i == 0 { r.clone() } else { format!("{r}{}", n - i) };
+                        let target_rank = if i == 0 {
+                            r.clone()
+                        } else {
+                            format!("{r}{}", n - i)
+                        };
                         let upper = chain[i].clone();
                         let lower = format!("{r}{}", n - i - 1);
                         let step = match op {
@@ -495,9 +519,10 @@ fn plan_tensors(
             }
             if rank_space.is_bottom(l) {
                 for (root, _) in rank_space.bindings_of(l) {
-                    if let Some(p) = remaining.iter().position(|r| {
-                        *r == root || rank_space.roots_of(r) == vec![root.clone()]
-                    }) {
+                    if let Some(p) = remaining
+                        .iter()
+                        .position(|r| *r == root || rank_space.roots_of(r) == vec![root.clone()])
+                    {
                         working.push(remaining.remove(p));
                     }
                 }
@@ -556,7 +581,9 @@ fn compute_roles(
             while next_index < access.indices.len() {
                 let ix = &access.indices[next_index];
                 if ix.vars.iter().all(|v| bound.contains(v)) {
-                    roles[li].push(Descent::Affine { index_pos: next_index });
+                    roles[li].push(Descent::Affine {
+                        index_pos: next_index,
+                    });
                     next_index += 1;
                 } else {
                     break;
@@ -601,7 +628,9 @@ fn compute_roles(
             };
             match l.binds.iter().find(|(root, _)| *root == single_root) {
                 Some((_, component)) => {
-                    roles[li].push(Descent::Project { component: *component });
+                    roles[li].push(Descent::Project {
+                        component: *component,
+                    });
                     ptr += 1;
                     // Multiple ranks may resolve at one bottom rank.
                     continue;

@@ -92,17 +92,22 @@ impl RankSpace {
                         .position(|l| l == &comps[0])
                         .expect("checked leaf");
                     space.leaves.retain(|l| !comps.contains(l));
-                    space.leaves.insert(pos.min(space.leaves.len()), name.clone());
+                    space
+                        .leaves
+                        .insert(pos.min(space.leaves.len()), name.clone());
                     for c in comps {
                         space.consumed.push(c.clone());
                     }
-                    space
-                        .defs
-                        .insert(name, RankDef::Flattened { components: comps.clone() });
+                    space.defs.insert(
+                        name,
+                        RankDef::Flattened {
+                            components: comps.clone(),
+                        },
+                    );
                 }
                 (PartitionTarget::Tuple(_), _) => {
                     return Err(err(
-                        "tuple targets support only the flatten() directive".into(),
+                        "tuple targets support only the flatten() directive".into()
                     ))
                 }
                 (PartitionTarget::Rank(r), ops) => {
@@ -197,7 +202,11 @@ impl RankSpace {
         if !self.is_bottom(rank) {
             return Vec::new();
         }
-        self.roots_of(rank).into_iter().enumerate().map(|(i, r)| (r, i)).collect()
+        self.roots_of(rank)
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| (r, i))
+            .collect()
     }
 
     /// The split chain (outermost first) that a partition target expanded
@@ -217,7 +226,7 @@ impl RankSpace {
         if chain.is_empty() {
             return None;
         }
-        chain.sort_by(|a, b| b.0.cmp(&a.0));
+        chain.sort_by_key(|(level, _)| std::cmp::Reverse(*level));
         Some(chain.into_iter().map(|(_, n)| n).collect())
     }
 }
@@ -254,7 +263,10 @@ mod tests {
         assert!(rs.is_bottom("KM0"));
         assert!(!rs.is_bottom("KM1"));
         assert!(!rs.is_bottom("KM2"));
-        assert_eq!(rs.bindings_of("KM0"), vec![("K".to_string(), 0), ("M".to_string(), 1)]);
+        assert_eq!(
+            rs.bindings_of("KM0"),
+            vec![("K".to_string(), 0), ("M".to_string(), 1)]
+        );
         assert_eq!(
             rs.split_chain("KM").unwrap(),
             vec!["KM2".to_string(), "KM1".to_string(), "KM0".to_string()]

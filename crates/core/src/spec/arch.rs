@@ -191,7 +191,10 @@ impl ArchSpec {
     ///
     /// Returns [`SpecError::Structure`] on malformed sections.
     pub fn from_yaml(node: &Yaml) -> Result<Self, SpecError> {
-        let mut spec = ArchSpec { clock_hz: 1e9, configs: BTreeMap::new() };
+        let mut spec = ArchSpec {
+            clock_hz: 1e9,
+            configs: BTreeMap::new(),
+        };
         if let Some(clock) = node.get("clock") {
             spec.clock_hz = clock.as_f64().ok_or_else(|| SpecError::Structure {
                 path: "architecture.clock".into(),
@@ -211,7 +214,10 @@ impl ArchSpec {
         match name {
             Some(n) => self.configs.get(n),
             None if self.configs.len() == 1 => self.configs.values().next(),
-            None => self.configs.get("Default").or_else(|| self.configs.values().next()),
+            None => self
+                .configs
+                .get("Default")
+                .or_else(|| self.configs.values().next()),
         }
     }
 }
@@ -228,19 +234,26 @@ fn parse_level(node: &Yaml, path: &str) -> Result<ArchLevel, SpecError> {
     };
     if let Some(local) = node.get("local") {
         for (i, comp) in local.items().unwrap_or(&[]).iter().enumerate() {
-            level.local.push(parse_component(comp, &format!("{path}.local[{i}]"))?);
+            level
+                .local
+                .push(parse_component(comp, &format!("{path}.local[{i}]"))?);
         }
     }
     if let Some(sub) = node.get("subtree") {
         for (i, child) in sub.items().unwrap_or(&[]).iter().enumerate() {
-            level.subtrees.push(parse_level(child, &format!("{path}.subtree[{i}]"))?);
+            level
+                .subtrees
+                .push(parse_level(child, &format!("{path}.subtree[{i}]"))?);
         }
     }
     Ok(level)
 }
 
 fn parse_component(node: &Yaml, path: &str) -> Result<Component, SpecError> {
-    let err = |message: String| SpecError::Structure { path: path.to_string(), message };
+    let err = |message: String| SpecError::Structure {
+        path: path.to_string(),
+        message,
+    };
     let name = node
         .get("name")
         .and_then(Yaml::as_str)
@@ -255,15 +268,24 @@ fn parse_component(node: &Yaml, path: &str) -> Result<Component, SpecError> {
         node.get(key).and_then(|v| v.as_f64()).unwrap_or(default)
     };
     let class = match class_name.as_str() {
-        "dram" => ComponentClass::Dram { bandwidth: num("bandwidth", 64e9) },
+        "dram" => ComponentClass::Dram {
+            bandwidth: num("bandwidth", 64e9),
+        },
         "buffet" | "cache" => ComponentClass::Buffer {
-            kind: if class_name == "cache" { BufferKind::Cache } else { BufferKind::Buffet },
+            kind: if class_name == "cache" {
+                BufferKind::Cache
+            } else {
+                BufferKind::Buffet
+            },
             width: num("width", 64.0) as u64,
             depth: num("depth", 1024.0) as u64,
             bandwidth: num("bandwidth", 1e12),
         },
         "intersect" => {
-            let policy = match node.get("type").and_then(Yaml::as_str).unwrap_or("two-finger")
+            let policy = match node
+                .get("type")
+                .and_then(Yaml::as_str)
+                .unwrap_or("two-finger")
             {
                 "two-finger" => IntersectPolicy::TwoFinger,
                 "leader-follower" => IntersectPolicy::LeaderFollower {
@@ -285,7 +307,9 @@ fn parse_component(node: &Yaml, path: &str) -> Result<Component, SpecError> {
             },
             reduce: node.get("reduce").and_then(Yaml::as_bool).unwrap_or(false),
         },
-        "sequencer" => ComponentClass::Sequencer { num_ranks: num("num_ranks", 1.0) as u64 },
+        "sequencer" => ComponentClass::Sequencer {
+            num_ranks: num("num_ranks", 1.0) as u64,
+        },
         "compute" => ComponentClass::Compute {
             op: match node.get("op").and_then(Yaml::as_str).unwrap_or("mul") {
                 "mul" => ComputeOp::Mul,
@@ -344,7 +368,10 @@ mod tests {
         let cfg = spec.config(Some("Multiply")).unwrap();
         let (alu, total) = cfg.find("ALU").unwrap();
         assert_eq!(total, 256); // 16 PTs × 16 PEs
-        assert!(matches!(alu.class, ComponentClass::Compute { op: ComputeOp::Mul }));
+        assert!(matches!(
+            alu.class,
+            ComponentClass::Compute { op: ComputeOp::Mul }
+        ));
         let (_, l0s) = cfg.find("L0").unwrap();
         assert_eq!(l0s, 16);
         let (_, hbms) = cfg.find("HBM").unwrap();
@@ -362,8 +389,11 @@ mod tests {
     fn all_components_enumerates_tree() {
         let spec = sample();
         let cfg = spec.config(None).unwrap();
-        let names: Vec<&str> =
-            cfg.all_components().iter().map(|(c, _)| c.name.as_str()).collect();
+        let names: Vec<&str> = cfg
+            .all_components()
+            .iter()
+            .map(|(c, _)| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["HBM", "L0", "ALU"]);
     }
 
@@ -388,17 +418,21 @@ mod tests {
         let (ix, _) = cfg.find("IX").unwrap();
         assert!(matches!(
             ix.class,
-            ComponentClass::Intersect { policy: IntersectPolicy::SkipAhead }
+            ComponentClass::Intersect {
+                policy: IntersectPolicy::SkipAhead
+            }
         ));
         let (mg, _) = cfg.find("MG").unwrap();
-        assert!(matches!(mg.class, ComponentClass::Merger { reduce: true, .. }));
+        assert!(matches!(
+            mg.class,
+            ComponentClass::Merger { reduce: true, .. }
+        ));
     }
 
     #[test]
     fn unknown_class_is_rejected() {
-        let doc =
-            yaml::parse("configs:\n  D:\n    local:\n      - name: X\n        class: warp\n")
-                .unwrap();
+        let doc = yaml::parse("configs:\n  D:\n    local:\n      - name: X\n        class: warp\n")
+            .unwrap();
         assert!(ArchSpec::from_yaml(&doc).is_err());
     }
 }

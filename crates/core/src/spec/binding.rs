@@ -192,12 +192,13 @@ impl BindingSpec {
             {
                 let path = format!("binding.{einsum}.storage[{i}]");
                 let need = |key: &str| -> Result<String, SpecError> {
-                    s.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
-                        SpecError::Structure {
+                    s.get(key)
+                        .and_then(Yaml::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| SpecError::Structure {
                             path: path.clone(),
                             message: format!("missing {key}"),
-                        }
-                    })
+                        })
                 };
                 eb.storage.push(StorageBinding {
                     component: need("component")?,
@@ -224,14 +225,18 @@ impl BindingSpec {
             {
                 let path = format!("binding.{einsum}.compute[{i}]");
                 let need = |key: &str| -> Result<String, SpecError> {
-                    c.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
-                        SpecError::Structure {
+                    c.get(key)
+                        .and_then(Yaml::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| SpecError::Structure {
                             path: path.clone(),
                             message: format!("missing {key}"),
-                        }
-                    })
+                        })
                 };
-                eb.compute.push(ComputeBinding { component: need("component")?, op: need("op")? });
+                eb.compute.push(ComputeBinding {
+                    component: need("component")?,
+                    op: need("op")?,
+                });
             }
             for (i, m) in b
                 .get("merger")
@@ -242,15 +247,18 @@ impl BindingSpec {
             {
                 let path = format!("binding.{einsum}.merger[{i}]");
                 let need = |key: &str| -> Result<String, SpecError> {
-                    m.get(key).and_then(Yaml::as_str).map(str::to_string).ok_or_else(|| {
-                        SpecError::Structure {
+                    m.get(key)
+                        .and_then(Yaml::as_str)
+                        .map(str::to_string)
+                        .ok_or_else(|| SpecError::Structure {
                             path: path.clone(),
                             message: format!("missing {key}"),
-                        }
-                    })
+                        })
                 };
-                eb.mergers
-                    .push(MergerBinding { component: need("component")?, tensor: need("tensor")? });
+                eb.mergers.push(MergerBinding {
+                    component: need("component")?,
+                    tensor: need("tensor")?,
+                });
             }
             for (i, m) in b
                 .get("intersect")

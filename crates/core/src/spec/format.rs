@@ -157,20 +157,16 @@ impl TensorFormat {
             match rf.format {
                 FormatType::C => {
                     // occupancy-proportional: sum over fibers collapses.
-                    bits += rf.fhbits * fiber_count as u64
-                        + (rf.cbits + rf.pbits) * total_occ as u64;
+                    bits +=
+                        rf.fhbits * fiber_count as u64 + (rf.cbits + rf.pbits) * total_occ as u64;
                 }
                 FormatType::U | FormatType::B => {
                     for _ in 0..fiber_count {
-                        bits += rf.fiber_bits(
-                            (total_occ / fiber_count.max(1)) as u64,
-                            extent,
-                        );
+                        bits += rf.fiber_bits((total_occ / fiber_count.max(1)) as u64, extent);
                     }
                     // Correct the occupancy-dependent part for B exactly.
                     if rf.format == FormatType::B {
-                        let approx = (total_occ / fiber_count.max(1)) as u64
-                            * fiber_count as u64;
+                        let approx = (total_occ / fiber_count.max(1)) as u64 * fiber_count as u64;
                         bits -= rf.pbits * approx;
                         bits += rf.pbits * total_occ as u64;
                     }
@@ -235,13 +231,10 @@ impl FormatSpec {
                         };
                         match key.as_str() {
                             "format" => {
-                                rf.format = FormatType::parse(
-                                    value.as_str().unwrap_or_default(),
-                                )?;
+                                rf.format = FormatType::parse(value.as_str().unwrap_or_default())?;
                             }
                             "layout" => {
-                                rf.layout =
-                                    Layout::parse(value.as_str().unwrap_or_default())?;
+                                rf.layout = Layout::parse(value.as_str().unwrap_or_default())?;
                             }
                             "cbits" => rf.cbits = value.as_u64().ok_or_else(need_int)?,
                             "pbits" => rf.pbits = value.as_u64().ok_or_else(need_int)?,
@@ -293,11 +286,29 @@ mod tests {
 
     #[test]
     fn rank_format_bits_by_type() {
-        let u = RankFormat { format: FormatType::U, cbits: 0, pbits: 32, fhbits: 0, ..RankFormat::default() };
+        let u = RankFormat {
+            format: FormatType::U,
+            cbits: 0,
+            pbits: 32,
+            fhbits: 0,
+            ..RankFormat::default()
+        };
         assert_eq!(u.fiber_bits(3, 10), 320); // shape-proportional
-        let c = RankFormat { format: FormatType::C, cbits: 32, pbits: 64, fhbits: 32, ..RankFormat::default() };
+        let c = RankFormat {
+            format: FormatType::C,
+            cbits: 32,
+            pbits: 64,
+            fhbits: 32,
+            ..RankFormat::default()
+        };
         assert_eq!(c.fiber_bits(3, 10), 32 + 3 * 96);
-        let b = RankFormat { format: FormatType::B, cbits: 1, pbits: 64, fhbits: 0, ..RankFormat::default() };
+        let b = RankFormat {
+            format: FormatType::B,
+            cbits: 1,
+            pbits: 64,
+            fhbits: 0,
+            ..RankFormat::default()
+        };
         assert_eq!(b.fiber_bits(3, 10), 10 + 3 * 64); // bitmap + packed values
     }
 
@@ -359,11 +370,23 @@ mod tests {
         let mut dense = TensorFormat::default();
         dense.ranks.insert(
             "M".into(),
-            RankFormat { format: FormatType::U, cbits: 0, pbits: 32, fhbits: 0, ..RankFormat::default() },
+            RankFormat {
+                format: FormatType::U,
+                cbits: 0,
+                pbits: 32,
+                fhbits: 0,
+                ..RankFormat::default()
+            },
         );
         dense.ranks.insert(
             "K".into(),
-            RankFormat { format: FormatType::U, cbits: 0, pbits: 64, fhbits: 0, ..RankFormat::default() },
+            RankFormat {
+                format: FormatType::U,
+                cbits: 0,
+                pbits: 64,
+                fhbits: 0,
+                ..RankFormat::default()
+            },
         );
         // Dense pays for every (m, k) slot: M rank 4 slots * 32 + K rank
         // 2 fibers * 3 slots * 64 — still bigger than compressed here?

@@ -42,7 +42,10 @@ impl PartitionOp {
         }
         if let Some(rest) = text.strip_prefix("uniform_shape(") {
             let arg = rest.strip_suffix(')').ok_or_else(|| bad("missing `)`"))?;
-            let n = arg.trim().parse().map_err(|_| bad("expected an integer size"))?;
+            let n = arg
+                .trim()
+                .parse()
+                .map_err(|_| bad("expected an integer size"))?;
             if n == 0 {
                 return Err(bad("size must be nonzero"));
             }
@@ -50,15 +53,24 @@ impl PartitionOp {
         }
         if let Some(rest) = text.strip_prefix("uniform_occupancy(") {
             let arg = rest.strip_suffix(')').ok_or_else(|| bad("missing `)`"))?;
-            let (leader, size) =
-                arg.split_once('.').ok_or_else(|| bad("expected `leader.size`"))?;
-            let size = size.trim().parse().map_err(|_| bad("expected an integer size"))?;
+            let (leader, size) = arg
+                .split_once('.')
+                .ok_or_else(|| bad("expected `leader.size`"))?;
+            let size = size
+                .trim()
+                .parse()
+                .map_err(|_| bad("expected an integer size"))?;
             if size == 0 {
                 return Err(bad("size must be nonzero"));
             }
-            return Ok(PartitionOp::UniformOccupancy { leader: leader.trim().to_string(), size });
+            return Ok(PartitionOp::UniformOccupancy {
+                leader: leader.trim().to_string(),
+                size,
+            });
         }
-        Err(bad("unknown directive (expected uniform_shape, uniform_occupancy, or flatten)"))
+        Err(bad(
+            "unknown directive (expected uniform_shape, uniform_occupancy, or flatten)",
+        ))
     }
 }
 
@@ -77,9 +89,7 @@ impl PartitionTarget {
     pub fn parse(text: &str) -> Self {
         let t = text.trim();
         if let Some(inner) = t.strip_prefix('(').and_then(|s| s.strip_suffix(')')) {
-            PartitionTarget::Tuple(
-                inner.split(',').map(|p| p.trim().to_string()).collect(),
-            )
+            PartitionTarget::Tuple(inner.split(',').map(|p| p.trim().to_string()).collect())
         } else {
             PartitionTarget::Rank(t.to_string())
         }
@@ -120,12 +130,19 @@ impl RankStamp {
     /// Parses `KM1` or `N.coord`.
     pub fn parse(text: &str) -> Self {
         match text.strip_suffix(".coord") {
-            Some(rank) => RankStamp { rank: rank.trim().to_string(), coord_stamped: true },
+            Some(rank) => RankStamp {
+                rank: rank.trim().to_string(),
+                coord_stamped: true,
+            },
             None => match text.strip_suffix(".pos") {
-                Some(rank) => {
-                    RankStamp { rank: rank.trim().to_string(), coord_stamped: false }
-                }
-                None => RankStamp { rank: text.trim().to_string(), coord_stamped: false },
+                Some(rank) => RankStamp {
+                    rank: rank.trim().to_string(),
+                    coord_stamped: false,
+                },
+                None => RankStamp {
+                    rank: text.trim().to_string(),
+                    coord_stamped: false,
+                },
             },
         }
     }
@@ -184,8 +201,10 @@ impl MappingSpec {
                         .iter()
                         .map(|s| PartitionOp::parse(s))
                         .collect::<Result<Vec<_>, _>>()?;
-                    directives
-                        .push(PartitionDirective { target: PartitionTarget::parse(target), ops });
+                    directives.push(PartitionDirective {
+                        target: PartitionTarget::parse(target),
+                        ops,
+                    });
                 }
                 spec.partitioning.insert(einsum.clone(), directives);
             }
@@ -205,18 +224,20 @@ impl MappingSpec {
                     match stnode.get(key) {
                         None => Ok(Vec::new()),
                         Some(v) => {
-                            let list =
-                                v.as_str_list().ok_or_else(|| SpecError::Structure {
-                                    path: format!("mapping.spacetime.{einsum}.{key}"),
-                                    message: "expected a list of rank stamps".into(),
-                                })?;
+                            let list = v.as_str_list().ok_or_else(|| SpecError::Structure {
+                                path: format!("mapping.spacetime.{einsum}.{key}"),
+                                message: "expected a list of rank stamps".into(),
+                            })?;
                             Ok(list.iter().map(|s| RankStamp::parse(s)).collect())
                         }
                     }
                 };
                 spec.spacetime.insert(
                     einsum.clone(),
-                    SpaceTime { space: parse_list("space")?, time: parse_list("time")? },
+                    SpaceTime {
+                        space: parse_list("space")?,
+                        time: parse_list("time")?,
+                    },
                 );
             }
         }
@@ -246,14 +267,20 @@ mod tests {
 
     #[test]
     fn parse_partition_ops() {
-        assert_eq!(PartitionOp::parse("flatten()").unwrap(), PartitionOp::Flatten);
+        assert_eq!(
+            PartitionOp::parse("flatten()").unwrap(),
+            PartitionOp::Flatten
+        );
         assert_eq!(
             PartitionOp::parse("uniform_shape(128)").unwrap(),
             PartitionOp::UniformShape(128)
         );
         assert_eq!(
             PartitionOp::parse("uniform_occupancy(A.256)").unwrap(),
-            PartitionOp::UniformOccupancy { leader: "A".into(), size: 256 }
+            PartitionOp::UniformOccupancy {
+                leader: "A".into(),
+                size: 256
+            }
         );
         assert!(PartitionOp::parse("uniform_shape(0)").is_err());
         assert!(PartitionOp::parse("banana(3)").is_err());
@@ -262,7 +289,10 @@ mod tests {
 
     #[test]
     fn parse_targets() {
-        assert_eq!(PartitionTarget::parse("K"), PartitionTarget::Rank("K".into()));
+        assert_eq!(
+            PartitionTarget::parse("K"),
+            PartitionTarget::Rank("K".into())
+        );
         assert_eq!(
             PartitionTarget::parse("(K, M)"),
             PartitionTarget::Tuple(vec!["K".into(), "M".into()])
@@ -275,15 +305,24 @@ mod tests {
     fn parse_rank_stamps() {
         assert_eq!(
             RankStamp::parse("N.coord"),
-            RankStamp { rank: "N".into(), coord_stamped: true }
+            RankStamp {
+                rank: "N".into(),
+                coord_stamped: true
+            }
         );
         assert_eq!(
             RankStamp::parse("KM1"),
-            RankStamp { rank: "KM1".into(), coord_stamped: false }
+            RankStamp {
+                rank: "KM1".into(),
+                coord_stamped: false
+            }
         );
         assert_eq!(
             RankStamp::parse("K.pos"),
-            RankStamp { rank: "K".into(), coord_stamped: false }
+            RankStamp {
+                rank: "K".into(),
+                coord_stamped: false
+            }
         );
     }
 
@@ -330,7 +369,10 @@ mod tests {
         let m = MappingSpec::from_yaml(&doc).unwrap();
         let dirs = m.partitioning_of("Z");
         assert_eq!(dirs[0].target, PartitionTarget::Rank("K".into()));
-        assert_eq!(dirs[1].target, PartitionTarget::Tuple(vec!["M".into(), "K0".into()]));
+        assert_eq!(
+            dirs[1].target,
+            PartitionTarget::Tuple(vec!["M".into(), "K0".into()])
+        );
         assert_eq!(dirs[2].target, PartitionTarget::Rank("MK0".into()));
     }
 }

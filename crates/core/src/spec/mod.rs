@@ -17,7 +17,9 @@ use crate::error::SpecError;
 use crate::yaml::{self, Yaml};
 
 pub use arch::{ArchLevel, ArchSpec, BufferKind, Component, ComponentClass, ComputeOp, MergeOrder};
-pub use binding::{BindStyle, BindingSpec, DataType, EinsumBinding, IntersectBinding, StorageBinding};
+pub use binding::{
+    BindStyle, BindingSpec, DataType, EinsumBinding, IntersectBinding, StorageBinding,
+};
 pub use format::{FormatSpec, FormatType, Layout, RankFormat, TensorFormat};
 pub use mapping::{
     MappingSpec, PartitionDirective, PartitionOp, PartitionTarget, RankStamp, SpaceTime,
@@ -98,7 +100,13 @@ impl TeaalSpec {
             None => BindingSpec::default(),
         };
 
-        let spec = TeaalSpec { cascade, mapping, format, architecture, binding };
+        let spec = TeaalSpec {
+            cascade,
+            mapping,
+            format,
+            architecture,
+            binding,
+        };
         spec.validate()?;
         Ok(spec)
     }
@@ -132,8 +140,7 @@ impl TeaalSpec {
                 if self.cascade.equation(einsum).is_none() {
                     return Err(SpecError::Validation {
                         context: format!("einsum {einsum}"),
-                        message: "mapping refers to an einsum that is not in the cascade"
-                            .into(),
+                        message: "mapping refers to an einsum that is not in the cascade".into(),
                     });
                 }
             }

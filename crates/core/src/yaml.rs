@@ -80,9 +80,10 @@ impl Yaml {
     /// scalars or a single scalar (treated as a one-element list).
     pub fn as_str_list(&self) -> Option<Vec<String>> {
         match self {
-            Yaml::Seq(items) => {
-                items.iter().map(|i| i.as_str().map(str::to_string)).collect()
-            }
+            Yaml::Seq(items) => items
+                .iter()
+                .map(|i| i.as_str().map(str::to_string))
+                .collect(),
             Yaml::Scalar(s) => Some(vec![s.clone()]),
             _ => None,
         }
@@ -100,7 +101,11 @@ pub struct YamlError {
 
 impl fmt::Display for YamlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "yaml parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "yaml parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -144,10 +149,15 @@ fn preprocess(source: &str) -> Result<Vec<Line>, YamlError> {
         if trimmed_end.trim().is_empty() {
             continue;
         }
-        let indent_str: String =
-            trimmed_end.chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+        let indent_str: String = trimmed_end
+            .chars()
+            .take_while(|c| *c == ' ' || *c == '\t')
+            .collect();
         if indent_str.contains('\t') {
-            return Err(YamlError { line: number, message: "tabs are not allowed in indentation".into() });
+            return Err(YamlError {
+                line: number,
+                message: "tabs are not allowed in indentation".into(),
+            });
         }
         out.push(Line {
             number,
@@ -189,13 +199,20 @@ fn parse_seq(lines: &[Line], pos: &mut usize, indent: usize) -> Result<Yaml, Yam
         if line.indent > indent {
             return Err(YamlError {
                 line: line.number,
-                message: format!("unexpected indent {} inside sequence at {}", line.indent, indent),
+                message: format!(
+                    "unexpected indent {} inside sequence at {}",
+                    line.indent, indent
+                ),
             });
         }
         if !(line.text.starts_with("- ") || line.text == "-") {
             break; // a sibling map key ends the sequence
         }
-        let rest = line.text.strip_prefix('-').expect("checked prefix").trim_start();
+        let rest = line
+            .text
+            .strip_prefix('-')
+            .expect("checked prefix")
+            .trim_start();
         let item_indent = line.indent + 2;
         if rest.is_empty() {
             *pos += 1;
@@ -293,8 +310,13 @@ fn parse_inline_value(text: &str, line: usize) -> Result<Yaml, YamlError> {
     if t.is_empty() {
         return Ok(Yaml::Null);
     }
-    if t.starts_with('[') && t.ends_with(']') {
-        let inner = &t[1..t.len() - 1];
+    if t.starts_with('[') {
+        let Some(inner) = t.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+            return Err(YamlError {
+                line,
+                message: format!("unterminated inline sequence `{t}`"),
+            });
+        };
         let mut items = Vec::new();
         for part in split_top_level(inner) {
             let p = part.trim();
@@ -340,7 +362,13 @@ mod tests {
     #[test]
     fn parses_nested_maps_and_inline_lists() {
         let doc = parse("einsum:\n  declaration:\n    A: [K, M]\n    B: [K, N]\n").unwrap();
-        let a = doc.get("einsum").unwrap().get("declaration").unwrap().get("A").unwrap();
+        let a = doc
+            .get("einsum")
+            .unwrap()
+            .get("declaration")
+            .unwrap()
+            .get("A")
+            .unwrap();
         assert_eq!(a.as_str_list().unwrap(), vec!["K", "M"]);
     }
 
@@ -375,8 +403,7 @@ mod tests {
 
     #[test]
     fn nested_calls_in_inline_lists_split_correctly() {
-        let doc =
-            parse("KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n").unwrap();
+        let doc = parse("KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n").unwrap();
         let items = doc.get("KM").unwrap().items().unwrap();
         assert_eq!(items.len(), 2);
         assert_eq!(items[1].as_str().unwrap(), "uniform_occupancy(A.16)");
@@ -483,7 +510,16 @@ mod tests {
             lo.get("Z").unwrap().as_str_list().unwrap(),
             vec!["M2", "M1", "M0", "N", "K"]
         );
-        let st = doc.get("mapping").unwrap().get("spacetime").unwrap().get("T").unwrap();
-        assert_eq!(st.get("space").unwrap().as_str_list().unwrap(), vec!["KM1", "KM0"]);
+        let st = doc
+            .get("mapping")
+            .unwrap()
+            .get("spacetime")
+            .unwrap()
+            .get("T")
+            .unwrap();
+        assert_eq!(
+            st.get("space").unwrap().as_str_list().unwrap(),
+            vec!["KM1", "KM0"]
+        );
     }
 }

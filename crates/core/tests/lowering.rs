@@ -49,7 +49,10 @@ fn outerspace_multiply_phase_plan() {
     assert_eq!(
         a.steps,
         vec![
-            PlanStep::Flatten { upper: "K".into(), new_name: "KM".into() },
+            PlanStep::Flatten {
+                upper: "K".into(),
+                new_name: "KM".into()
+            },
             PlanStep::SplitOccLeader {
                 rank: "KM".into(),
                 size: 256,
@@ -74,7 +77,11 @@ fn outerspace_multiply_phase_plan() {
     let b_roles = &t.access_roles[1].roles;
     assert!(b_roles[0].is_empty(), "skip at KM2");
     assert!(b_roles[1].is_empty(), "skip at KM1");
-    assert_eq!(b_roles[2], vec![Descent::Project { component: 0 }], "project k at KM0");
+    assert_eq!(
+        b_roles[2],
+        vec![Descent::Project { component: 0 }],
+        "project k at KM0"
+    );
     assert_eq!(b_roles[3], vec![Descent::CoIterate], "co-iterate N");
 
     // T is produced in [K, M, N] root order but stored [M, K, N]:
@@ -84,8 +91,7 @@ fn outerspace_multiply_phase_plan() {
     assert!(t.output.online_swizzle);
 
     // Spacetime: KM1/KM0 in space, KM2/N in time.
-    let spaces: Vec<&str> =
-        t.space_ranks().iter().map(|l| l.name.as_str()).collect();
+    let spaces: Vec<&str> = t.space_ranks().iter().map(|l| l.name.as_str()).collect();
     assert_eq!(spaces, vec!["KM1", "KM0"]);
 }
 
@@ -154,7 +160,10 @@ fn gamma_follower_adopts_aligned_context_only() {
     // A (the leader) is partitioned on both M and K.
     let a = t.tensor_plan("A").unwrap();
     assert_eq!(
-        a.steps.iter().filter(|s| matches!(s, PlanStep::SplitOccLeader { .. })).count(),
+        a.steps
+            .iter()
+            .filter(|s| matches!(s, PlanStep::SplitOccLeader { .. }))
+            .count(),
         2
     );
 
@@ -162,7 +171,11 @@ fn gamma_follower_adopts_aligned_context_only() {
     // contexts differ, so B must NOT adopt the partitioning — it projects
     // at K0 instead.
     let b = t.tensor_plan("B").unwrap();
-    assert!(b.steps.is_empty(), "B skips misaligned occupancy splits: {:?}", b.steps);
+    assert!(
+        b.steps.is_empty(),
+        "B skips misaligned occupancy splits: {:?}",
+        b.steps
+    );
     assert_eq!(b.working_order, vec!["K", "N"]);
 
     // In the second Einsum, T (same [M, K, ...] context as A) adopts both
@@ -250,8 +263,11 @@ fn default_loop_order_is_derived_leaf_order() {
     ))
     .unwrap();
     let plans = ir::lower(&spec).unwrap();
-    let names: Vec<&str> =
-        plans[0].loop_ranks.iter().map(|l| l.name.as_str()).collect();
+    let names: Vec<&str> = plans[0]
+        .loop_ranks
+        .iter()
+        .map(|l| l.name.as_str())
+        .collect();
     assert_eq!(names, vec!["M", "N", "K"]);
     // Everything defaults to temporal.
     assert!(plans[0].space_ranks().is_empty());

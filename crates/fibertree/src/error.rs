@@ -66,7 +66,10 @@ impl fmt::Display for FibertreeError {
                 write!(f, "unknown rank {rank:?}; tensor has ranks {have:?}")
             }
             FibertreeError::BadPermutation { requested, have } => {
-                write!(f, "rank order {requested:?} is not a permutation of {have:?}")
+                write!(
+                    f,
+                    "rank order {requested:?} is not a permutation of {have:?}"
+                )
             }
             FibertreeError::NotAnInterval { rank } => {
                 write!(f, "rank {rank:?} does not have an interval shape")
@@ -87,7 +90,10 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_informative() {
-        let e = FibertreeError::UnknownRank { rank: "Q".into(), have: vec!["M".into()] };
+        let e = FibertreeError::UnknownRank {
+            rank: "Q".into(),
+            have: vec!["M".into()],
+        };
         let msg = e.to_string();
         assert!(msg.contains("unknown rank"));
         assert!(msg.contains('Q'));

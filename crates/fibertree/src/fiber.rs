@@ -84,7 +84,10 @@ pub struct Element {
 impl Element {
     /// Creates an element from a coordinate and payload.
     pub fn new(coord: impl Into<Coord>, payload: impl Into<Payload>) -> Self {
-        Element { coord: coord.into(), payload: payload.into() }
+        Element {
+            coord: coord.into(),
+            payload: payload.into(),
+        }
     }
 }
 
@@ -114,7 +117,10 @@ pub struct Fiber {
 impl Fiber {
     /// Creates an empty fiber with the given shape.
     pub fn new(shape: impl Into<Shape>) -> Self {
-        Fiber { shape: shape.into(), elems: Vec::new() }
+        Fiber {
+            shape: shape.into(),
+            elems: Vec::new(),
+        }
     }
 
     /// Builds a fiber from pre-sorted elements.
@@ -138,7 +144,10 @@ impl Fiber {
             }
         }
         if let Some(e) = elems.iter().find(|e| !shape.contains(&e.coord)) {
-            return Err(FibertreeError::OutOfShape { coord: e.coord.clone(), shape });
+            return Err(FibertreeError::OutOfShape {
+                coord: e.coord.clone(),
+                shape,
+            });
         }
         Ok(Fiber { shape, elems })
     }
@@ -152,8 +161,7 @@ impl Fiber {
         shape: impl Into<Shape>,
         pairs: impl IntoIterator<Item = (u64, f64)>,
     ) -> Result<Self, FibertreeError> {
-        let mut elems: Vec<Element> =
-            pairs.into_iter().map(|(c, v)| Element::new(c, v)).collect();
+        let mut elems: Vec<Element> = pairs.into_iter().map(|(c, v)| Element::new(c, v)).collect();
         elems.sort_by(|a, b| a.coord.cmp(&b.coord));
         Self::from_sorted(shape, elems)
     }
@@ -234,10 +242,16 @@ impl Fiber {
         let coord = coord.into();
         if let Some(last) = self.elems.last() {
             if last.coord >= coord {
-                return Err(FibertreeError::Unsorted { prev: last.coord.clone(), next: coord });
+                return Err(FibertreeError::Unsorted {
+                    prev: last.coord.clone(),
+                    next: coord,
+                });
             }
         }
-        self.elems.push(Element { coord, payload: payload.into() });
+        self.elems.push(Element {
+            coord,
+            payload: payload.into(),
+        });
         Ok(())
     }
 
@@ -253,7 +267,13 @@ impl Fiber {
         match self.elems.binary_search_by(|e| e.coord.cmp(coord)) {
             Ok(i) => &mut self.elems[i].payload,
             Err(i) => {
-                self.elems.insert(i, Element { coord: coord.clone(), payload: default() });
+                self.elems.insert(
+                    i,
+                    Element {
+                        coord: coord.clone(),
+                        payload: default(),
+                    },
+                );
                 &mut self.elems[i].payload
             }
         }

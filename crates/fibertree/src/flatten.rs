@@ -123,8 +123,11 @@ fn unflatten_at(
         let mut out = Fiber::new(f.shape().clone());
         for e in f.iter() {
             let child = e.payload.as_fiber().expect("interior payloads are fibers");
-            out.append(e.coord.clone(), unflatten_at(child, depth - 1, arity, shapes)?)
-                .expect("coordinate order unchanged above the unflattened rank");
+            out.append(
+                e.coord.clone(),
+                unflatten_at(child, depth - 1, arity, shapes)?,
+            )
+            .expect("coordinate order unchanged above the unflattened rank");
         }
         Ok(out)
     }
@@ -135,7 +138,10 @@ fn unflatten_fiber(f: &Fiber, arity: usize, shapes: &[Shape]) -> Result<Fiber, F
     for e in f.iter() {
         let comps = e.coord.components();
         if comps.len() < arity {
-            return Err(FibertreeError::ArityMismatch { expected: arity, got: comps.len() });
+            return Err(FibertreeError::ArityMismatch {
+                expected: arity,
+                got: comps.len(),
+            });
         }
         // Group the leading component; re-tuple the remainder.
         let first = comps[0].clone();
@@ -165,7 +171,10 @@ fn unflatten_fiber(f: &Fiber, arity: usize, shapes: &[Shape]) -> Result<Fiber, F
         for e in out.iter() {
             let child = e.payload.as_fiber().expect("children are fibers");
             fixed
-                .append(e.coord.clone(), unflatten_fiber(child, arity - 1, &shapes[1..])?)
+                .append(
+                    e.coord.clone(),
+                    unflatten_fiber(child, arity - 1, &shapes[1..])?,
+                )
                 .expect("order preserved");
         }
         return Ok(fixed);
@@ -184,11 +193,20 @@ mod tests {
         // become (0,2), (2,0), (2,1), (2,2).
         let a = fig1_matrix_a();
         let flat = a.flatten_rank("M", "MK").unwrap();
-        let coords: Vec<Coord> =
-            flat.root_fiber().unwrap().iter().map(|e| e.coord.clone()).collect();
+        let coords: Vec<Coord> = flat
+            .root_fiber()
+            .unwrap()
+            .iter()
+            .map(|e| e.coord.clone())
+            .collect();
         assert_eq!(
             coords,
-            vec![Coord::pair(0, 2), Coord::pair(2, 0), Coord::pair(2, 1), Coord::pair(2, 2)]
+            vec![
+                Coord::pair(0, 2),
+                Coord::pair(2, 0),
+                Coord::pair(2, 1),
+                Coord::pair(2, 2)
+            ]
         );
     }
 

@@ -14,8 +14,7 @@ use crate::coord::Coord;
 use crate::fiber::{Fiber, Payload};
 
 /// The intersection unit type (Table 3 of the paper).
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, Default)]
 pub enum IntersectPolicy {
     /// Classic merge: two pointers advance one coordinate at a time.
     #[default]
@@ -31,7 +30,6 @@ pub enum IntersectPolicy {
     /// modelling ExTensor-style skip-ahead intersection.
     SkipAhead,
 }
-
 
 /// Result of co-iterating fibers: the matching coordinates plus the work
 /// metric charged to the intersection unit.
@@ -138,11 +136,7 @@ fn intersect_skip_ahead(a: &Fiber, b: &Fiber) -> (Vec<(Coord, usize, usize)>, Co
 
 /// Gallops forward from `start` to the first position whose coordinate is
 /// `>= target`, returning `(position, probes spent)`.
-fn gallop(
-    elems: &[crate::fiber::Element],
-    start: usize,
-    target: &Coord,
-) -> (usize, u64) {
+fn gallop(elems: &[crate::fiber::Element], start: usize, target: &Coord) -> (usize, u64) {
     let mut probes = 0u64;
     let mut step = 1usize;
     let mut lo = start;
@@ -179,7 +173,10 @@ pub fn intersect_many(
     fibers: &[&Fiber],
     policy: IntersectPolicy,
 ) -> (Vec<(Coord, Vec<usize>)>, CoIterStats) {
-    assert!(!fibers.is_empty(), "intersect_many needs at least one fiber");
+    assert!(
+        !fibers.is_empty(),
+        "intersect_many needs at least one fiber"
+    );
     let mut stats = CoIterStats::default();
     let mut acc: Vec<(Coord, Vec<usize>)> = fibers[0]
         .iter()
@@ -236,12 +233,16 @@ fn intersect_positions(
     (out, stats)
 }
 
+/// One union result row: a coordinate plus, per input fiber, the position
+/// of that coordinate when the fiber holds it.
+pub type UnionMatch = (Coord, Vec<Option<usize>>);
+
 /// Unions any number of fibers: yields every coordinate present in at least
 /// one fiber, with the per-fiber position when present.
-pub fn union_many(fibers: &[&Fiber]) -> (Vec<(Coord, Vec<Option<usize>>)>, CoIterStats) {
+pub fn union_many(fibers: &[&Fiber]) -> (Vec<UnionMatch>, CoIterStats) {
     let n = fibers.len();
     let mut cursors = vec![0usize; n];
-    let mut out: Vec<(Coord, Vec<Option<usize>>)> = Vec::new();
+    let mut out: Vec<UnionMatch> = Vec::new();
     let mut stats = CoIterStats::default();
     loop {
         // Find the minimum current coordinate across all fibers.
@@ -277,7 +278,11 @@ pub fn union_many(fibers: &[&Fiber]) -> (Vec<(Coord, Vec<Option<usize>>)>, CoIte
 /// Looks up a coordinate in a fiber by *projection*: used when a loop rank
 /// covers several root ranks (after flattening) but a tensor only carries a
 /// subset of them, so the relevant tuple component is extracted and probed.
-pub fn project_lookup<'f>(fiber: &'f Fiber, coord: &Coord, component: usize) -> Option<&'f Payload> {
+pub fn project_lookup<'f>(
+    fiber: &'f Fiber,
+    coord: &Coord,
+    component: usize,
+) -> Option<&'f Payload> {
     let c = match coord {
         Coord::Point(_) => {
             debug_assert_eq!(component, 0, "points have a single component");
@@ -294,8 +299,11 @@ mod tests {
     use crate::coord::Shape;
 
     fn fib(coords: &[u64]) -> Fiber {
-        Fiber::from_pairs(Shape::Interval(1000), coords.iter().map(|&c| (c, c as f64 + 1.0)))
-            .expect("test fiber is valid")
+        Fiber::from_pairs(
+            Shape::Interval(1000),
+            coords.iter().map(|&c| (c, c as f64 + 1.0)),
+        )
+        .expect("test fiber is valid")
     }
 
     #[test]

@@ -31,13 +31,18 @@ pub fn split_uniform_shape(fiber: &Fiber, chunk: u64) -> Result<Fiber, Fibertree
     let extent = fiber
         .shape()
         .as_interval()
-        .ok_or_else(|| FibertreeError::NotAnInterval { rank: fiber.shape().to_string() })?;
+        .ok_or_else(|| FibertreeError::NotAnInterval {
+            rank: fiber.shape().to_string(),
+        })?;
     let mut out = Fiber::new(Shape::Interval(extent));
     let mut current: Option<(u64, Fiber)> = None;
     for e in fiber.iter() {
-        let p = e.coord.as_point().ok_or_else(|| FibertreeError::NotAnInterval {
-            rank: fiber.shape().to_string(),
-        })?;
+        let p = e
+            .coord
+            .as_point()
+            .ok_or_else(|| FibertreeError::NotAnInterval {
+                rank: fiber.shape().to_string(),
+            })?;
         let base = (p / chunk) * chunk;
         let flush = matches!(&current, Some((b, _)) if *b != base);
         if flush {
@@ -335,8 +340,10 @@ mod tests {
         let parts = split_uniform_shape(&f, 4).unwrap();
         let bases: Vec<u64> = parts.iter().map(|e| e.coord.as_point().unwrap()).collect();
         assert_eq!(bases, vec![0, 4, 20]);
-        let occ: Vec<usize> =
-            parts.iter().map(|e| e.payload.as_fiber().unwrap().occupancy()).collect();
+        let occ: Vec<usize> = parts
+            .iter()
+            .map(|e| e.payload.as_fiber().unwrap().occupancy())
+            .collect();
         assert_eq!(occ, vec![2, 2, 1]);
     }
 
@@ -351,8 +358,10 @@ mod tests {
     fn uniform_occupancy_balances_elements() {
         let f = fib(&[1, 2, 3, 50, 51, 52, 53]);
         let parts = split_uniform_occupancy(&f, 3).unwrap();
-        let occ: Vec<usize> =
-            parts.iter().map(|e| e.payload.as_fiber().unwrap().occupancy()).collect();
+        let occ: Vec<usize> = parts
+            .iter()
+            .map(|e| e.payload.as_fiber().unwrap().occupancy())
+            .collect();
         assert_eq!(occ, vec![3, 3, 1]); // equal modulo remainder
         let bases: Vec<u64> = parts.iter().map(|e| e.coord.as_point().unwrap()).collect();
         assert_eq!(bases, vec![1, 50, 53]);
@@ -367,8 +376,10 @@ mod tests {
         let parts = split_by_boundaries(&follower, &bounds);
         // 5 precedes the leader's range → leading group; 15/25 fall in
         // [10,30); 35/45 in [30,∞).
-        let occ: Vec<usize> =
-            parts.iter().map(|e| e.payload.as_fiber().unwrap().occupancy()).collect();
+        let occ: Vec<usize> = parts
+            .iter()
+            .map(|e| e.payload.as_fiber().unwrap().occupancy())
+            .collect();
         assert_eq!(occ, vec![1, 2, 2]);
     }
 
@@ -401,8 +412,10 @@ mod tests {
             .partition_rank("MK", SplitKind::UniformOccupancy(2), "MK1", "MK0")
             .unwrap();
         let root = parts.root_fiber().unwrap();
-        let occ: Vec<usize> =
-            root.iter().map(|e| e.payload.as_fiber().unwrap().occupancy()).collect();
+        let occ: Vec<usize> = root
+            .iter()
+            .map(|e| e.payload.as_fiber().unwrap().occupancy())
+            .collect();
         assert_eq!(occ, vec![2, 2]);
     }
 
@@ -414,8 +427,10 @@ mod tests {
             .unwrap();
         // m=0 row has 1 element → 1 partition; m=2 row has 3 → 2 partitions.
         let root = p.root_fiber().unwrap();
-        let parts_per_row: Vec<usize> =
-            root.iter().map(|e| e.payload.as_fiber().unwrap().occupancy()).collect();
+        let parts_per_row: Vec<usize> = root
+            .iter()
+            .map(|e| e.payload.as_fiber().unwrap().occupancy())
+            .collect();
         assert_eq!(parts_per_row, vec![1, 2]);
     }
 

@@ -1,8 +1,8 @@
 //! Semirings: the redefinable `×`/`+` operator pairs of extended Einsums.
 //!
-//! The paper (§8, Fig. 12) models graph algorithms by "redefining the × and
-//! + operators (e.g., for SSSP, to addition and minimum, respectively)".
-//! A [`Semiring`] carries those two operators together with their
+//! The paper (§8, Fig. 12) models graph algorithms by "redefining the ×
+//! and + operators (e.g., for SSSP, to addition and minimum,
+//! respectively)". A [`Semiring`] carries those two operators together with their
 //! identities; the additive identity doubles as the *implicit value of
 //! missing points* in a sparse fibertree.
 
@@ -85,7 +85,13 @@ impl Semiring {
         zero: f64,
         one: f64,
     ) -> Self {
-        Semiring { name, mul, add, zero, one }
+        Semiring {
+            name,
+            mul,
+            add,
+            zero,
+            one,
+        }
     }
 
     /// The semiring's name (for reports).

@@ -33,7 +33,10 @@ impl Tensor {
         if perm.iter().enumerate().all(|(i, &p)| i == p) {
             return Ok(self.clone());
         }
-        let shapes: Vec<Shape> = perm.iter().map(|&p| self.rank_shapes()[p].clone()).collect();
+        let shapes: Vec<Shape> = perm
+            .iter()
+            .map(|&p| self.rank_shapes()[p].clone())
+            .collect();
         let entries: Vec<(Vec<Coord>, f64)> = self
             .leaves()
             .into_iter()
@@ -66,7 +69,11 @@ impl Tensor {
         }
         let mut perm = Vec::with_capacity(order.len());
         for r in order {
-            let idx = self.rank_ids().iter().position(|x| x == r).ok_or_else(bad)?;
+            let idx = self
+                .rank_ids()
+                .iter()
+                .position(|x| x == r)
+                .ok_or_else(bad)?;
             if perm.contains(&idx) {
                 return Err(bad());
             }
@@ -146,7 +153,11 @@ mod tests {
     #[test]
     fn swizzle_is_content_preserving() {
         let a = fig1_matrix_a();
-        let back = a.swizzle(&["K", "M"]).unwrap().swizzle(&["M", "K"]).unwrap();
+        let back = a
+            .swizzle(&["K", "M"])
+            .unwrap()
+            .swizzle(&["M", "K"])
+            .unwrap();
         assert_eq!(back.max_abs_diff(&a), 0.0);
         assert_eq!(back.rank_shapes(), a.rank_shapes());
     }

@@ -91,7 +91,10 @@ impl Tensor {
         let mut dedup: BTreeMap<Vec<u64>, f64> = BTreeMap::new();
         for (point, v) in entries {
             if point.len() != n {
-                return Err(FibertreeError::ArityMismatch { expected: n, got: point.len() });
+                return Err(FibertreeError::ArityMismatch {
+                    expected: n,
+                    got: point.len(),
+                });
             }
             for (d, &c) in point.iter().enumerate() {
                 if c >= shape[d] {
@@ -112,11 +115,7 @@ impl Tensor {
     }
 
     /// Builds a 2-tensor from a dense row-major matrix, omitting zeros.
-    pub fn from_dense_2d(
-        name: impl Into<String>,
-        rank_ids: &[&str; 2],
-        rows: &[Vec<f64>],
-    ) -> Self {
+    pub fn from_dense_2d(name: impl Into<String>, rank_ids: &[&str; 2], rows: &[Vec<f64>]) -> Self {
         let m = rows.len() as u64;
         let k = rows.first().map_or(0, |r| r.len()) as u64;
         let mut entries = Vec::new();
@@ -162,9 +161,13 @@ impl Tensor {
     ///
     /// Returns [`FibertreeError::UnknownRank`] if the rank is not present.
     pub fn rank_index(&self, rank: &str) -> Result<usize, FibertreeError> {
-        self.rank_ids.iter().position(|r| r == rank).ok_or_else(|| {
-            FibertreeError::UnknownRank { rank: rank.to_string(), have: self.rank_ids.clone() }
-        })
+        self.rank_ids
+            .iter()
+            .position(|r| r == rank)
+            .ok_or_else(|| FibertreeError::UnknownRank {
+                rank: rank.to_string(),
+                have: self.rank_ids.clone(),
+            })
     }
 
     /// The root payload (a fiber for `N ≥ 1`, a value for scalars).
@@ -205,7 +208,11 @@ impl Tensor {
     ///
     /// Panics if `point` has the wrong arity.
     pub fn set(&mut self, point: &[u64], value: f64) {
-        assert_eq!(point.len(), self.order(), "point arity must match rank count");
+        assert_eq!(
+            point.len(),
+            self.order(),
+            "point arity must match rank count"
+        );
         if point.is_empty() {
             self.root = Payload::Val(value);
             return;
@@ -217,7 +224,11 @@ impl Tensor {
                 .as_fiber_mut()
                 .expect("intermediate payloads of an N-tensor are fibers");
             let is_leaf = d + 1 == shapes.len();
-            let child_shape = if is_leaf { None } else { Some(shapes[d + 1].clone()) };
+            let child_shape = if is_leaf {
+                None
+            } else {
+                Some(shapes[d + 1].clone())
+            };
             payload = fiber.get_or_insert_with(&Coord::Point(c), || match &child_shape {
                 None => Payload::Val(0.0),
                 Some(s) => Payload::Fiber(Fiber::new(s.clone())),
@@ -271,7 +282,12 @@ impl Tensor {
         rank_shapes: Vec<Shape>,
         root: Payload,
     ) -> Self {
-        Tensor { name: name.into(), rank_ids, rank_shapes, root }
+        Tensor {
+            name: name.into(),
+            rank_ids,
+            rank_shapes,
+            root,
+        }
     }
 
     /// Removes empty fibers and zero leaves throughout the tree.
@@ -464,18 +480,13 @@ mod tests {
     fn entries_roundtrip_through_leaves() {
         let a = fig1_matrix_a();
         let entries = a.entries();
-        let rebuilt =
-            Tensor::from_entries("A2", &["M", "K"], &[4, 3], entries).unwrap();
+        let rebuilt = Tensor::from_entries("A2", &["M", "K"], &[4, 3], entries).unwrap();
         assert_eq!(rebuilt.max_abs_diff(&a), 0.0);
     }
 
     #[test]
     fn dense_2d_import_skips_zeros() {
-        let t = Tensor::from_dense_2d(
-            "D",
-            &["M", "K"],
-            &[vec![0.0, 1.0], vec![2.0, 0.0]],
-        );
+        let t = Tensor::from_dense_2d("D", &["M", "K"], &[vec![0.0, 1.0], vec![2.0, 0.0]]);
         assert_eq!(t.nnz(), 2);
         assert_eq!(t.get(&[0, 1]), Some(1.0));
         assert_eq!(t.get(&[1, 1]), None);

@@ -11,30 +11,33 @@ use teaal_fibertree::{Fiber, IntersectPolicy, Shape, Tensor};
 
 fn arb_matrix() -> impl Strategy<Value = Tensor> {
     // Up to 40 entries in a 16x12 matrix.
-    proptest::collection::btree_map((0u64..16, 0u64..12), 1.0f64..100.0, 0..40).prop_map(
+    proptest::collection::btree_map((0u64..16, 0u64..12), 1.0f64..100.0, 0..40).prop_map(|m| {
+        let entries: Vec<(Vec<u64>, f64)> =
+            m.into_iter().map(|((r, c), v)| (vec![r, c], v)).collect();
+        Tensor::from_entries("A", &["M", "K"], &[16, 12], entries).expect("entries in shape")
+    })
+}
+
+fn arb_3tensor() -> impl Strategy<Value = Tensor> {
+    proptest::collection::btree_map((0u64..8, 0u64..8, 0u64..8), 1.0f64..100.0, 0..50).prop_map(
         |m| {
-            let entries: Vec<(Vec<u64>, f64)> =
-                m.into_iter().map(|((r, c), v)| (vec![r, c], v)).collect();
-            Tensor::from_entries("A", &["M", "K"], &[16, 12], entries)
+            let entries: Vec<(Vec<u64>, f64)> = m
+                .into_iter()
+                .map(|((a, b, c), v)| (vec![a, b, c], v))
+                .collect();
+            Tensor::from_entries("T", &["M", "K", "N"], &[8, 8, 8], entries)
                 .expect("entries in shape")
         },
     )
 }
 
-fn arb_3tensor() -> impl Strategy<Value = Tensor> {
-    proptest::collection::btree_map((0u64..8, 0u64..8, 0u64..8), 1.0f64..100.0, 0..50)
-        .prop_map(|m| {
-            let entries: Vec<(Vec<u64>, f64)> =
-                m.into_iter().map(|((a, b, c), v)| (vec![a, b, c], v)).collect();
-            Tensor::from_entries("T", &["M", "K", "N"], &[8, 8, 8], entries)
-                .expect("entries in shape")
-        })
-}
-
 fn arb_fiber() -> impl Strategy<Value = Fiber> {
     proptest::collection::btree_set(0u64..200, 0..50).prop_map(|coords| {
-        Fiber::from_pairs(Shape::Interval(200), coords.into_iter().map(|c| (c, c as f64)))
-            .expect("sorted unique coords")
+        Fiber::from_pairs(
+            Shape::Interval(200),
+            coords.into_iter().map(|c| (c, c as f64)),
+        )
+        .expect("sorted unique coords")
     })
 }
 

@@ -150,11 +150,17 @@ pub fn run(
         let updates: Vec<(u64, f64)> = match design {
             GraphDesign::Graphicionado => {
                 let p1 = report.outputs.get("P1").expect("cascade produces P1");
-                p1.entries().into_iter().map(|(p, val)| (p[0], val)).collect()
+                p1.entries()
+                    .into_iter()
+                    .map(|(p, val)| (p[0], val))
+                    .collect()
             }
             _ => {
                 let pw = report.outputs.get("PW").expect("cascade produces PW");
-                pw.entries().into_iter().map(|(p, val)| (p[0], val)).collect()
+                pw.entries()
+                    .into_iter()
+                    .map(|(p, val)| (p[0], val))
+                    .collect()
             }
         };
 
@@ -196,7 +202,11 @@ pub fn run(
             properties[vertex as usize] = value;
         }
         let a1 = report.outputs.get("A1").expect("cascade produces A1");
-        active = a1.entries().into_iter().map(|(p, val)| (p[0], val)).collect();
+        active = a1
+            .entries()
+            .into_iter()
+            .map(|(p, val)| (p[0], val))
+            .collect();
     }
 
     let distances = properties
@@ -253,9 +263,11 @@ mod tests {
         let g = small_graph(false);
         let root = g.hub();
         let want = reference_bfs(&g, root);
-        for design in
-            [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal]
-        {
+        for design in [
+            GraphDesign::Graphicionado,
+            GraphDesign::GraphDynS,
+            GraphDesign::Proposal,
+        ] {
             let run = run(design, Algorithm::Bfs, &g, root).expect("runs");
             assert_eq!(run.distances, want, "{design:?} BFS distances diverge");
             assert!(!run.metrics.iterations.is_empty());
@@ -267,9 +279,11 @@ mod tests {
         let g = small_graph(true);
         let root = g.hub();
         let want = reference_sssp(&g, root);
-        for design in
-            [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal]
-        {
+        for design in [
+            GraphDesign::Graphicionado,
+            GraphDesign::GraphDynS,
+            GraphDesign::Proposal,
+        ] {
             let run = run(design, Algorithm::Sssp, &g, root).expect("runs");
             for (vtx, (got, exp)) in run.distances.iter().zip(&want).enumerate() {
                 assert!(
@@ -336,7 +350,11 @@ mod tests {
             vec![(vec![1, 0], 1.0), (vec![2, 1], 1.0)],
         )
         .unwrap();
-        let g = Graph { adjacency, vertices: 4, edges: 2 };
+        let g = Graph {
+            adjacency,
+            vertices: 4,
+            edges: 2,
+        };
         let run = run(GraphDesign::Proposal, Algorithm::Bfs, &g, 0).unwrap();
         assert_eq!(run.distances[0], 0.0);
         assert_eq!(run.distances[1], 1.0);

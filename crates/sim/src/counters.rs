@@ -27,7 +27,10 @@ pub struct Lru {
 impl Lru {
     /// Creates a cache with the given line capacity.
     pub fn new(capacity_lines: usize) -> Self {
-        Lru { capacity_lines: capacity_lines.max(1), ..Lru::default() }
+        Lru {
+            capacity_lines: capacity_lines.max(1),
+            ..Lru::default()
+        }
     }
 
     /// Accesses a line, recording a hit or a miss (with LRU eviction).
@@ -73,7 +76,12 @@ pub struct ChannelCfg {
 impl ChannelCfg {
     /// A fully-buffered default: every element is fetched from DRAM once.
     pub fn fully_buffered(rank_bits: Vec<(String, u64)>) -> Self {
-        ChannelCfg { rank_bits, dram_backed: true, line_bits: 512, ..ChannelCfg::default() }
+        ChannelCfg {
+            rank_bits,
+            dram_backed: true,
+            line_bits: 512,
+            ..ChannelCfg::default()
+        }
     }
 
     fn bits_of(&self, rank: &str) -> u64 {
@@ -112,7 +120,11 @@ impl TensorChannel {
     /// Creates a channel with the given configuration.
     pub fn new(cfg: ChannelCfg) -> Self {
         let cache = cfg.cache_lines.map(Lru::new);
-        TensorChannel { cfg, cache, ..TensorChannel::default() }
+        TensorChannel {
+            cfg,
+            cache,
+            ..TensorChannel::default()
+        }
     }
 
     /// The channel's configuration.
@@ -171,16 +183,15 @@ impl TensorChannel {
         }
 
         // Buffet / default path: first touch per epoch fills from DRAM.
-        if self.cfg.dram_backed
-            && self.seen.get(&key) != Some(&self.epoch) {
-                self.seen.insert(key, self.epoch);
-                let fill = match (eager, payload) {
-                    (Some(er), Some(p)) if rank == er => self.subtree_bits(er, p),
-                    _ => bits,
-                };
-                self.fill_bits += fill;
-                self.line_fill += 1;
-            }
+        if self.cfg.dram_backed && self.seen.get(&key) != Some(&self.epoch) {
+            self.seen.insert(key, self.epoch);
+            let fill = match (eager, payload) {
+                (Some(er), Some(p)) if rank == er => self.subtree_bits(er, p),
+                _ => bits,
+            };
+            self.fill_bits += fill;
+            self.line_fill += 1;
+        }
     }
 
     /// Whether `rank` sits strictly below `eager_rank` in the working
@@ -250,7 +261,11 @@ pub struct OutputChannel {
 impl OutputChannel {
     /// Creates an output channel.
     pub fn new(elem_bits: u64, evict_on: Option<String>) -> Self {
-        OutputChannel { elem_bits, evict_on, ..OutputChannel::default() }
+        OutputChannel {
+            elem_bits,
+            evict_on,
+            ..OutputChannel::default()
+        }
     }
 
     /// Called when the loop advances on `rank`.
@@ -356,7 +371,8 @@ pub struct Instruments {
 impl Instruments {
     /// Registers a channel for a tensor.
     pub fn add_tensor(&mut self, tensor: &str, cfg: ChannelCfg) {
-        self.tensors.insert(tensor.to_string(), TensorChannel::new(cfg));
+        self.tensors
+            .insert(tensor.to_string(), TensorChannel::new(cfg));
     }
 
     /// Signals that the loop advanced on `rank` (epoch boundaries).

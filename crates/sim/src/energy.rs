@@ -93,15 +93,25 @@ mod tests {
             ..ActionCounts::default()
         };
         let e = counts.energy_joules(&t);
-        let dram_only = ActionCounts { dram_bits: 1_000_000, ..ActionCounts::default() }
-            .energy_joules(&t);
+        let dram_only = ActionCounts {
+            dram_bits: 1_000_000,
+            ..ActionCounts::default()
+        }
+        .energy_joules(&t);
         assert!(dram_only / e > 0.9);
     }
 
     #[test]
     fn accumulate_sums_fields() {
-        let mut a = ActionCounts { muls: 1, ..ActionCounts::default() };
-        a.accumulate(&ActionCounts { muls: 2, adds: 3, ..ActionCounts::default() });
+        let mut a = ActionCounts {
+            muls: 1,
+            ..ActionCounts::default()
+        };
+        a.accumulate(&ActionCounts {
+            muls: 2,
+            adds: 3,
+            ..ActionCounts::default()
+        });
         assert_eq!(a.muls, 3);
         assert_eq!(a.adds, 3);
     }
@@ -109,8 +119,14 @@ mod tests {
     #[test]
     fn energy_is_linear() {
         let t = EnergyTable::default();
-        let one = ActionCounts { muls: 1, ..ActionCounts::default() };
-        let ten = ActionCounts { muls: 10, ..ActionCounts::default() };
+        let one = ActionCounts {
+            muls: 1,
+            ..ActionCounts::default()
+        };
+        let ten = ActionCounts {
+            muls: 10,
+            ..ActionCounts::default()
+        };
         let e1 = one.energy_joules(&t);
         let e10 = ten.energy_joules(&t);
         assert!((e10 - 10.0 * e1).abs() < 1e-18);

@@ -24,7 +24,8 @@ use crate::ops::OpTable;
 
 /// Boundary lists published by occupancy-partition leaders, keyed by
 /// `(rank, leader tensor)`.
-pub type BoundaryCache = BTreeMap<(String, String), std::collections::BTreeMap<Vec<Coord>, Vec<Coord>>>;
+pub type BoundaryCache =
+    BTreeMap<(String, String), std::collections::BTreeMap<Vec<Coord>, Vec<Coord>>>;
 
 /// The engine executing one Einsum plan.
 pub struct Engine<'p> {
@@ -60,7 +61,12 @@ impl<'p> Engine<'p> {
         policy: IntersectPolicy,
         rank_extents: BTreeMap<String, u64>,
     ) -> Self {
-        Engine { plan, ops, policy, rank_extents }
+        Engine {
+            plan,
+            ops,
+            policy,
+            rank_extents,
+        }
     }
 
     /// Executes the plan.
@@ -89,13 +95,14 @@ impl<'p> Engine<'p> {
         for tp in &self.plan.tensor_plans {
             let input = inputs
                 .get(&tp.tensor)
-                .ok_or_else(|| SimError::MissingTensor { tensor: tp.tensor.clone() })?;
+                .ok_or_else(|| SimError::MissingTensor {
+                    tensor: tp.tensor.clone(),
+                })?;
             let needs_swizzle = input.rank_ids() != tp.initial_order.as_slice();
             let mut t = if needs_swizzle || !tp.steps.is_empty() {
                 let mut t = input.clone();
                 if needs_swizzle {
-                    let want: Vec<&str> =
-                        tp.initial_order.iter().map(String::as_str).collect();
+                    let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
                     t = t.swizzle(&want)?;
                 }
                 std::borrow::Cow::Owned(t)
@@ -123,7 +130,9 @@ impl<'p> Engine<'p> {
             let ti = tensor_names
                 .iter()
                 .position(|n| *n == a.tensor)
-                .ok_or_else(|| SimError::MissingTensor { tensor: a.tensor.clone() })?;
+                .ok_or_else(|| SimError::MissingTensor {
+                    tensor: a.tensor.clone(),
+                })?;
             access_tensor.push(ti);
             // The working rank consumed by the access's k-th descent is the
             // k-th rank of the tensor's working order.
@@ -134,8 +143,7 @@ impl<'p> Engine<'p> {
                 let names: Vec<String> = level
                     .iter()
                     .map(|_| {
-                        let name =
-                            wo.get(k).cloned().unwrap_or_else(|| format!("leaf{k}"));
+                        let name = wo.get(k).cloned().unwrap_or_else(|| format!("leaf{k}"));
                         k += 1;
                         name
                     })
@@ -160,7 +168,11 @@ impl<'p> Engine<'p> {
 
         // 3. Walk the nest.
         let mut state = State {
-            nodes: exec.access_tensor.iter().map(|&ti| Some(tensors[ti].root())).collect(),
+            nodes: exec
+                .access_tensor
+                .iter()
+                .map(|&ti| Some(tensors[ti].root()))
+                .collect(),
             binds: Vec::new(),
             space: Vec::new(),
             out: BTreeMap::new(),
@@ -188,15 +200,29 @@ impl<'p> Engine<'p> {
                 t.swizzle(&o)?
             }
             PlanStep::Flatten { upper, new_name } => t.flatten_rank(upper, new_name)?,
-            PlanStep::SplitShape { rank, size, upper, lower } => {
-                t.partition_rank(rank, SplitKind::UniformShape(*size), upper, lower)?
-            }
-            PlanStep::SplitOccLeader { rank, size, upper, lower } => {
+            PlanStep::SplitShape {
+                rank,
+                size,
+                upper,
+                lower,
+            } => t.partition_rank(rank, SplitKind::UniformShape(*size), upper, lower)?,
+            PlanStep::SplitOccLeader {
+                rank,
+                size,
+                upper,
+                lower,
+            } => {
                 let bounds = t.occupancy_boundaries_by_path(rank, *size)?;
                 boundaries.insert((rank.clone(), t.name().to_string()), bounds);
                 t.partition_rank(rank, SplitKind::UniformOccupancy(*size), upper, lower)?
             }
-            PlanStep::SplitOccFollower { rank, leader, size: _, upper, lower } => {
+            PlanStep::SplitOccFollower {
+                rank,
+                leader,
+                size: _,
+                upper,
+                lower,
+            } => {
                 let bounds = boundaries
                     .get(&(rank.clone(), leader.clone()))
                     .cloned()
@@ -234,14 +260,18 @@ impl<'p> Engine<'p> {
             let produced = &out_plan.produced_order;
             let perm: Vec<usize> = produced
                 .iter()
-                .map(|r| target.iter().position(|t| t == r).expect("produced ⊆ target"))
+                .map(|r| {
+                    target
+                        .iter()
+                        .position(|t| t == r)
+                        .expect("produced ⊆ target")
+                })
                 .collect();
             let prod_entries: Vec<(Vec<Coord>, f64)> = entries
                 .iter()
                 .map(|(k, v)| (perm.iter().map(|&i| k[i].clone()).collect(), *v))
                 .collect();
-            let prod_shapes: Vec<Shape> =
-                perm.iter().map(|&i| shapes[i].clone()).collect();
+            let prod_shapes: Vec<Shape> = perm.iter().map(|&i| shapes[i].clone()).collect();
             let prod_tensor = from_coord_entries(
                 &out_plan.tensor,
                 produced.clone(),
@@ -253,7 +283,12 @@ impl<'p> Engine<'p> {
             return Ok(prod_tensor.swizzle(&o)?);
         }
 
-        Ok(from_coord_entries(&out_plan.tensor, target, shapes, entries))
+        Ok(from_coord_entries(
+            &out_plan.tensor,
+            target,
+            shapes,
+            entries,
+        ))
     }
 }
 
@@ -276,7 +311,11 @@ fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instr
             let elems = f.leaf_count() as u64;
             let ways = f.occupancy() as u64;
             if elems > 0 && ways > 1 {
-                merges.push(MergeGroup { tensor: name.to_string(), elems, ways });
+                merges.push(MergeGroup {
+                    tensor: name.to_string(),
+                    elems,
+                    ways,
+                });
             }
             return;
         }
@@ -340,8 +379,11 @@ impl<'e, 'p> Exec<'e, 'p> {
             if !live.is_empty() {
                 let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
                 let (u, stats) = union_many(&fibers);
-                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) +=
-                    if fibers.len() > 1 { stats.comparisons } else { 0 };
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) += if fibers.len() > 1 {
+                    stats.comparisons
+                } else {
+                    0
+                };
                 for (c, pos) in u {
                     // Re-expand to all drivers (dead drivers stay None).
                     let mut full = Vec::with_capacity(driver_idx.len());
@@ -365,8 +407,7 @@ impl<'e, 'p> Exec<'e, 'p> {
             let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
             let (m, stats) = intersect_many(&fibers, self.engine.policy);
             if fibers.len() > 1 {
-                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) +=
-                    stats.comparisons;
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) += stats.comparisons;
             }
             for (c, pos) in m {
                 items.push((c, pos.into_iter().map(Some).collect()));
@@ -443,8 +484,7 @@ impl<'e, 'p> Exec<'e, 'p> {
                                 }
                             }
                             Descent::Affine { index_pos } => {
-                                let access =
-                                    &plan.equation.rhs.accesses()[ai].clone();
+                                let access = &plan.equation.rhs.accesses()[ai].clone();
                                 let ix = &access.indices[*index_pos];
                                 let val = ix.eval(|v| {
                                     let upper = v.to_uppercase();
@@ -501,13 +541,7 @@ impl<'e, 'p> Exec<'e, 'p> {
         Ok(())
     }
 
-    fn touch(
-        &self,
-        ai: usize,
-        li: usize,
-        elem: &teaal_fibertree::Element,
-        inst: &mut Instruments,
-    ) {
+    fn touch(&self, ai: usize, li: usize, elem: &teaal_fibertree::Element, inst: &mut Instruments) {
         let tensor = &self.engine.plan.tensor_plans[self.access_tensor[ai]].tensor;
         let rank = &self.access_rank_names[ai][li];
         if let Some(ch) = inst.tensors.get_mut(tensor) {
@@ -565,9 +599,7 @@ impl<'e, 'p> Exec<'e, 'p> {
                             teaal_core::einsum::Sign::Plus => ops.semiring.add(acc, tv),
                             teaal_core::einsum::Sign::Minus => (ops.sub)(acc, tv),
                         };
-                    } else if matches!(sign, teaal_core::einsum::Sign::Minus)
-                        && !self.union_mode
-                    {
+                    } else if matches!(sign, teaal_core::einsum::Sign::Minus) && !self.union_mode {
                         return;
                     }
                 }

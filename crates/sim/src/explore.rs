@@ -79,7 +79,9 @@ pub fn explore_loop_orders(
         .plans()
         .iter()
         .find(|p| p.equation.name() == einsum)
-        .ok_or_else(|| SimError::MissingTensor { tensor: einsum.to_string() })?;
+        .ok_or_else(|| SimError::MissingTensor {
+            tensor: einsum.to_string(),
+        })?;
     let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
 
     let mut results = Vec::new();
@@ -91,11 +93,15 @@ pub fn explore_loop_orders(
         }
         tried += 1;
         let mut s = spec.clone();
-        s.mapping.loop_order.insert(einsum.to_string(), candidate.to_vec());
+        s.mapping
+            .loop_order
+            .insert(einsum.to_string(), candidate.to_vec());
         // Spacetime entries may reference ranks by name; they stay valid
         // because the rank *set* is unchanged.
         let Ok(sim) = Simulator::new(s) else { return };
-        let Ok(report) = sim.run(inputs) else { return };
+        let Ok(report) = sim.with_ops(ops).run(inputs) else {
+            return;
+        };
         results.push(Candidate {
             loop_order: candidate.to_vec(),
             seconds: report.seconds,
@@ -248,12 +254,20 @@ mod tests {
         let spec = base_spec();
         let ins = inputs();
         let mut reference: Option<Tensor> = None;
-        let results =
-            explore_loop_orders(&spec, "Z", &ins, OpTable::arithmetic(), Objective::Time, 720)
-                .unwrap();
+        let results = explore_loop_orders(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            Objective::Time,
+            720,
+        )
+        .unwrap();
         for c in &results {
             let mut s = spec.clone();
-            s.mapping.loop_order.insert("Z".into(), c.loop_order.clone());
+            s.mapping
+                .loop_order
+                .insert("Z".into(), c.loop_order.clone());
             let report = Simulator::new(s).unwrap().run(&ins).unwrap();
             let z = report.final_output().unwrap().clone();
             if let Some(r) = &reference {

@@ -10,9 +10,7 @@
 use std::collections::BTreeMap;
 
 use teaal_core::ir::{self, EinsumBlock, EinsumPlan};
-use teaal_core::spec::{
-    BindStyle, BufferKind, ComponentClass, ComputeOp, TeaalSpec,
-};
+use teaal_core::spec::{BindStyle, BufferKind, ComponentClass, ComputeOp, TeaalSpec};
 use teaal_core::TeaalSpec as Spec;
 use teaal_fibertree::{IntersectPolicy, Tensor};
 
@@ -87,14 +85,18 @@ impl Simulator {
         let edges = spec.cascade.dag_edges();
         let mut on_chip = std::collections::BTreeSet::new();
         for t in spec.cascade.intermediates() {
-            let Some(&pb) = block_of.get(t.as_str()) else { continue };
+            let Some(&pb) = block_of.get(t.as_str()) else {
+                continue;
+            };
             let consumers: Vec<String> = edges
                 .iter()
                 .filter(|(p, _)| *p == t)
                 .map(|(_, c)| c.clone())
                 .collect();
             if !consumers.is_empty()
-                && consumers.iter().all(|c| block_of.get(c.as_str()) == Some(&pb))
+                && consumers
+                    .iter()
+                    .all(|c| block_of.get(c.as_str()) == Some(&pb))
             {
                 on_chip.insert(t);
             }
@@ -152,8 +154,10 @@ impl Simulator {
     ///
     /// Returns [`SimError`] when inputs are missing or execution fails.
     pub fn run(&self, inputs: &[Tensor]) -> Result<SimReport, SimError> {
-        let mut env: BTreeMap<String, Tensor> =
-            inputs.iter().map(|t| (t.name().to_string(), t.clone())).collect();
+        let mut env: BTreeMap<String, Tensor> = inputs
+            .iter()
+            .map(|t| (t.name().to_string(), t.clone()))
+            .collect();
 
         // Rank extents from input shapes plus overrides.
         let mut extents: BTreeMap<String, u64> = BTreeMap::new();
@@ -185,7 +189,9 @@ impl Simulator {
 
             let stats = self.collect_stats(plan, &instruments, &output);
             report.einsums.push(stats);
-            report.outputs.insert(output.name().to_string(), output.clone());
+            report
+                .outputs
+                .insert(output.name().to_string(), output.clone());
             env.insert(output.name().to_string(), output);
             all_instruments.push(instruments);
         }
@@ -209,7 +215,10 @@ impl Simulator {
             .map(|(c, _)| {
                 matches!(
                     c.class,
-                    ComponentClass::Buffer { kind: BufferKind::Buffet, .. }
+                    ComponentClass::Buffer {
+                        kind: BufferKind::Buffet,
+                        ..
+                    }
                 )
             })
             .unwrap_or(false)
@@ -220,7 +229,11 @@ impl Simulator {
     /// intersection unit in the architecture configuration.
     fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
         let binding = self.spec.binding.for_einsum(plan.equation.name());
-        if let Some(cfg) = self.spec.architecture.config(binding.arch_config.as_deref()) {
+        if let Some(cfg) = self
+            .spec
+            .architecture
+            .config(binding.arch_config.as_deref())
+        {
             for ib in &binding.intersects {
                 if let Some((c, _)) = cfg.find(&ib.component) {
                     if let ComponentClass::Intersect { policy } = &c.class {
@@ -239,25 +252,19 @@ impl Simulator {
 
     /// Builds the instrumentation channels for one Einsum from the
     /// binding + format specifications.
-    fn build_instruments(
-        &self,
-        plan: &EinsumPlan,
-        _env: &BTreeMap<String, Tensor>,
-    ) -> Instruments {
+    fn build_instruments(&self, plan: &EinsumPlan, _env: &BTreeMap<String, Tensor>) -> Instruments {
         let name = plan.equation.name();
         let binding = self.spec.binding.for_einsum(name);
         let mut instruments = Instruments::default();
 
         for tp in &plan.tensor_plans {
-            let declared =
-                self.spec.rank_order_of(&tp.tensor).unwrap_or_default();
+            let declared = self.spec.rank_order_of(&tp.tensor).unwrap_or_default();
             let storage = binding.storage_for(&tp.tensor);
             let fmt_config = storage.iter().find_map(|s| s.config.clone());
-            let fmt = self.spec.format.config_or_default(
-                &tp.tensor,
-                fmt_config.as_deref(),
-                &declared,
-            );
+            let fmt =
+                self.spec
+                    .format
+                    .config_or_default(&tp.tensor, fmt_config.as_deref(), &declared);
 
             // Per-working-rank element bits: bottom ranks cost their
             // concrete element; upper partition ranks are bookkeeping.
@@ -285,32 +292,32 @@ impl Simulator {
             // DRAM, and caches miss to DRAM, so both stay DRAM-backed.
             if !storage.is_empty()
                 && storage.iter().all(|s| {
-                    s.evict_on.is_none()
-                        && self.is_pinnable_buffet(&binding, &s.component)
+                    s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component)
                 })
             {
                 cfg.dram_backed = false;
             }
             for s in &storage {
-                if let Some(arch) =
-                    self.spec.architecture.config(binding.arch_config.as_deref())
+                if let Some(arch) = self
+                    .spec
+                    .architecture
+                    .config(binding.arch_config.as_deref())
                 {
                     if let Some((comp, _)) = arch.find(&s.component) {
                         match &comp.class {
-                            ComponentClass::Buffer { kind, width, depth, .. } => {
-                                match kind {
-                                    BufferKind::Cache => {
-                                        let line_bits = (*width).max(64);
-                                        let lines =
-                                            ((width * depth) / line_bits).max(1) as usize;
-                                        cfg.cache_lines = Some(lines);
-                                        cfg.line_bits = line_bits;
-                                    }
-                                    BufferKind::Buffet => {
-                                        cfg.evict_on = s.evict_on.clone();
-                                    }
+                            ComponentClass::Buffer {
+                                kind, width, depth, ..
+                            } => match kind {
+                                BufferKind::Cache => {
+                                    let line_bits = (*width).max(64);
+                                    let lines = ((width * depth) / line_bits).max(1) as usize;
+                                    cfg.cache_lines = Some(lines);
+                                    cfg.line_bits = line_bits;
                                 }
-                            }
+                                BufferKind::Buffet => {
+                                    cfg.evict_on = s.evict_on.clone();
+                                }
+                            },
                             ComponentClass::Dram { .. } => {
                                 cfg.dram_backed = true;
                             }
@@ -324,10 +331,7 @@ impl Simulator {
                     let er = tp
                         .working_order
                         .iter()
-                        .find(|w| {
-                            *w == &s.rank
-                                || plan.rank_space.roots_of(w).contains(&s.rank)
-                        })
+                        .find(|w| *w == &s.rank || plan.rank_space.roots_of(w).contains(&s.rank))
                         .cloned();
                     cfg.eager_rank = er.or(Some(s.rank.clone()));
                 }
@@ -337,8 +341,10 @@ impl Simulator {
 
         // Output channel.
         let out_declared = plan.output.target_order.clone();
-        let out_fmt =
-            self.spec.format.config_or_default(name, None, &out_declared);
+        let out_fmt = self
+            .spec
+            .format
+            .config_or_default(name, None, &out_declared);
         let leaf_rank = out_declared.last().cloned().unwrap_or_default();
         let elem_bits = out_fmt.element_bits(&leaf_rank);
         let evict = binding
@@ -361,9 +367,9 @@ impl Simulator {
         let binding = self.spec.binding.for_einsum(&name);
         let own_storage = binding.storage_for(&name);
         let output_pinned = !own_storage.is_empty()
-            && own_storage.iter().all(|s| {
-                s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component)
-            });
+            && own_storage
+                .iter()
+                .all(|s| s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component));
         let output_write_bytes = if self.on_chip.contains(&name) || output_pinned {
             0
         } else {
@@ -386,8 +392,7 @@ impl Simulator {
             einsum: name,
             traffic,
             output_write_bytes,
-            output_partial_bytes: (instruments.output.drain_bits
-                + instruments.output.refill_bits)
+            output_partial_bytes: (instruments.output.drain_bits + instruments.output.refill_bits)
                 .div_ceil(8),
             output_writes: instruments.output.writes,
             output_updates: instruments.output.updates,
@@ -422,15 +427,17 @@ impl Simulator {
                 let stats = &report.einsums[m];
                 bs.members.push(stats.einsum.clone());
                 dram_bytes += stats.dram_bytes();
-                buffer_bytes +=
-                    stats.traffic.iter().map(|t| t.buffer_read_bytes).sum::<u64>();
+                buffer_bytes += stats
+                    .traffic
+                    .iter()
+                    .map(|t| t.buffer_read_bytes)
+                    .sum::<u64>();
                 muls += stats.muls;
                 adds += stats.adds;
                 max_pe += stats.max_pe_ops;
                 isect += stats.intersections;
                 visits += stats.loop_visits.values().sum::<u64>();
-                merge_elems
-                    .extend(stats.merges.iter().map(|g| (g.elems, g.ways)));
+                merge_elems.extend(stats.merges.iter().map(|g| (g.elems, g.ways)));
                 if binding_cfg.is_none() {
                     binding_cfg = self
                         .spec
@@ -446,10 +453,12 @@ impl Simulator {
             // DRAM time.
             let dram_bw = arch
                 .and_then(|a| {
-                    a.all_components().into_iter().find_map(|(c, _)| match &c.class {
-                        ComponentClass::Dram { bandwidth } => Some(*bandwidth),
-                        _ => None,
-                    })
+                    a.all_components()
+                        .into_iter()
+                        .find_map(|(c, _)| match &c.class {
+                            ComponentClass::Dram { bandwidth } => Some(*bandwidth),
+                            _ => None,
+                        })
                 })
                 .unwrap_or(64e9);
             bs.component_seconds
@@ -458,12 +467,12 @@ impl Simulator {
             // Buffer time (aggregate across buffers).
             let buf_bw = arch
                 .and_then(|a| {
-                    a.all_components().into_iter().find_map(|(c, n)| match &c.class {
-                        ComponentClass::Buffer { bandwidth, .. } => {
-                            Some(*bandwidth * n as f64)
-                        }
-                        _ => None,
-                    })
+                    a.all_components()
+                        .into_iter()
+                        .find_map(|(c, n)| match &c.class {
+                            ComponentClass::Buffer { bandwidth, .. } => Some(*bandwidth * n as f64),
+                            _ => None,
+                        })
                 })
                 .unwrap_or(1e12);
             bs.component_seconds
@@ -496,9 +505,7 @@ impl Simulator {
                 .map(|a| {
                     a.all_components()
                         .into_iter()
-                        .filter(|(c, _)| {
-                            matches!(c.class, ComponentClass::Intersect { .. })
-                        })
+                        .filter(|(c, _)| matches!(c.class, ComponentClass::Intersect { .. }))
                         .map(|(_, n)| n)
                         .sum::<u64>()
                 })
@@ -518,12 +525,14 @@ impl Simulator {
             // Sequencer time: one coordinate generated per cycle per
             // sequencer instance (Table 3's num_ranks scales throughput).
             let sequencer = arch.and_then(|a| {
-                a.all_components().into_iter().find_map(|(c, n)| match &c.class {
-                    ComponentClass::Sequencer { num_ranks } => {
-                        Some(((*num_ranks).max(1), n.max(1)))
-                    }
-                    _ => None,
-                })
+                a.all_components()
+                    .into_iter()
+                    .find_map(|(c, n)| match &c.class {
+                        ComponentClass::Sequencer { num_ranks } => {
+                            Some(((*num_ranks).max(1), n.max(1)))
+                        }
+                        _ => None,
+                    })
             });
             if let Some((num_ranks, seqs)) = sequencer {
                 bs.component_seconds.insert(
@@ -536,16 +545,22 @@ impl Simulator {
             // hardware; designs whose distribution network reorders data
             // in flight (SIGMA) absorb the swizzle in the dataflow.
             let merger = arch.and_then(|a| {
-                a.all_components().into_iter().find_map(|(c, n)| match &c.class {
-                    ComponentClass::Merger { comparator_radix, outputs, .. } => {
-                        Some((*comparator_radix, (*outputs).max(1), n))
-                    }
-                    _ => None,
-                })
+                a.all_components()
+                    .into_iter()
+                    .find_map(|(c, n)| match &c.class {
+                        ComponentClass::Merger {
+                            comparator_radix,
+                            outputs,
+                            ..
+                        } => Some((*comparator_radix, (*outputs).max(1), n)),
+                        _ => None,
+                    })
             });
             if let Some((radix, outputs, mergers)) = merger {
-                let merge_passes: u64 =
-                    merge_elems.iter().map(|(e, w)| e * passes_for(*w, radix)).sum();
+                let merge_passes: u64 = merge_elems
+                    .iter()
+                    .map(|(e, w)| e * passes_for(*w, radix))
+                    .sum();
                 if merge_passes > 0 {
                     bs.component_seconds.insert(
                         "Merger".into(),

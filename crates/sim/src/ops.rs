@@ -20,7 +20,10 @@ pub struct OpTable {
 impl OpTable {
     /// Standard tensor algebra: `a - b` is arithmetic subtraction.
     pub fn arithmetic() -> Self {
-        OpTable { semiring: Semiring::arithmetic(), sub: |a, b| a - b }
+        OpTable {
+            semiring: Semiring::arithmetic(),
+            sub: |a, b| a - b,
+        }
     }
 
     /// SSSP over the min-plus semiring; `-` detects changed values

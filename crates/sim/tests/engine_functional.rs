@@ -29,7 +29,9 @@ fn check_matches_reference(z: &Tensor, reference: &BTreeMap<(u64, u64), f64>) {
     }
     assert_eq!(got.len(), reference.len(), "nnz mismatch");
     for (k, v) in reference {
-        let g = got.get(k).unwrap_or_else(|| panic!("missing output point {k:?}"));
+        let g = got
+            .get(k)
+            .unwrap_or_else(|| panic!("missing output point {k:?}"));
         assert!((g - v).abs() < 1e-9, "value mismatch at {k:?}: {g} vs {v}");
     }
 }
@@ -187,11 +189,17 @@ fn direct_convolution_matches_reference() {
         "I",
         &["W"],
         &[6],
-        vec![(vec![0], 1.0), (vec![1], 2.0), (vec![2], 3.0), (vec![3], 4.0), (vec![4], 5.0), (vec![5], 6.0)],
+        vec![
+            (vec![0], 1.0),
+            (vec![1], 2.0),
+            (vec![2], 3.0),
+            (vec![3], 4.0),
+            (vec![4], 5.0),
+            (vec![5], 6.0),
+        ],
     )
     .unwrap();
-    let f = Tensor::from_entries("F", &["S"], &[2], vec![(vec![0], 1.0), (vec![1], 10.0)])
-        .unwrap();
+    let f = Tensor::from_entries("F", &["S"], &[2], vec![(vec![0], 1.0), (vec![1], 10.0)]).unwrap();
     let sim = Simulator::new(spec).unwrap().with_rank_extent("Q", 5);
     let report = sim.run(&[i, f]).unwrap();
     let o = report.final_output().unwrap();
@@ -219,11 +227,17 @@ fn toeplitz_cascade_matches_direct_convolution() {
         "I",
         &["W"],
         &[6],
-        vec![(vec![0], 1.0), (vec![1], 2.0), (vec![2], 3.0), (vec![3], 4.0), (vec![4], 5.0), (vec![5], 6.0)],
+        vec![
+            (vec![0], 1.0),
+            (vec![1], 2.0),
+            (vec![2], 3.0),
+            (vec![3], 4.0),
+            (vec![4], 5.0),
+            (vec![5], 6.0),
+        ],
     )
     .unwrap();
-    let f = Tensor::from_entries("F", &["S"], &[2], vec![(vec![0], 1.0), (vec![1], 10.0)])
-        .unwrap();
+    let f = Tensor::from_entries("F", &["S"], &[2], vec![(vec![0], 1.0), (vec![1], 10.0)]).unwrap();
     let sim = Simulator::new(spec)
         .unwrap()
         .with_rank_extent("Q", 5)
@@ -249,10 +263,8 @@ fn union_and_subtraction_semantics() {
         "    - M[k] = Y[k] - E[k]\n",
     ))
     .unwrap();
-    let e = Tensor::from_entries("E", &["K"], &[6], vec![(vec![0], 1.0), (vec![2], 2.0)])
-        .unwrap();
-    let t = Tensor::from_entries("T", &["K"], &[6], vec![(vec![2], 5.0), (vec![4], 7.0)])
-        .unwrap();
+    let e = Tensor::from_entries("E", &["K"], &[6], vec![(vec![0], 1.0), (vec![2], 2.0)]).unwrap();
+    let t = Tensor::from_entries("T", &["K"], &[6], vec![(vec![2], 5.0), (vec![4], 7.0)]).unwrap();
     let sim = Simulator::new(spec).unwrap();
     let report = sim.run(&[e, t]).unwrap();
     let y = report.outputs.get("Y").unwrap();
@@ -307,8 +319,7 @@ fn min_plus_semiring_relaxation() {
         vec![(vec![1, 0], 4.0), (vec![2, 0], 9.0), (vec![2, 1], 1.0)],
     )
     .unwrap();
-    let p = Tensor::from_entries("P", &["S"], &[3], vec![(vec![0], 0.5), (vec![1], 2.0)])
-        .unwrap();
+    let p = Tensor::from_entries("P", &["S"], &[3], vec![(vec![0], 0.5), (vec![1], 2.0)]).unwrap();
     let sim = Simulator::new(spec).unwrap().with_ops(OpTable::sssp());
     let report = sim.run(&[g, p]).unwrap();
     let r = report.final_output().unwrap();

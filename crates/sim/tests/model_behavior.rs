@@ -42,7 +42,7 @@ fn full_traversal_traffic_matches_footprint() {
     .unwrap();
     let (a, _) = inputs(400);
     let sim = Simulator::new(spec).unwrap();
-    let report = sim.run(&[a.clone()]).unwrap();
+    let report = sim.run(std::slice::from_ref(&a)).unwrap();
     let k_elems = a.rank_stats()[0].1 as u64;
     let expect = (a.nnz() as u64 * 96 + k_elems * 64) / 8;
     assert_eq!(report.dram_bytes_of("A"), expect);
@@ -68,7 +68,10 @@ fn intersection_skips_reduce_traffic_below_footprint() {
 fn energy_table_override_scales_energy() {
     let (a, b) = inputs(300);
     let spec = plain_spec();
-    let base = Simulator::new(spec.clone()).unwrap().run(&[a.clone(), b.clone()]).unwrap();
+    let base = Simulator::new(spec.clone())
+        .unwrap()
+        .run(&[a.clone(), b.clone()])
+        .unwrap();
     let expensive = Simulator::new(spec)
         .unwrap()
         .with_energy(EnergyTable {
@@ -130,7 +133,10 @@ fn spatial_mapping_reduces_modelled_time() {
     let parallel_yaml = serial_to_parallel();
     let parallel = TeaalSpec::parse(&parallel_yaml).unwrap();
     let (a, b) = inputs(800);
-    let ts = Simulator::new(serial).unwrap().run(&[a.clone(), b.clone()]).unwrap();
+    let ts = Simulator::new(serial)
+        .unwrap()
+        .run(&[a.clone(), b.clone()])
+        .unwrap();
     let tp = Simulator::new(parallel).unwrap().run(&[a, b]).unwrap();
     assert!(
         tp.seconds < ts.seconds,

@@ -15,8 +15,7 @@ fn arb_pair() -> impl Strategy<Value = (Tensor, Tensor)> {
             move |m| {
                 let entries: Vec<(Vec<u64>, f64)> =
                     m.into_iter().map(|((r, c), v)| (vec![r, c], v)).collect();
-                Tensor::from_entries(name, &["K", cols], &[12, 12], entries)
-                    .expect("in shape")
+                Tensor::from_entries(name, &["K", cols], &[12, 12], entries).expect("in shape")
             },
         )
     };

@@ -60,11 +60,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let t = &report.einsums[0];
         println!(
             "{:>10}{:>12}{:>14}{:>14}{:>12.3e}",
-            size,
-            t.spaces,
-            t.max_pe_ops,
-            t.muls,
-            report.seconds
+            size, t.spaces, t.max_pe_ops, t.muls, report.seconds
         );
     }
     println!("\nsmaller partitions spread work across more PEs (lower max-PE ops)");

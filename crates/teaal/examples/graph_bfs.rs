@@ -16,11 +16,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         graph.vertices, graph.edges
     );
 
-    for design in [GraphDesign::Graphicionado, GraphDesign::GraphDynS, GraphDesign::Proposal] {
+    for design in [
+        GraphDesign::Graphicionado,
+        GraphDesign::GraphDynS,
+        GraphDesign::Proposal,
+    ] {
         let result = run(design, Algorithm::Bfs, &graph, root)?;
         let reached = result.distances.iter().filter(|d| d.is_finite()).count();
-        println!("{} ({} iterations, {} vertices reached):", design.label(),
-            result.metrics.iterations.len(), reached);
+        println!(
+            "{} ({} iterations, {} vertices reached):",
+            design.label(),
+            result.metrics.iterations.len(),
+            reached
+        );
         println!(
             "  total: apply ops {:>10}, DRAM {:>12} B, time {:.3e} s",
             result.metrics.total_apply_ops(),

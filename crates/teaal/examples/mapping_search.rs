@@ -45,8 +45,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         720,
     )?;
 
-    println!("{} loop orders evaluated on real sparse data:\n", candidates.len());
-    println!("{:<16}{:>14}{:>16}{:>14}", "loop order", "time (s)", "energy (J)", "DRAM (B)");
+    println!(
+        "{} loop orders evaluated on real sparse data:\n",
+        candidates.len()
+    );
+    println!(
+        "{:<16}{:>14}{:>16}{:>14}",
+        "loop order", "time (s)", "energy (J)", "DRAM (B)"
+    );
     for c in &candidates {
         println!(
             "{:<16}{:>14.3e}{:>16.3e}{:>14}",

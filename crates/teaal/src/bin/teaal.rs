@@ -37,6 +37,9 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.get(1).ok_or("missing command")?.as_str();
+    if !matches!(command, "check" | "run" | "output") {
+        return Err(format!("unknown command {command}"));
+    }
     let spec_path = args.get(2).ok_or("missing spec path")?;
     let source =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
@@ -44,9 +47,11 @@ fn run(args: &[String]) -> Result<(), String> {
 
     if command == "check" {
         let plans = teaal::core::ir::lower(&spec).map_err(|e| e.to_string())?;
-        println!("spec OK: {} einsum(s), {} block(s) after fusion", plans.len(), {
-            teaal::core::ir::infer_blocks(&spec, &plans).len()
-        });
+        println!(
+            "spec OK: {} einsum(s), {} block(s) after fusion",
+            plans.len(),
+            { teaal::core::ir::infer_blocks(&spec, &plans).len() }
+        );
         for p in &plans {
             let loops: Vec<&str> = p.loop_ranks.iter().map(|l| l.name.as_str()).collect();
             println!("  {}: loops [{}]", p.equation, loops.join(", "));
@@ -66,15 +71,13 @@ fn run(args: &[String]) -> Result<(), String> {
                 let kv = args.get(i + 1).ok_or("--tensor needs NAME=FILE")?;
                 let (name, path) = kv.split_once('=').ok_or("--tensor needs NAME=FILE")?;
                 let f = File::open(path).map_err(|e| format!("opening {path}: {e}"))?;
-                let t = tio::read_tensor(BufReader::new(f), name)
-                    .map_err(|e| e.to_string())?;
+                let t = tio::read_tensor(BufReader::new(f), name).map_err(|e| e.to_string())?;
                 tensors.push(t);
                 i += 2;
             }
             "--random" => {
                 let kv = args.get(i + 1).ok_or("--random needs NAME=RxC:NNZ")?;
-                let (name, dims) =
-                    kv.split_once('=').ok_or("--random needs NAME=RxC:NNZ")?;
+                let (name, dims) = kv.split_once('=').ok_or("--random needs NAME=RxC:NNZ")?;
                 let (shape, nnz) = dims.split_once(':').ok_or("--random needs RxC:NNZ")?;
                 let (r, c) = shape.split_once('x').ok_or("--random needs RxC:NNZ")?;
                 let rank_ids = spec
@@ -119,7 +122,9 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    let mut sim = Simulator::new(spec).map_err(|e| e.to_string())?.with_ops(ops);
+    let mut sim = Simulator::new(spec)
+        .map_err(|e| e.to_string())?
+        .with_ops(ops);
     for (rank, n) in extents {
         sim = sim.with_rank_extent(&rank, n);
     }
@@ -130,8 +135,7 @@ fn run(args: &[String]) -> Result<(), String> {
         "output" => {
             for (name, tensor) in &report.outputs {
                 println!("# --- {name} ---");
-                tio::write_tensor(std::io::stdout().lock(), tensor)
-                    .map_err(|e| e.to_string())?;
+                tio::write_tensor(std::io::stdout().lock(), tensor).map_err(|e| e.to_string())?;
             }
         }
         other => return Err(format!("unknown command {other}")),

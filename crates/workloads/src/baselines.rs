@@ -52,10 +52,7 @@ impl CpuBaseline {
     /// streams.
     pub fn spgemm_seconds(&self, flops: f64, bytes: f64) -> f64 {
         let compute = flops
-            / (self.cores as f64
-                * self.flops_per_cycle
-                * self.clock_hz
-                * self.sparse_efficiency);
+            / (self.cores as f64 * self.flops_per_cycle * self.clock_hz * self.sparse_efficiency);
         let memory = bytes / (self.mem_bw * self.mem_efficiency);
         compute.max(memory)
     }
@@ -166,7 +163,12 @@ pub struct SparseloopLike {
 
 impl Default for SparseloopLike {
     fn default() -> Self {
-        SparseloopLike { pes: 128, clock_hz: 1e9, mem_bw: 68.256e9, elem_bytes: 12.0 }
+        SparseloopLike {
+            pes: 128,
+            clock_hz: 1e9,
+            mem_bw: 68.256e9,
+            elem_bytes: 12.0,
+        }
     }
 }
 
@@ -181,8 +183,7 @@ impl SparseloopLike {
         // Expected output nonzeros: 1 - (1 - dA·dB)^K per output point.
         let p_nz = 1.0 - (1.0 - da * db).powf(k as f64);
         let nnz_z = m as f64 * n as f64 * p_nz;
-        let bytes =
-            (nnz_a as f64 + nnz_b as f64 + nnz_z + flops) * self.elem_bytes;
+        let bytes = (nnz_a as f64 + nnz_b as f64 + nnz_z + flops) * self.elem_bytes;
         let compute = flops / (self.pes as f64 * self.clock_hz);
         compute.max(bytes / self.mem_bw)
     }
@@ -267,7 +268,10 @@ mod tests {
         let ub = genmat::uniform("B", &["K", "N"], 500, 500, 4000, 2);
         let pb = genmat::power_law("B", &["K", "N"], 500, 500, 4000, 2.5, 4000, 2);
         let nnz_ratio = pow.nnz() as f64 / uni.nnz() as f64;
-        assert!(nnz_ratio > 0.7, "summaries should stay comparable: {nnz_ratio}");
+        assert!(
+            nnz_ratio > 0.7,
+            "summaries should stay comparable: {nnz_ratio}"
+        );
         let true_u = spmspm_multiplies(&uni, &ub);
         let true_p = spmspm_multiplies(&pow, &pb);
         assert!(

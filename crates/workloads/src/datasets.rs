@@ -76,9 +76,7 @@ impl Dataset {
                 ((nnz as f64 / rows as f64) * 24.0).ceil() as usize,
                 seed,
             ),
-            Structure::Banded => {
-                genmat::banded(name, rank_ids, rows, cols, nnz, 40, seed)
-            }
+            Structure::Banded => genmat::banded(name, rank_ids, rows, cols, nnz, 40, seed),
             Structure::Uniform => genmat::uniform(name, rank_ids, rows, cols, nnz, seed),
         }
     }

@@ -55,6 +55,9 @@ pub fn uniform_density(
 /// email-Enron, p2p-Gnutella31, and the large vertex-centric graphs):
 /// degree skew is the property that drives intersection efficiency,
 /// occupancy partitioning, and load imbalance in sparse accelerators.
+// Generator knobs are inherently positional; a config struct would just
+// relocate the argument list to every call site.
+#[allow(clippy::too_many_arguments)]
 pub fn power_law(
     name: &str,
     rank_ids: &[&str; 2],
@@ -152,7 +155,11 @@ pub fn stats(t: &Tensor) -> MatrixStats {
         cols,
         nnz,
         max_row,
-        mean_row: if fibers > 0 { nnz as f64 / fibers as f64 } else { 0.0 },
+        mean_row: if fibers > 0 {
+            nnz as f64 / fibers as f64
+        } else {
+            0.0
+        },
     }
 }
 

@@ -41,13 +41,21 @@ impl Graph {
             if !seen.insert((d, s)) {
                 continue;
             }
-            let w = if weighted { rng.random_range(1.0..10.0f64).round() } else { 1.0 };
+            let w = if weighted {
+                rng.random_range(1.0..10.0f64).round()
+            } else {
+                1.0
+            };
             entries.push((vec![d, s], w));
         }
         let adjacency = Tensor::from_entries("G", &["D", "S"], &[vertices, vertices], entries)
             .expect("edges are in range");
         let edges = adjacency.nnz();
-        Graph { adjacency, vertices, edges }
+        Graph {
+            adjacency,
+            vertices,
+            edges,
+        }
     }
 
     /// Out-neighbors as `(dst, weight)` lists indexed by source — used by
@@ -139,7 +147,11 @@ mod tests {
             vec![(vec![1, 0], 1.0), (vec![2, 1], 1.0), (vec![3, 2], 1.0)],
         )
         .unwrap();
-        let g = Graph { adjacency, vertices: 4, edges: 3 };
+        let g = Graph {
+            adjacency,
+            vertices: 4,
+            edges: 3,
+        };
         let d = reference_bfs(&g, 0);
         assert_eq!(d, vec![0.0, 1.0, 2.0, 3.0]);
     }
@@ -154,7 +166,11 @@ mod tests {
             vec![(vec![1, 0], 5.0), (vec![2, 0], 1.0), (vec![1, 2], 1.0)],
         )
         .unwrap();
-        let g = Graph { adjacency, vertices: 3, edges: 3 };
+        let g = Graph {
+            adjacency,
+            vertices: 3,
+            edges: 3,
+        };
         let d = reference_sssp(&g, 0);
         assert_eq!(d, vec![0.0, 2.0, 1.0]);
     }

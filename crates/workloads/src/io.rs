@@ -79,8 +79,7 @@ pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, T
                         w += 2;
                     }
                     "ranks" if w + 1 < words.len() => {
-                        rank_ids =
-                            Some(words[w + 1].split(',').map(str::to_string).collect());
+                        rank_ids = Some(words[w + 1].split(',').map(str::to_string).collect());
                         w += 2;
                     }
                     "shape" if w + 1 < words.len() => {
@@ -118,8 +117,7 @@ pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, T
     }
 
     let arity = entries.first().map_or(0, |(p, _)| p.len());
-    let rank_ids =
-        rank_ids.unwrap_or_else(|| (0..arity).map(|i| format!("R{i}")).collect());
+    let rank_ids = rank_ids.unwrap_or_else(|| (0..arity).map(|i| format!("R{i}")).collect());
     let shape = shape.unwrap_or_else(|| {
         (0..arity)
             .map(|d| entries.iter().map(|(p, _)| p[d] + 1).max().unwrap_or(1))
@@ -138,8 +136,11 @@ pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, T
 ///
 /// Returns [`TensorIoError::Io`] on write failure.
 pub fn write_tensor(mut writer: impl Write, t: &Tensor) -> Result<(), TensorIoError> {
-    let shape: Vec<String> =
-        t.rank_shapes().iter().map(|s| s.extent().to_string()).collect();
+    let shape: Vec<String> = t
+        .rank_shapes()
+        .iter()
+        .map(|s| s.extent().to_string())
+        .collect();
     writeln!(
         writer,
         "# tensor {} ranks {} shape {}",

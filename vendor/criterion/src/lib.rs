@@ -1,0 +1,192 @@
+//! Offline stub for `criterion`, exposing the slice of the 0.5 API the
+//! bench suite uses: `Criterion`, `benchmark_group`, `bench_function`,
+//! `bench_with_input`, `sample_size`, `BenchmarkId`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Timing is a plain wall-clock mean over a small, time-boxed batch —
+//! no warm-up modeling, outlier rejection, or HTML reports. Results
+//! print one line per benchmark (`group/id ... N ns/iter`). The point
+//! is that `cargo bench` compiles and produces comparable numbers
+//! offline; swap the workspace dependency for crates-io criterion when
+//! statistical rigor matters.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifies one benchmark within a group: a function name plus a
+/// parameter rendered through `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// The per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    samples: u64,
+    budget: Duration,
+    /// Mean ns/iter of the measured batch, for the caller to report.
+    mean_ns: f64,
+}
+
+impl Bencher {
+    fn new(samples: u64) -> Self {
+        Bencher {
+            samples,
+            budget: Duration::from_millis(200),
+            mean_ns: 0.0,
+        }
+    }
+
+    /// Times `f`: one warm-up call, then up to `samples` timed calls
+    /// bounded by the time budget.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f());
+        let started = Instant::now();
+        let mut iters = 0u64;
+        while iters < self.samples && started.elapsed() < self.budget {
+            black_box(f());
+            iters += 1;
+        }
+        self.mean_ns = started.elapsed().as_nanos() as f64 / iters.max(1) as f64;
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: u64,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Mirrors criterion's minimum of 10; the stub honors the request
+    /// as an upper bound on timed iterations instead.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1) as u64;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b);
+        println!(
+            "bench {}/{} ... {:>12.0} ns/iter",
+            self.name,
+            id.into_id(),
+            b.mean_ns
+        );
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::new(self.sample_size);
+        f(&mut b, input);
+        println!(
+            "bench {}/{} ... {:>12.0} ns/iter",
+            self.name, id.id, b.mean_ns
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::new(20);
+        f(&mut b);
+        println!("bench {} ... {:>12.0} ns/iter", id.into_id(), b.mean_ns);
+        self
+    }
+}
+
+/// Declares a function that runs each listed benchmark with one
+/// `Criterion` instance.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // Cargo passes harness flags (e.g. `--bench`); ignore them.
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,468 @@
+//! Offline stub for `proptest`, covering the surface the workspace's
+//! property tests use: the `proptest!` macro, `prop_assert*`/
+//! `prop_assume!`, `Strategy`/`prop_map`, numeric-range and tuple
+//! strategies, and `collection::{btree_map, btree_set, vec}`.
+//!
+//! Differences from real proptest, deliberately accepted offline:
+//! no shrinking (a failure reports the case index and message, not a
+//! minimized input), and generation is a fixed deterministic stream
+//! seeded from the test name — every run explores the same cases, so
+//! failures are always reproducible (run the single test to replay).
+
+use std::ops::Range;
+
+pub mod test_runner {
+    /// Why a test case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case's assumptions were not met; the runner draws a
+        /// fresh case without counting this one.
+        Reject(String),
+        /// An assertion failed; the runner panics with this message.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+                TestCaseError::Fail(m) => write!(f, "failed: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration (`ProptestConfig` in the prelude).
+    #[derive(Clone, Debug)]
+    pub struct Config {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl Config {
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            // Real proptest runs 256; 64 keeps offline CI fast while
+            // still exercising a meaningful spread of inputs.
+            Config { cases: 64 }
+        }
+    }
+
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    /// Deterministic stream seeded from the test name (delegates to the
+    /// vendor `rand` stub's generator — one PRNG implementation to fix).
+    #[derive(Clone, Debug)]
+    pub struct TestRng {
+        inner: StdRng,
+    }
+
+    impl TestRng {
+        pub fn deterministic(name: &str) -> Self {
+            // FNV-1a over the name picks the seed.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            TestRng {
+                inner: StdRng::seed_from_u64(h),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.inner.next_u64()
+        }
+
+        /// Uniform integer in `[0, bound)`.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            assert!(bound > 0, "below(0)");
+            self.inner.random_range(0..bound)
+        }
+
+        /// Uniform float in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            self.inner.random_range(0.0f64..1.0)
+        }
+    }
+}
+
+pub mod strategy {
+    use super::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Derives a strategy by mapping generated values.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// A strategy that always yields clones of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_int_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn sample(&self, rng: &mut TestRng) -> $t {
+                    // Two's-complement arithmetic in u128: wrapping sub/add
+                    // keep negative signed bounds correct (no overflow).
+                    let span = ((self.end as u128).wrapping_sub(self.start as u128)
+                        & (u64::MAX as u128)) as u64;
+                    assert!(span > 0, "empty range strategy");
+                    (self.start as u128).wrapping_add(rng.below(span) as u128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+    impl Strategy for Range<f64> {
+        type Value = f64;
+
+        fn sample(&self, rng: &mut TestRng) -> f64 {
+            self.start + rng.unit_f64() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::test_runner::TestRng;
+    use std::collections::{BTreeMap, BTreeSet};
+    use std::ops::Range;
+
+    /// Strategy for `BTreeMap`s with generated keys and values.
+    pub struct BTreeMapStrategy<K, V> {
+        keys: K,
+        values: V,
+        size: Range<usize>,
+    }
+
+    pub fn btree_map<K, V>(keys: K, values: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { keys, values, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            let mut out = BTreeMap::new();
+            // Duplicate keys collapse, exactly as real proptest allows:
+            // `target` is an upper bound, not a guarantee.
+            for _ in 0..target {
+                out.insert(self.keys.sample(rng), self.values.sample(rng));
+            }
+            out
+        }
+    }
+
+    /// Strategy for `BTreeSet`s with generated elements.
+    pub struct BTreeSetStrategy<E> {
+        elements: E,
+        size: Range<usize>,
+    }
+
+    pub fn btree_set<E>(elements: E, size: Range<usize>) -> BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        BTreeSetStrategy { elements, size }
+    }
+
+    impl<E> Strategy for BTreeSetStrategy<E>
+    where
+        E: Strategy,
+        E::Value: Ord,
+    {
+        type Value = BTreeSet<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            (0..target).map(|_| self.elements.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `Vec`s with generated elements.
+    pub struct VecStrategy<E> {
+        elements: E,
+        size: Range<usize>,
+    }
+
+    pub fn vec<E: Strategy>(elements: E, size: Range<usize>) -> VecStrategy<E> {
+        VecStrategy { elements, size }
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Value = Vec<E::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let target = sample_size(&self.size, rng);
+            (0..target).map(|_| self.elements.sample(rng)).collect()
+        }
+    }
+
+    fn sample_size(size: &Range<usize>, rng: &mut TestRng) -> usize {
+        if size.start >= size.end {
+            return size.start;
+        }
+        size.start + rng.below((size.end - size.start) as u64) as usize
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`", left, right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{:?}` != `{:?}`: {}", left, right, format!($($fmt)+)
+        );
+    }};
+}
+
+/// Fails the current case if the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+/// Rejects the current case (drawn again, not counted) unless `cond`
+/// holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// The test-declaration macro: each `fn name(pat in strategy, ...)` body
+/// runs `Config::cases` times over deterministically generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr)
+      $( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::TestRng::deterministic(stringify!($name));
+                let mut passed: u32 = 0;
+                let mut drawn: u32 = 0;
+                // 16x oversampling bounds reject-heavy assumptions.
+                while passed < config.cases && drawn < config.cases.saturating_mul(16) {
+                    drawn += 1;
+                    $( let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng); )+
+                    let outcome = (|| -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                    match outcome {
+                        ::core::result::Result::Ok(()) => passed += 1,
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject(_)) => {}
+                        ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!("proptest {} failed on case {}: {}", stringify!($name), drawn, msg);
+                        }
+                    }
+                }
+                // Mirror real proptest's "too many global rejects":
+                // exhausting the draw budget without reaching the
+                // configured case count is a failure, not silent
+                // under-coverage.
+                assert!(
+                    passed >= config.cases,
+                    "proptest {}: only {} of {} cases passed; assumptions rejected {} draws",
+                    stringify!($name),
+                    passed,
+                    config.cases,
+                    drawn - passed
+                );
+            }
+        )*
+    };
+}
+
+// Re-export `collection` and `strategy` contents at the paths real
+// proptest uses.
+pub use strategy::Strategy;
+
+/// `Range<T>` strategies live on the ranges themselves; the alias names
+/// the size parameter `collection` strategies take.
+pub type SizeRange = Range<usize>;
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 3u64..17, f in 0.25f64..0.75) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((0.25..0.75).contains(&f));
+        }
+
+        #[test]
+        fn tuples_and_maps(pair in (0u64..4, 0u64..4),
+                           m in crate::collection::btree_map(0u32..8, 0i32..5, 0..6)) {
+            prop_assert!(pair.0 < 4 && pair.1 < 4);
+            prop_assert!(m.len() < 6);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u64..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    #[test]
+    fn config_cases_counts_passes() {
+        let cfg = ProptestConfig::with_cases(24);
+        assert_eq!(cfg.cases, 24);
+    }
+
+    #[test]
+    fn helper_functions_can_return_testcase_error() {
+        fn helper(ok: bool) -> Result<(), TestCaseError> {
+            prop_assert!(ok, "helper saw false");
+            Ok(())
+        }
+        assert!(helper(true).is_ok());
+        assert!(matches!(helper(false), Err(TestCaseError::Fail(_))));
+    }
+}

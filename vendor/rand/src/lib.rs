@@ -1,0 +1,177 @@
+//! Offline stub for `rand`, covering the slice of the 0.9 API the
+//! workspace uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::random_range` over integer and float ranges.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — fast,
+//! deterministic across platforms, and easily good enough for workload
+//! synthesis. It is NOT the real StdRng (ChaCha12): streams differ from
+//! crates-io `rand`, which only matters if externally-generated fixtures
+//! are compared against ours. Range sampling uses rejection-free
+//! widening multiply for integers and a 53-bit mantissa scale for
+//! floats, biased identically across runs (determinism is the contract
+//! benchmarks and tests rely on).
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable RNG trait — the subset of `rand::SeedableRng` in use.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (deterministic).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling trait — the subset of `rand::Rng` in use.
+pub trait Rng {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a `lo..hi` or `lo..=hi` range.
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Range shapes `random_range` accepts, mirroring `rand::distr`'s
+/// `SampleRange<T>`. Implemented for half-open and inclusive ranges
+/// over the numeric types the workloads use.
+pub trait SampleRange<T> {
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (self.start, self.end);
+                assert!(lo < hi, "random_range: empty range {lo}..{hi}");
+                // Two's-complement arithmetic in u128: the wrapping sub
+                // and add make negative signed bounds come out right.
+                let span = (hi as u128).wrapping_sub(lo as u128) & (u64::MAX as u128);
+                // Widening multiply maps 64 random bits onto [0, span).
+                let hi_bits = (rng.next_u64() as u128 * span) >> 64;
+                (lo as u128).wrapping_add(hi_bits) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "random_range: empty range {lo}..={hi}");
+                let span = ((hi as u128).wrapping_sub(lo as u128) & (u64::MAX as u128)) + 1;
+                let hi_bits = (rng.next_u64() as u128 * span) >> 64;
+                (lo as u128).wrapping_add(hi_bits) as $t
+            }
+        }
+    )*};
+}
+impl_sample_int!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_sample_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (self.start, self.end);
+                assert!(lo < hi, "random_range: empty range");
+                // 53 uniform mantissa bits in [0, 1).
+                let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                (lo as f64 + unit * (hi as f64 - lo as f64)) as $t
+            }
+        }
+    )*};
+}
+impl_sample_float!(f32, f64);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic stand-in for `rand::rngs::StdRng` (xoshiro256**).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 expansion, as the xoshiro authors recommend.
+            let mut x = seed;
+            let mut next = || {
+                x = x.wrapping_add(0x9E3779B97F4A7C15);
+                let mut z = x;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            out
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = rng.random_range(3u64..17);
+            assert!((3..17).contains(&v));
+            let f = rng.random_range(0.5f64..2.5);
+            assert!((0.5..2.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn signed_ranges_with_negative_bounds() {
+        // Regression: sign-extended bounds must not overflow in debug
+        // builds and must land in range.
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_negative = false;
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            saw_negative |= v < 0;
+            let w = rng.random_range(-3i32..=3);
+            assert!((-3..=3).contains(&w));
+        }
+        assert!(saw_negative);
+    }
+
+    #[test]
+    fn covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|s| *s));
+    }
+}

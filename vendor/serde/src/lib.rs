@@ -1,0 +1,17 @@
+//! Offline stub for the `serde` facade.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! derive-macro namespaces so `use serde::{Deserialize, Serialize};`
+//! plus `#[derive(Serialize, Deserialize)]` compile unchanged. No
+//! serializer exists; the derives expand to nothing (see
+//! `serde_stub_derive`). Replace the `serde` entry in the workspace
+//! `[workspace.dependencies]` table with the crates-io package to get
+//! real serialization.
+
+pub use serde_stub_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}

@@ -1,0 +1,20 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The workspace builds offline, so `serde` resolves to the stub in
+//! `vendor/serde`. Nothing in the codebase calls a serializer yet — the
+//! derives only mark types as wire-ready for a future PR that swaps the
+//! real serde in — so the derive can expand to nothing at all. Emitting
+//! an empty token stream sidesteps generics/bounds handling entirely
+//! (no `syn`/`quote` available offline).
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
