@@ -10,130 +10,7 @@ use teaal_core::TeaalSpec;
 /// tile parameters of the paper are instantiated to 128/16 (documented in
 /// DESIGN.md — the published design chooses tile shapes to fill the LLC
 /// and PE buffers).
-pub const YAML: &str = concat!(
-    "einsum:\n",
-    "  declaration:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    Z: [M, N]\n",
-    "  expressions:\n",
-    "    - Z[m, n] = A[k, m] * B[k, n]\n",
-    "mapping:\n",
-    "  rank-order:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    Z: [M, N]\n",
-    "  partitioning:\n",
-    "    Z:\n",
-    "      K:\n",
-    "        - uniform_shape(128)\n",
-    "        - uniform_shape(16)\n",
-    "      M:\n",
-    "        - uniform_shape(128)\n",
-    "        - uniform_shape(16)\n",
-    "      N:\n",
-    "        - uniform_shape(128)\n",
-    "        - uniform_shape(16)\n",
-    "  loop-order:\n",
-    "    Z: [N2, K2, M2, M1, N1, K1, M0, N0, K0]\n",
-    "  spacetime:\n",
-    "    Z:\n",
-    "      space: [K1]\n",
-    "      time: [N2, K2, M2, M1, N1, M0, N0, K0]\n",
-    "format:\n",
-    "  A:\n",
-    "    CSF:\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  B:\n",
-    "    CSF:\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  Z:\n",
-    "    CSF:\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "architecture:\n",
-    "  clock: 1_000_000_000\n",
-    "  configs:\n",
-    "    Default:\n",
-    "      name: System\n",
-    "      local:\n",
-    "        - name: DRAM\n",
-    "          class: DRAM\n",
-    "          bandwidth: 68_256_000_000\n",
-    "        - name: LLC\n",
-    "          class: buffet\n",
-    "          width: 512\n",
-    "          depth: 491520\n",
-    "          bandwidth: 2_048_000_000_000\n",
-    "      subtree:\n",
-    "        - name: PE\n",
-    "          count: 128\n",
-    "          local:\n",
-    "            - name: PEBuffer\n",
-    "              class: buffet\n",
-    "              width: 512\n",
-    "              depth: 1024\n",
-    "              bandwidth: 64_000_000_000\n",
-    "            - name: Intersect\n",
-    "              class: intersect\n",
-    "              type: skip-ahead\n",
-    "            - name: MulALU\n",
-    "              class: compute\n",
-    "              op: mul\n",
-    "            - name: AddALU\n",
-    "              class: compute\n",
-    "              op: add\n",
-    "binding:\n",
-    "  Z:\n",
-    "    config: Default\n",
-    "    storage:\n",
-    "      - component: LLC\n",
-    "        tensor: A\n",
-    "        config: CSF\n",
-    "        rank: M2\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "        evict-on: M2\n",
-    "      - component: LLC\n",
-    "        tensor: B\n",
-    "        config: CSF\n",
-    "        rank: K2\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "        evict-on: K2\n",
-    "      - component: LLC\n",
-    "        tensor: Z\n",
-    "        config: CSF\n",
-    "        rank: M2\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "        evict-on: K2\n",
-    "    compute:\n",
-    "      - component: MulALU\n",
-    "        op: mul\n",
-    "      - component: AddALU\n",
-    "        op: add\n",
-);
+pub const YAML: &str = teaal_fixtures::EXTENSOR_EM;
 
 /// Parses and validates the ExTensor specification.
 ///

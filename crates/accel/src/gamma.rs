@@ -7,132 +7,7 @@ use teaal_core::TeaalSpec;
 /// 32 PEs with 64-way mergers, a 3 MB FiberCache, 16 HBM channels at
 /// 8 GB/s each. The two Einsums fuse (§4.3), so the intermediate `T`
 /// (the fetched rows of `B`) never touches DRAM.
-pub const YAML: &str = concat!(
-    "einsum:\n",
-    "  declaration:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    T: [K, M, N]\n",
-    "    Z: [M, N]\n",
-    "  expressions:\n",
-    "    - T[k, m, n] = take(A[k, m], B[k, n], 1)\n",
-    "    - Z[m, n] = T[k, m, n] * A[k, m]\n",
-    "mapping:\n",
-    "  rank-order:\n",
-    "    A: [M, K]\n",
-    "    B: [K, N]\n",
-    "    T: [M, K, N]\n",
-    "    Z: [M, N]\n",
-    "  partitioning:\n",
-    "    T:\n",
-    "      M: [uniform_occupancy(A.32)]\n",
-    "      K: [uniform_occupancy(A.64)]\n",
-    "    Z:\n",
-    "      M: [uniform_occupancy(A.32)]\n",
-    "      K: [uniform_occupancy(A.64)]\n",
-    "  loop-order:\n",
-    "    T: [M1, M0, K1, K0, N]\n",
-    "    Z: [M1, M0, K1, N, K0]\n",
-    "  spacetime:\n",
-    "    T:\n",
-    "      space: [M0, K1]\n",
-    "      time: [M1, K0, N]\n",
-    "    Z:\n",
-    "      space: [M0, K1]\n",
-    "      time: [M1, N, K0]\n",
-    "format:\n",
-    "  A:\n",
-    "    CSR:\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  B:\n",
-    "    CSR:\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  Z:\n",
-    "    CSR:\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "architecture:\n",
-    "  clock: 1_000_000_000\n",
-    "  configs:\n",
-    "    Default:\n",
-    "      name: System\n",
-    "      local:\n",
-    "        - name: HBM\n",
-    "          class: DRAM\n",
-    "          bandwidth: 128_000_000_000\n",
-    "        - name: FiberCache\n",
-    "          class: cache\n",
-    "          width: 512\n",
-    "          depth: 49152\n",
-    "          bandwidth: 1_536_000_000_000\n",
-    "      subtree:\n",
-    "        - name: PE\n",
-    "          count: 32\n",
-    "          local:\n",
-    "            - name: Intersect\n",
-    "              class: intersect\n",
-    "              type: leader-follower\n",
-    "              leader: 0\n",
-    "            - name: Merger\n",
-    "              class: merger\n",
-    "              inputs: 64\n",
-    "              comparator_radix: 64\n",
-    "              outputs: 1\n",
-    "              order: opt\n",
-    "              reduce: true\n",
-    "            - name: MulALU\n",
-    "              class: compute\n",
-    "              op: mul\n",
-    "            - name: AddALU\n",
-    "              class: compute\n",
-    "              op: add\n",
-    "binding:\n",
-    "  T:\n",
-    "    config: Default\n",
-    "    storage:\n",
-    "      - component: HBM\n",
-    "        tensor: A\n",
-    "        config: CSR\n",
-    "        rank: M1\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "      - component: FiberCache\n",
-    "        tensor: B\n",
-    "        config: CSR\n",
-    "        rank: N\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "  Z:\n",
-    "    config: Default\n",
-    "    compute:\n",
-    "      - component: MulALU\n",
-    "        op: mul\n",
-    "      - component: AddALU\n",
-    "        op: add\n",
-    "    merger:\n",
-    "      - component: Merger\n",
-    "        tensor: T\n",
-);
+pub const YAML: &str = teaal_fixtures::GAMMA_EM;
 
 /// Parses and validates the Gamma specification.
 ///

@@ -7,172 +7,7 @@ use teaal_core::TeaalSpec;
 /// The full TeAAL specification: Fig. 3's einsum + mapping, Fig. 5's
 /// `LinkedLists` format, and a Table 5 architecture with the two phase
 /// topologies (OuterSPACE reorganizes itself between multiply and merge).
-pub const YAML: &str = concat!(
-    "einsum:\n",
-    "  declaration:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    T: [K, M, N]\n",
-    "    Z: [M, N]\n",
-    "  expressions:\n",
-    "    - T[k, m, n] = A[k, m] * B[k, n]\n",
-    "    - Z[m, n] = T[k, m, n]\n",
-    "mapping:\n",
-    "  rank-order:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    T: [M, K, N]\n",
-    "    Z: [M, N]\n",
-    "  partitioning:\n",
-    "    T:\n",
-    "      (K, M): [flatten()]\n",
-    "      KM: [uniform_occupancy(A.256), uniform_occupancy(A.16)]\n",
-    "    Z:\n",
-    "      M: [uniform_occupancy(T.128), uniform_occupancy(T.8)]\n",
-    "  loop-order:\n",
-    "    T: [KM2, KM1, KM0, N]\n",
-    "    Z: [M2, M1, M0, N, K]\n",
-    "  spacetime:\n",
-    "    T:\n",
-    "      space: [KM1, KM0]\n",
-    "      time: [KM2, N]\n",
-    "    Z:\n",
-    "      space: [M1, M0]\n",
-    "      time: [M2, N, K]\n",
-    "format:\n",
-    "  A:\n",
-    "    CSC:\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  B:\n",
-    "    CSR:\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  T:\n",
-    "    LinkedLists:\n",
-    "      M:\n",
-    "        format: U\n",
-    "        pbits: 32\n",
-    "      K:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        fhbits: 32\n",
-    "        layout: interleaved\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "  Z:\n",
-    "    CSR:\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "architecture:\n",
-    "  clock: 1_500_000_000\n",
-    "  configs:\n",
-    "    Multiply:\n",
-    "      name: System\n",
-    "      local:\n",
-    "        - name: HBM\n",
-    "          class: DRAM\n",
-    "          bandwidth: 128_000_000_000\n",
-    "      subtree:\n",
-    "        - name: PT\n",
-    "          count: 16\n",
-    "          local:\n",
-    "            - name: L0Cache\n",
-    "              class: cache\n",
-    "              width: 512\n",
-    "              depth: 256\n",
-    "              bandwidth: 768_000_000_000\n",
-    "          subtree:\n",
-    "            - name: PE\n",
-    "              count: 16\n",
-    "              local:\n",
-    "                - name: MulALU\n",
-    "                  class: compute\n",
-    "                  op: mul\n",
-    "    Merge:\n",
-    "      name: System\n",
-    "      local:\n",
-    "        - name: HBM\n",
-    "          class: DRAM\n",
-    "          bandwidth: 128_000_000_000\n",
-    "      subtree:\n",
-    "        - name: PT\n",
-    "          count: 16\n",
-    "          local:\n",
-    "            - name: CacheSPM\n",
-    "              class: cache\n",
-    "              width: 512\n",
-    "              depth: 256\n",
-    "              bandwidth: 768_000_000_000\n",
-    "          subtree:\n",
-    "            - name: PE\n",
-    "              count: 8\n",
-    "              local:\n",
-    "                - name: SortHW\n",
-    "                  class: merger\n",
-    "                  inputs: 16\n",
-    "                  comparator_radix: 2\n",
-    "                  outputs: 1\n",
-    "                  order: fifo\n",
-    "                - name: AddALU\n",
-    "                  class: compute\n",
-    "                  op: add\n",
-    "binding:\n",
-    "  T:\n",
-    "    config: Multiply\n",
-    "    storage:\n",
-    "      - component: HBM\n",
-    "        tensor: A\n",
-    "        config: CSC\n",
-    "        rank: KM2\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "      - component: L0Cache\n",
-    "        tensor: B\n",
-    "        config: CSR\n",
-    "        rank: N\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "    compute:\n",
-    "      - component: MulALU\n",
-    "        op: mul\n",
-    "  Z:\n",
-    "    config: Merge\n",
-    "    storage:\n",
-    "      - component: HBM\n",
-    "        tensor: T\n",
-    "        config: LinkedLists\n",
-    "        rank: M2\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "    compute:\n",
-    "      - component: AddALU\n",
-    "        op: add\n",
-    "    merger:\n",
-    "      - component: SortHW\n",
-    "        tensor: T\n",
-);
+pub const YAML: &str = teaal_fixtures::OUTERSPACE_EM;
 
 /// Parses and validates the OuterSPACE specification.
 ///

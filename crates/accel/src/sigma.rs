@@ -9,142 +9,7 @@ use teaal_core::TeaalSpec;
 /// 960 GB/s, 1024 GB/s of HBM. The stationary matrix is distributed by
 /// flattening `(M, K0)` and occupancy-partitioning so only nonzeros
 /// occupy PEs.
-pub const YAML: &str = concat!(
-    "einsum:\n",
-    "  declaration:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    S: [K, M]\n",
-    "    T: [K, M]\n",
-    "    Z: [M, N]\n",
-    "  expressions:\n",
-    "    - S[k, m] = take(A[k, m], B[k, n], 0)\n",
-    "    - T[k, m] = take(A[k, m], S[k, m], 0)\n",
-    "    - Z[m, n] = T[k, m] * B[k, n]\n",
-    "mapping:\n",
-    "  rank-order:\n",
-    "    A: [K, M]\n",
-    "    B: [K, N]\n",
-    "    S: [K, M]\n",
-    "    T: [K, M]\n",
-    "    Z: [M, N]\n",
-    "  partitioning:\n",
-    "    Z:\n",
-    "      K: [uniform_shape(128)]\n",
-    "      (M, K0): [flatten()]\n",
-    "      MK0: [uniform_occupancy(T.16384)]\n",
-    "  loop-order:\n",
-    "    S: [K, M, N]\n",
-    "    T: [K, M]\n",
-    "    Z: [K1, MK01, MK00, N]\n",
-    "  spacetime:\n",
-    "    S:\n",
-    "      space: []\n",
-    "      time: [K, M, N]\n",
-    "    T:\n",
-    "      space: []\n",
-    "      time: [K, M]\n",
-    "    Z:\n",
-    "      space: [MK00]\n",
-    "      time: [K1, MK01, N.coord]\n",
-    "format:\n",
-    "  A:\n",
-    "    Bitmap:\n",
-    "      K:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 32\n",
-    "      M:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 64\n",
-    "  B:\n",
-    "    Bitmap:\n",
-    "      K:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 64\n",
-    "  T:\n",
-    "    Bitmap:\n",
-    "      K:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 32\n",
-    "      M:\n",
-    "        format: B\n",
-    "        cbits: 1\n",
-    "        pbits: 64\n",
-    "  Z:\n",
-    "    CSR:\n",
-    "      M:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 32\n",
-    "      N:\n",
-    "        format: C\n",
-    "        cbits: 32\n",
-    "        pbits: 64\n",
-    "architecture:\n",
-    "  clock: 500_000_000\n",
-    "  configs:\n",
-    "    Default:\n",
-    "      name: System\n",
-    "      local:\n",
-    "        - name: HBM\n",
-    "          class: DRAM\n",
-    "          bandwidth: 1_024_000_000_000\n",
-    "        - name: DataSRAM\n",
-    "          class: buffet\n",
-    "          width: 1024\n",
-    "          depth: 262144\n",
-    "          bandwidth: 960_000_000_000\n",
-    "      subtree:\n",
-    "        - name: FlexDPE\n",
-    "          count: 128\n",
-    "          local:\n",
-    "            - name: Reduce\n",
-    "              class: compute\n",
-    "              op: add\n",
-    "              count: 64\n",
-    "          subtree:\n",
-    "            - name: PE\n",
-    "              count: 128\n",
-    "              local:\n",
-    "                - name: MulALU\n",
-    "                  class: compute\n",
-    "                  op: mul\n",
-    "binding:\n",
-    "  S:\n",
-    "    config: Default\n",
-    "  T:\n",
-    "    config: Default\n",
-    "  Z:\n",
-    "    config: Default\n",
-    "    storage:\n",
-    "      - component: DataSRAM\n",
-    "        tensor: T\n",
-    "        config: Bitmap\n",
-    "        rank: K1\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "        evict-on: K1\n",
-    "      - component: DataSRAM\n",
-    "        tensor: B\n",
-    "        config: Bitmap\n",
-    "        rank: K1\n",
-    "        type: elem\n",
-    "        style: lazy\n",
-    "        evict-on: K1\n",
-    "    compute:\n",
-    "      - component: MulALU\n",
-    "        op: mul\n",
-    "      - component: Reduce\n",
-    "        op: add\n",
-);
+pub const YAML: &str = teaal_fixtures::SIGMA_EM;
 
 /// Parses and validates the SIGMA specification.
 ///

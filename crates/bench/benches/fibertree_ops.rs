@@ -2,8 +2,10 @@
 //! is built from.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use teaal_bench::leaf_sum;
+use teaal_fibertree::iterate::intersect2_stream;
 use teaal_fibertree::partition::SplitKind;
-use teaal_fibertree::{iterate, IntersectPolicy};
+use teaal_fibertree::{iterate, IntersectPolicy, TensorData};
 use teaal_workloads::genmat;
 
 fn bench_transforms(c: &mut Criterion) {
@@ -69,5 +71,73 @@ fn bench_intersection(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_transforms, bench_intersection);
+/// Owned tree vs compressed (CSF) arrays behind the same cursors: full
+/// leaf streams and two-finger co-iteration.
+fn bench_representations(c: &mut Criterion) {
+    let owned_m = TensorData::Owned(genmat::uniform("A", &["M", "K"], 1000, 1000, 50_000, 1));
+    let comp_m = TensorData::Compressed(genmat::uniform_compressed(
+        "A",
+        &["M", "K"],
+        1000,
+        1000,
+        50_000,
+        1,
+    ));
+    let owned_a = TensorData::Owned(genmat::uniform("A", &["M", "K"], 1, 500_000, 40_000, 2));
+    let owned_b = TensorData::Owned(genmat::uniform("B", &["M", "K"], 1, 500_000, 40_000, 3));
+    let comp_a = TensorData::Compressed(genmat::uniform_compressed(
+        "A",
+        &["M", "K"],
+        1,
+        500_000,
+        40_000,
+        2,
+    ));
+    let comp_b = TensorData::Compressed(genmat::uniform_compressed(
+        "B",
+        &["M", "K"],
+        1,
+        500_000,
+        40_000,
+        3,
+    ));
+    let mut g = c.benchmark_group("fibertree_representation");
+    for (name, data) in [("owned", &owned_m), ("compressed", &comp_m)] {
+        g.bench_with_input(BenchmarkId::new("leaf_stream", name), data, |b, d| {
+            b.iter(|| leaf_sum(std::hint::black_box(d).root_fiber_view().unwrap()))
+        });
+    }
+    for (name, da, db) in [
+        ("owned", &owned_a, &owned_b),
+        ("compressed", &comp_a, &comp_b),
+    ] {
+        g.bench_function(BenchmarkId::new("intersect2_two_finger", name), |b| {
+            let fa = da
+                .root_fiber_view()
+                .unwrap()
+                .payload_at(0)
+                .as_fiber()
+                .unwrap();
+            let fb = db
+                .root_fiber_view()
+                .unwrap()
+                .payload_at(0)
+                .as_fiber()
+                .unwrap();
+            b.iter(|| {
+                intersect2_stream(fa, fb, IntersectPolicy::TwoFinger)
+                    .map(|(_, i, j)| i + j)
+                    .sum::<usize>()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transforms,
+    bench_intersection,
+    bench_representations
+);
 criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Owned-vs-compressed fibertree microbenchmark, recorded to
+//! `BENCH_fibertree.json` — the start of the storage-layer perf
+//! trajectory.
+//!
+//! Three cases, each timed over both representations of identical
+//! content:
+//!
+//! 1. `leaf_stream` — DFS over every leaf of a large sparse matrix (the
+//!    full-tensor iteration every simulation performs per operand),
+//! 2. `intersect2_vectors` — two-finger co-iteration of two long sparse
+//!    vectors (the per-rank inner loop of every SpMSpM),
+//! 3. `rowwise_cointeration` — Gustavson-style traversal: intersect the
+//!    row ranks of two matrices, then co-iterate the matching row pairs.
+//!
+//! Pass `--quick` for a CI-sized run. Timings are the minimum of several
+//! repetitions of a full pass (wall clock; the stub criterion offers no
+//! statistics, and minima are the stablest point estimate available).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use teaal_bench::leaf_sum;
+use teaal_fibertree::iterate::{intersect2_stream, IntersectPolicy};
+use teaal_fibertree::{FiberView, TensorData};
+use teaal_workloads::genmat;
+
+struct CaseResult {
+    case: &'static str,
+    detail: String,
+    owned_ns: u128,
+    compressed_ns: u128,
+}
+
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> u128 {
+    let mut best = u128::MAX;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(start.elapsed().as_nanos());
+    }
+    best.max(1)
+}
+
+/// Gustavson-style co-iteration: intersect the top ranks, then the
+/// matching child fibers, counting matches.
+fn rowwise(a: FiberView<'_>, b: FiberView<'_>) -> u64 {
+    let mut matches = 0u64;
+    for (_, pa, pb) in intersect2_stream(a, b, IntersectPolicy::TwoFinger) {
+        let (ca, cb) = (a.payload_at(pa), b.payload_at(pb));
+        if let (Some(fa), Some(fb)) = (ca.as_fiber(), cb.as_fiber()) {
+            matches += intersect2_stream(fa, fb, IntersectPolicy::TwoFinger).count() as u64;
+        }
+    }
+    matches
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps = if quick { 3 } else { 7 };
+    // Matrix scale: the "large-matrix case" of the acceptance bar.
+    let (dim, nnz) = if quick {
+        (2_000u64, 60_000usize)
+    } else {
+        (8_000u64, 1_000_000usize)
+    };
+    let (vec_dim, vec_nnz) = if quick {
+        (500_000u64, 40_000usize)
+    } else {
+        (5_000_000u64, 400_000usize)
+    };
+
+    println!(
+        "== fibertree owned vs compressed ({} mode) ==",
+        if quick { "quick" } else { "full" }
+    );
+
+    let mut results: Vec<CaseResult> = Vec::new();
+
+    // Case 1: full leaf stream over a large matrix.
+    {
+        let owned = TensorData::Owned(genmat::uniform("A", &["M", "K"], dim, dim, nnz, 1));
+        let comp = TensorData::Compressed(genmat::uniform_compressed(
+            "A",
+            &["M", "K"],
+            dim,
+            dim,
+            nnz,
+            1,
+        ));
+        assert_eq!(
+            owned.nnz(),
+            comp.nnz(),
+            "same content in both representations"
+        );
+        let owned_ns = time_min(reps, || leaf_sum(owned.root_fiber_view().unwrap()));
+        let compressed_ns = time_min(reps, || leaf_sum(comp.root_fiber_view().unwrap()));
+        results.push(CaseResult {
+            case: "leaf_stream_large_matrix",
+            detail: format!("{dim}x{dim}, {} nnz", owned.nnz()),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
+    // Case 2: two-finger intersection of two long sparse vectors.
+    {
+        let oa = TensorData::Owned(genmat::uniform("A", &["M", "K"], 1, vec_dim, vec_nnz, 2));
+        let ob = TensorData::Owned(genmat::uniform("B", &["M", "K"], 1, vec_dim, vec_nnz, 3));
+        let ca = TensorData::Compressed(genmat::uniform_compressed(
+            "A",
+            &["M", "K"],
+            1,
+            vec_dim,
+            vec_nnz,
+            2,
+        ));
+        let cb = TensorData::Compressed(genmat::uniform_compressed(
+            "B",
+            &["M", "K"],
+            1,
+            vec_dim,
+            vec_nnz,
+            3,
+        ));
+        fn fiber(d: &TensorData) -> FiberView<'_> {
+            d.root_fiber_view()
+                .unwrap()
+                .payload_at(0)
+                .as_fiber()
+                .unwrap()
+        }
+        let drain = |a: FiberView<'_>, b: FiberView<'_>| {
+            intersect2_stream(a, b, IntersectPolicy::TwoFinger).count()
+        };
+        let owned_ns = time_min(reps, || drain(fiber(&oa), fiber(&ob)));
+        let compressed_ns = time_min(reps, || drain(fiber(&ca), fiber(&cb)));
+        results.push(CaseResult {
+            case: "intersect2_vectors",
+            detail: format!("2 x {vec_nnz} of {vec_dim}"),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
+    // Case 3: row-wise (Gustavson) co-iteration of two matrices.
+    {
+        let rows = dim / 4;
+        let n = nnz / 2;
+        let oa = TensorData::Owned(genmat::uniform("A", &["M", "K"], rows, rows, n, 4));
+        let ob = TensorData::Owned(genmat::uniform("B", &["M", "K"], rows, rows, n, 5));
+        let ca = TensorData::Compressed(genmat::uniform_compressed(
+            "A",
+            &["M", "K"],
+            rows,
+            rows,
+            n,
+            4,
+        ));
+        let cb = TensorData::Compressed(genmat::uniform_compressed(
+            "B",
+            &["M", "K"],
+            rows,
+            rows,
+            n,
+            5,
+        ));
+        let owned_ns = time_min(reps, || {
+            rowwise(oa.root_fiber_view().unwrap(), ob.root_fiber_view().unwrap())
+        });
+        let compressed_ns = time_min(reps, || {
+            rowwise(ca.root_fiber_view().unwrap(), cb.root_fiber_view().unwrap())
+        });
+        results.push(CaseResult {
+            case: "rowwise_cointeration",
+            detail: format!("{rows}x{rows}, 2 x {n} nnz"),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
+    println!(
+        "{:<28}{:>16}{:>16}{:>10}",
+        "case", "owned ns", "compressed ns", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<28}{:>16}{:>16}{:>9.2}x  ({})",
+            r.case,
+            r.owned_ns,
+            r.compressed_ns,
+            r.owned_ns as f64 / r.compressed_ns as f64,
+            r.detail
+        );
+    }
+
+    // Hand-rolled JSON (no serializer in the offline build).
+    let mut json = String::from("{\n  \"bench\": \"fibertree_owned_vs_compressed\",\n");
+    json.push_str(&format!("  \"quick\": {quick},\n  \"cases\": [\n"));
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"detail\": \"{}\", \"owned_ns\": {}, \
+             \"compressed_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.case,
+            r.detail,
+            r.owned_ns,
+            r.compressed_ns,
+            r.owned_ns as f64 / r.compressed_ns as f64,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    let path = "BENCH_fibertree.json";
+    let mut f = std::fs::File::create(path).expect("create BENCH_fibertree.json");
+    f.write_all(json.as_bytes())
+        .expect("write benchmark summary");
+    println!("\nwrote {path}");
+
+    let large = &results[0];
+    if large.compressed_ns > large.owned_ns {
+        println!(
+            "WARNING: compressed slower than owned on {} ({} vs {} ns)",
+            large.case, large.compressed_ns, large.owned_ns
+        );
+    }
+}

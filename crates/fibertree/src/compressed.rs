@@ -1,0 +1,526 @@
+//! Compressed (CSF-style) fibertree storage: per-rank flat coordinate and
+//! segment arrays plus a leaf value arena.
+//!
+//! The owned [`Tensor`](crate::Tensor) stores each fiber as its own
+//! `Vec<Element>` with boxed recursive payloads — flexible (it supports
+//! tuple coordinates and in-place mutation) but pointer-chasing and
+//! allocation-heavy at scale. [`CompressedTensor`] is the read-optimized
+//! complement: the classic *compressed sparse fiber* layout (Smith &
+//! Karypis; the per-rank `C` format of the paper's format specification,
+//! §4.2) where rank `d` is two flat arrays
+//!
+//! - `coords[d]` — the coordinates of every element at that rank, fiber by
+//!   fiber, and
+//! - `segs[d]` — fiber boundaries: fiber `f` of rank `d` spans
+//!   `coords[d][segs[d][f] .. segs[d][f+1]]`,
+//!
+//! and all leaf values live in one arena indexed by bottom-rank position.
+//! Element `p` of rank `d` owns child fiber `p` of rank `d + 1`, so a
+//! whole multi-million-entry tensor is `2·N + 1` allocations instead of
+//! one per fiber. Iteration never chases pointers and cloning is a flat
+//! `memcpy`, which is what makes large-workload co-iteration (graph
+//! adjacencies, SuiteSparse-scale matrices) tractable.
+//!
+//! Compressed tensors are read-only and hold point coordinates only; the
+//! content-preserving transforms (partition / flatten / swizzle) operate
+//! on owned trees. [`CompressedTensor::to_tensor`] and
+//! [`CompressedTensor::from_tensor`] convert losslessly between the two,
+//! and [`FiberView`](crate::view::FiberView) cursors iterate both behind
+//! one interface.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::coord::{Coord, Shape};
+use crate::error::FibertreeError;
+use crate::fiber::{Fiber, Payload};
+use crate::tensor::Tensor;
+
+/// One compressed rank: flat coordinates plus fiber segment boundaries.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) struct Level {
+    /// Fiber `f` spans `coords[segs[f]..segs[f+1]]`; there is always one
+    /// trailing entry equal to `coords.len()`.
+    pub(crate) segs: Vec<usize>,
+    /// Coordinates of every element at this rank, fiber-concatenated,
+    /// strictly increasing within each fiber.
+    pub(crate) coords: Vec<u64>,
+}
+
+/// An `N`-tensor in compressed sparse fiber (CSF) form.
+///
+/// Content-equivalent to an owned [`Tensor`] with the same entries: the
+/// same rank ids, shapes, and `(point, value)` leaves, stored as flat
+/// per-rank arrays instead of a recursive tree. Build one directly from
+/// COO entries ([`CompressedTensor::from_entries`]) or from an existing
+/// tree ([`CompressedTensor::from_tensor`]).
+///
+/// # Examples
+///
+/// ```
+/// use teaal_fibertree::CompressedTensor;
+/// let c = CompressedTensor::from_entries(
+///     "A",
+///     &["M", "K"],
+///     &[4, 3],
+///     vec![(vec![0, 2], 3.0), (vec![2, 0], 9.0), (vec![2, 1], 4.0)],
+/// ).unwrap();
+/// assert_eq!(c.nnz(), 3);
+/// assert_eq!(c.to_tensor().get(&[2, 1]), Some(4.0));
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompressedTensor {
+    name: String,
+    rank_ids: Vec<String>,
+    rank_shapes: Vec<Shape>,
+    levels: Vec<Level>,
+    /// Leaf value arena: `values[p]` is the payload of bottom-rank
+    /// element `p`. For a 0-tensor this holds the single scalar.
+    values: Vec<f64>,
+}
+
+impl CompressedTensor {
+    /// Builds a compressed tensor directly from `(point, value)` COO
+    /// entries, without materializing an owned tree.
+    ///
+    /// Semantics match [`Tensor::from_entries`]: entries are sorted,
+    /// duplicate points are summed, and zero values are dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if an entry's arity differs from the rank count
+    /// or a coordinate falls outside the shape.
+    pub fn from_entries(
+        name: impl Into<String>,
+        rank_ids: &[&str],
+        shape: &[u64],
+        entries: Vec<(Vec<u64>, f64)>,
+    ) -> Result<Self, FibertreeError> {
+        assert_eq!(rank_ids.len(), shape.len(), "one shape per rank");
+        let n = rank_ids.len();
+        let rank_shapes: Vec<Shape> = shape.iter().map(|&s| Shape::Interval(s)).collect();
+        let mut dedup: BTreeMap<Vec<u64>, f64> = BTreeMap::new();
+        for (point, v) in entries {
+            if point.len() != n {
+                return Err(FibertreeError::ArityMismatch {
+                    expected: n,
+                    got: point.len(),
+                });
+            }
+            for (d, &c) in point.iter().enumerate() {
+                if c >= shape[d] {
+                    return Err(FibertreeError::OutOfShape {
+                        coord: Coord::Point(c),
+                        shape: rank_shapes[d].clone(),
+                    });
+                }
+            }
+            *dedup.entry(point).or_insert(0.0) += v;
+        }
+        if n == 0 {
+            let v = dedup.values().next().copied().unwrap_or(0.0);
+            return Ok(CompressedTensor {
+                name: name.into(),
+                rank_ids: Vec::new(),
+                rank_shapes,
+                levels: Vec::new(),
+                values: vec![v],
+            });
+        }
+        let sorted = dedup.into_iter().filter(|(_, v)| *v != 0.0);
+        Ok(Self::from_sorted_unique(
+            name,
+            rank_ids.iter().map(|s| s.to_string()).collect(),
+            rank_shapes,
+            sorted,
+        ))
+    }
+
+    /// Core builder: `entries` must be lexicographically sorted with
+    /// unique points of arity `rank_shapes.len() ≥ 1`.
+    fn from_sorted_unique(
+        name: impl Into<String>,
+        rank_ids: Vec<String>,
+        rank_shapes: Vec<Shape>,
+        entries: impl IntoIterator<Item = (Vec<u64>, f64)>,
+    ) -> Self {
+        let n = rank_ids.len();
+        let mut levels: Vec<Level> = (0..n)
+            .map(|_| Level {
+                segs: vec![0],
+                coords: Vec::new(),
+            })
+            .collect();
+        let mut values = Vec::new();
+        let mut prev: Option<Vec<u64>> = None;
+        for (point, v) in entries {
+            // First rank where this point diverges from the previous one:
+            // every rank from there down gains an element, and every rank
+            // strictly below gains a fresh fiber.
+            let diff = match &prev {
+                None => 0,
+                Some(p) => p
+                    .iter()
+                    .zip(&point)
+                    .position(|(a, b)| a != b)
+                    .expect("points are unique"),
+            };
+            for d in diff..n {
+                if d > diff && !levels[d].coords.is_empty() {
+                    let end = levels[d].coords.len();
+                    levels[d].segs.push(end);
+                }
+                levels[d].coords.push(point[d]);
+            }
+            values.push(v);
+            prev = Some(point);
+        }
+        // Close the trailing fiber of each rank. A rank below an empty
+        // parent has no fibers at all (mirroring the owned tree, where
+        // only the root fiber exists in an empty tensor), so its segment
+        // list stays `[0]`.
+        for d in 0..n {
+            let parents = if d == 0 {
+                1
+            } else {
+                levels[d - 1].coords.len()
+            };
+            if parents > 0 {
+                let end = levels[d].coords.len();
+                levels[d].segs.push(end);
+            }
+        }
+        CompressedTensor {
+            name: name.into(),
+            rank_ids,
+            rank_shapes,
+            levels,
+            values,
+        }
+    }
+
+    /// Compresses an owned tensor, preserving every stored leaf
+    /// (including explicit zeros).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::NotCompressible`] if the tensor carries
+    /// tuple coordinates (flattened ranks): transform pipelines operate
+    /// on owned trees, so compress before — not after — flattening.
+    pub fn from_tensor(t: &Tensor) -> Result<Self, FibertreeError> {
+        let n = t.order();
+        if n == 0 {
+            return Ok(CompressedTensor {
+                name: t.name().to_string(),
+                rank_ids: Vec::new(),
+                rank_shapes: Vec::new(),
+                levels: Vec::new(),
+                values: vec![t.get(&[]).unwrap_or(0.0)],
+            });
+        }
+        let mut levels: Vec<Level> = (0..n)
+            .map(|_| Level {
+                segs: vec![0],
+                coords: Vec::new(),
+            })
+            .collect();
+        let mut values = Vec::new();
+        fn walk(
+            f: &Fiber,
+            depth: usize,
+            levels: &mut Vec<Level>,
+            values: &mut Vec<f64>,
+        ) -> Result<(), FibertreeError> {
+            for e in f.iter() {
+                let Some(c) = e.coord.as_point() else {
+                    return Err(FibertreeError::NotCompressible {
+                        reason: format!(
+                            "rank {depth} holds tuple coordinate {}; compressed storage \
+                             is point-coordinate only",
+                            e.coord
+                        ),
+                    });
+                };
+                levels[depth].coords.push(c);
+                match &e.payload {
+                    Payload::Val(v) => values.push(*v),
+                    Payload::Fiber(child) => {
+                        walk(child, depth + 1, levels, values)?;
+                        let end = levels[depth + 1].coords.len();
+                        levels[depth + 1].segs.push(end);
+                    }
+                }
+            }
+            Ok(())
+        }
+        if let Some(root) = t.root_fiber() {
+            walk(root, 0, &mut levels, &mut values)?;
+        }
+        let root_end = levels[0].coords.len();
+        levels[0].segs.push(root_end);
+        Ok(CompressedTensor {
+            name: t.name().to_string(),
+            rank_ids: t.rank_ids().to_vec(),
+            rank_shapes: t.rank_shapes().to_vec(),
+            levels,
+            values,
+        })
+    }
+
+    /// Decompresses into an owned fibertree. Lossless: the result
+    /// compares equal to the tensor this was built from (or that
+    /// [`Tensor::from_entries`] builds from the same entries).
+    pub fn to_tensor(&self) -> Tensor {
+        if self.order() == 0 {
+            return Tensor::scalar(&self.name, self.values[0]);
+        }
+        let root = self.build_fiber(0, 0, self.levels[0].coords.len());
+        Tensor::from_parts(
+            &self.name,
+            self.rank_ids.clone(),
+            self.rank_shapes.clone(),
+            Payload::Fiber(root),
+        )
+    }
+
+    fn build_fiber(&self, level: usize, start: usize, end: usize) -> Fiber {
+        let mut f = Fiber::new(self.rank_shapes[level].clone());
+        let leaf = level + 1 == self.order();
+        for p in start..end {
+            let payload = if leaf {
+                Payload::Val(self.values[p])
+            } else {
+                let (cs, ce) = self.child_range(level, p);
+                Payload::Fiber(self.build_fiber(level + 1, cs, ce))
+            };
+            f.append(self.levels[level].coords[p], payload)
+                .expect("compressed coordinates are sorted and in shape");
+        }
+        f
+    }
+
+    /// The tensor's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the tensor.
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// The labelled ranks, top-to-bottom.
+    pub fn rank_ids(&self) -> &[String] {
+        &self.rank_ids
+    }
+
+    /// The per-rank shapes, in rank order.
+    pub fn rank_shapes(&self) -> &[Shape] {
+        &self.rank_shapes
+    }
+
+    /// Number of ranks (`N` for an `N`-tensor).
+    pub fn order(&self) -> usize {
+        self.rank_ids.len()
+    }
+
+    /// Number of stored leaves (matches [`Tensor::nnz`] for the same
+    /// content).
+    pub fn nnz(&self) -> usize {
+        if self.order() == 0 {
+            usize::from(self.values[0] != 0.0)
+        } else {
+            self.values.len()
+        }
+    }
+
+    /// The leaf value arena.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Per-rank `(fiber count, total occupancy)` statistics, matching
+    /// [`Tensor::rank_stats`] on equivalent content (ranks below the
+    /// deepest existing fiber are omitted, as in the owned walk).
+    pub fn rank_stats(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for l in &self.levels {
+            let fibers = l.segs.len().saturating_sub(1);
+            if fibers == 0 {
+                break;
+            }
+            out.push((fibers, l.coords.len()));
+        }
+        out
+    }
+
+    /// Enumerates `(point, value)` for every nonzero leaf, in
+    /// lexicographic order (matches [`Tensor::entries`]).
+    pub fn entries(&self) -> Vec<(Vec<u64>, f64)> {
+        let mut out = Vec::with_capacity(self.values.len());
+        if self.order() == 0 {
+            if self.values[0] != 0.0 {
+                out.push((Vec::new(), self.values[0]));
+            }
+            return out;
+        }
+        let mut path = vec![0u64; self.order()];
+        self.collect_entries(0, 0, self.levels[0].coords.len(), &mut path, &mut out);
+        out
+    }
+
+    fn collect_entries(
+        &self,
+        level: usize,
+        start: usize,
+        end: usize,
+        path: &mut Vec<u64>,
+        out: &mut Vec<(Vec<u64>, f64)>,
+    ) {
+        let leaf = level + 1 == self.order();
+        for p in start..end {
+            path[level] = self.levels[level].coords[p];
+            if leaf {
+                if self.values[p] != 0.0 {
+                    out.push((path.clone(), self.values[p]));
+                }
+            } else {
+                let (cs, ce) = self.child_range(level, p);
+                self.collect_entries(level + 1, cs, ce, path, out);
+            }
+        }
+    }
+
+    /// The coordinate array of one rank (crate-internal cursor access).
+    pub(crate) fn level_coords(&self, level: usize) -> &[u64] {
+        &self.levels[level].coords
+    }
+
+    /// The `[start, end)` range of element `p`'s child fiber one rank
+    /// below `level`.
+    pub(crate) fn child_range(&self, level: usize, p: usize) -> (usize, usize) {
+        let segs = &self.levels[level + 1].segs;
+        (segs[p], segs[p + 1])
+    }
+
+    /// The leaf value at bottom-rank position `p`.
+    pub(crate) fn value_at(&self, p: usize) -> f64 {
+        self.values[p]
+    }
+
+    /// Leaves beneath the element range `[start, end)` of `level`, in
+    /// `O(depth)`: the children of a *range* are themselves a contiguous
+    /// range, so each rank is one pair of segment lookups.
+    pub(crate) fn leaf_count_in(&self, level: usize, start: usize, end: usize) -> usize {
+        let (mut s, mut e) = (start, end);
+        for d in level..self.order().saturating_sub(1) {
+            let segs = &self.levels[d + 1].segs;
+            s = segs[s];
+            e = segs[e];
+        }
+        e - s
+    }
+}
+
+impl fmt::Display for CompressedTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] (csf, {} nnz)",
+            self.name,
+            self.rank_ids.join(", "),
+            self.nnz()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::fig1_matrix_a;
+
+    #[test]
+    fn from_entries_matches_owned_construction() {
+        let entries = vec![
+            (vec![0, 2], 3.0),
+            (vec![2, 0], 9.0),
+            (vec![2, 1], 4.0),
+            (vec![2, 2], 5.0),
+        ];
+        let c = CompressedTensor::from_entries("A", &["M", "K"], &[4, 3], entries.clone()).unwrap();
+        let t = Tensor::from_entries("A", &["M", "K"], &[4, 3], entries).unwrap();
+        assert_eq!(c.to_tensor(), t);
+        assert_eq!(c.entries(), t.entries());
+        assert_eq!(c.rank_stats(), t.rank_stats());
+        assert_eq!(c.nnz(), 4);
+    }
+
+    #[test]
+    fn csf_arrays_have_the_fig1_layout() {
+        let c = CompressedTensor::from_tensor(&fig1_matrix_a()).unwrap();
+        // Rank M: one fiber holding m = 0, 2.
+        assert_eq!(c.levels[0].coords, vec![0, 2]);
+        assert_eq!(c.levels[0].segs, vec![0, 2]);
+        // Rank K: two fibers [2] and [0, 1, 2].
+        assert_eq!(c.levels[1].coords, vec![2, 0, 1, 2]);
+        assert_eq!(c.levels[1].segs, vec![0, 1, 4]);
+        assert_eq!(c.values, vec![3.0, 9.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn roundtrip_through_tensor_is_lossless() {
+        let t = fig1_matrix_a();
+        let c = CompressedTensor::from_tensor(&t).unwrap();
+        assert_eq!(c.to_tensor(), t);
+        let again = CompressedTensor::from_tensor(&c.to_tensor()).unwrap();
+        assert_eq!(again, c);
+    }
+
+    #[test]
+    fn duplicate_entries_sum_and_zeros_drop() {
+        let c = CompressedTensor::from_entries(
+            "T",
+            &["I"],
+            &[4],
+            vec![(vec![1], 2.0), (vec![1], 3.0), (vec![2], 0.0)],
+        )
+        .unwrap();
+        assert_eq!(c.entries(), vec![(vec![1], 5.0)]);
+        assert_eq!(c.nnz(), 1);
+    }
+
+    #[test]
+    fn explicit_zero_leaves_survive_from_tensor() {
+        let mut t = Tensor::empty("P", &["V"], &[4]);
+        t.set(&[0], 0.0); // a legitimate payload (e.g. the BFS root)
+        t.set(&[2], 7.0);
+        let c = CompressedTensor::from_tensor(&t).unwrap();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.to_tensor(), t);
+    }
+
+    #[test]
+    fn tuple_coordinates_are_rejected() {
+        let t = fig1_matrix_a().flatten_rank("M", "MK").unwrap();
+        let err = CompressedTensor::from_tensor(&t);
+        assert!(matches!(err, Err(FibertreeError::NotCompressible { .. })));
+    }
+
+    #[test]
+    fn scalars_and_empties_compress() {
+        let s = CompressedTensor::from_entries("s", &[], &[], vec![(vec![], 3.0)]).unwrap();
+        assert_eq!(s.nnz(), 1);
+        assert_eq!(s.to_tensor(), Tensor::scalar("s", 3.0));
+        let e = CompressedTensor::from_entries("E", &["M", "K"], &[4, 4], vec![]).unwrap();
+        assert_eq!(e.nnz(), 0);
+        assert_eq!(e.to_tensor(), Tensor::empty("E", &["M", "K"], &[4, 4]));
+    }
+
+    #[test]
+    fn out_of_shape_and_arity_errors_match_owned() {
+        let err = CompressedTensor::from_entries("T", &["I"], &[4], vec![(vec![7], 1.0)]);
+        assert!(matches!(err, Err(FibertreeError::OutOfShape { .. })));
+        let err = CompressedTensor::from_entries("T", &["I"], &[4], vec![(vec![1, 2], 1.0)]);
+        assert!(matches!(err, Err(FibertreeError::ArityMismatch { .. })));
+    }
+}

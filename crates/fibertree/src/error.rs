@@ -51,6 +51,12 @@ pub enum FibertreeError {
     },
     /// A partition size of zero was requested.
     ZeroPartition,
+    /// A tensor could not be converted to compressed (CSF) storage.
+    NotCompressible {
+        /// Why the conversion failed (e.g. a flattened tuple-coordinate
+        /// rank).
+        reason: String,
+    },
 }
 
 impl fmt::Display for FibertreeError {
@@ -78,6 +84,9 @@ impl fmt::Display for FibertreeError {
                 write!(f, "expected {expected} coordinates per point, got {got}")
             }
             FibertreeError::ZeroPartition => write!(f, "partition size must be nonzero"),
+            FibertreeError::NotCompressible { reason } => {
+                write!(f, "tensor cannot be compressed: {reason}")
+            }
         }
     }
 }

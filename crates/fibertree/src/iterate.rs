@@ -1,4 +1,5 @@
-//! Co-iteration over fibers: intersection, union, and projection lookup.
+//! Co-iteration over fibers: streaming intersection, union, and
+//! projection lookup.
 //!
 //! Sparse accelerators "sparsify" the iteration space (paper §2.4) by
 //! co-iterating the operands of each loop rank. Multiplicative operands are
@@ -7,11 +8,22 @@
 //! varies across designs, so the [`IntersectPolicy`] models the three unit
 //! types of Table 3 — two-finger, leader-follower, and skip-ahead — and
 //! reports the number of coordinate comparisons ("work") each would spend.
+//!
+//! Co-iteration is a *streaming dataflow of coordinate cursors* (in the
+//! spirit of the Sparse Abstract Machine): [`intersect2_stream`],
+//! [`intersect_stream`], and [`union_stream`] are lazy iterators over
+//! [`FiberView`] cursors that emit one match at a time, never
+//! materializing a match list. The matching eager functions
+//! ([`intersect2`], [`intersect_many`], [`union_many`]) are thin wrappers
+//! that drain a stream into a `Vec` — convenient for tests and small
+//! fibers, while the simulator's engine consumes the streams directly.
+//! Both report identical [`CoIterStats`].
 
 use serde::{Deserialize, Serialize};
 
 use crate::coord::Coord;
-use crate::fiber::{Fiber, Payload};
+use crate::fiber::Fiber;
+use crate::view::{CoordKey, FiberView, PayloadView};
 
 /// The intersection unit type (Table 3 of the paper).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize, Default)]
@@ -31,8 +43,8 @@ pub enum IntersectPolicy {
     SkipAhead,
 }
 
-/// Result of co-iterating fibers: the matching coordinates plus the work
-/// metric charged to the intersection unit.
+/// Result of co-iterating fibers: the work metric charged to the
+/// intersection unit plus the number of emitted coordinates.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct CoIterStats {
     /// Number of coordinate comparisons performed by the modelled unit.
@@ -41,111 +53,166 @@ pub struct CoIterStats {
     pub matches: u64,
 }
 
-/// Intersects two fibers, returning the positions of each match.
+// ---------------------------------------------------------------------------
+// Two-input intersection.
+// ---------------------------------------------------------------------------
+
+/// Lazy two-input intersection over fiber cursors.
 ///
-/// Each output tuple is `(coord, position in a, position in b)`. The
-/// returned [`CoIterStats`] charges comparisons per `policy`:
+/// Yields `(coord, position in a, position in b)` one match at a time.
+/// Comparisons accrue as the stream advances; [`Intersect2Stream::stats`]
+/// is complete once the stream is drained.
+#[derive(Clone, Debug)]
+pub struct Intersect2Stream<'a> {
+    a: FiberView<'a>,
+    b: FiberView<'a>,
+    i: usize,
+    j: usize,
+    policy: IntersectPolicy,
+    stats: CoIterStats,
+}
+
+/// Starts a lazy intersection of two fiber cursors under `policy`.
+///
+/// Comparison charging per policy:
 ///
 /// - two-finger: one comparison per pointer advance (≈ `|a| + |b|` worst
 ///   case, less when one side exhausts early),
 /// - leader-follower: one probe per leader element,
 /// - skip-ahead: galloping probes, `O(matches · log(skip))`.
+pub fn intersect2_stream<'a>(
+    a: FiberView<'a>,
+    b: FiberView<'a>,
+    policy: IntersectPolicy,
+) -> Intersect2Stream<'a> {
+    Intersect2Stream {
+        a,
+        b,
+        i: 0,
+        j: 0,
+        policy,
+        stats: CoIterStats::default(),
+    }
+}
+
+impl Intersect2Stream<'_> {
+    /// The statistics accrued so far (complete after draining).
+    pub fn stats(&self) -> CoIterStats {
+        self.stats.clone()
+    }
+}
+
+impl Iterator for Intersect2Stream<'_> {
+    type Item = (Coord, usize, usize);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self.policy {
+            IntersectPolicy::TwoFinger => self.next_two_finger(),
+            IntersectPolicy::LeaderFollower { leader } => self.next_leader(leader == 1),
+            IntersectPolicy::SkipAhead => self.next_skip_ahead(),
+        }
+    }
+}
+
+impl Intersect2Stream<'_> {
+    fn next_two_finger(&mut self) -> Option<(Coord, usize, usize)> {
+        while self.i < self.a.occupancy() && self.j < self.b.occupancy() {
+            self.stats.comparisons += 1;
+            let ka = self.a.coord_key_at(self.i);
+            match ka.cmp_key(&self.b.coord_key_at(self.j)) {
+                std::cmp::Ordering::Equal => {
+                    let out = (ka.to_coord(), self.i, self.j);
+                    self.stats.matches += 1;
+                    self.i += 1;
+                    self.j += 1;
+                    return Some(out);
+                }
+                std::cmp::Ordering::Less => self.i += 1,
+                std::cmp::Ordering::Greater => self.j += 1,
+            }
+        }
+        None
+    }
+
+    /// Leader-follower: the stream walks the leader (`a` unless `swap`)
+    /// and probes the follower, charging one comparison per leader
+    /// element. Output positions stay `(pos in a, pos in b)`.
+    fn next_leader(&mut self, swap: bool) -> Option<(Coord, usize, usize)> {
+        let (lead, follow) = if swap {
+            (self.b, self.a)
+        } else {
+            (self.a, self.b)
+        };
+        while self.i < lead.occupancy() {
+            self.stats.comparisons += 1;
+            let key = lead.coord_key_at(self.i);
+            let pl = self.i;
+            self.i += 1;
+            if let Some(pf) = follow.position_of_key(&key) {
+                self.stats.matches += 1;
+                let out = if swap { (pf, pl) } else { (pl, pf) };
+                return Some((key.to_coord(), out.0, out.1));
+            }
+        }
+        None
+    }
+
+    fn next_skip_ahead(&mut self) -> Option<(Coord, usize, usize)> {
+        while self.i < self.a.occupancy() && self.j < self.b.occupancy() {
+            self.stats.comparisons += 1;
+            let ka = self.a.coord_key_at(self.i);
+            let kb = self.b.coord_key_at(self.j);
+            match ka.cmp_key(&kb) {
+                std::cmp::Ordering::Equal => {
+                    let out = (ka.to_coord(), self.i, self.j);
+                    self.stats.matches += 1;
+                    self.i += 1;
+                    self.j += 1;
+                    return Some(out);
+                }
+                std::cmp::Ordering::Less => {
+                    let (ni, probes) = gallop(&self.a, self.i, &kb);
+                    self.stats.comparisons += probes;
+                    self.i = ni;
+                }
+                std::cmp::Ordering::Greater => {
+                    let (nj, probes) = gallop(&self.b, self.j, &ka);
+                    self.stats.comparisons += probes;
+                    self.j = nj;
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Intersects two fibers eagerly, returning the positions of each match.
+///
+/// Each output tuple is `(coord, position in a, position in b)`. This is
+/// [`intersect2_stream`] drained into a `Vec`.
 pub fn intersect2(
     a: &Fiber,
     b: &Fiber,
     policy: IntersectPolicy,
 ) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
-    match policy {
-        IntersectPolicy::TwoFinger => intersect_two_finger(a, b),
-        IntersectPolicy::LeaderFollower { leader } => {
-            let swap = leader == 1;
-            let (lead, follow) = if swap { (b, a) } else { (a, b) };
-            let (matches, stats) = intersect_leader(lead, follow);
-            let matches = matches
-                .into_iter()
-                .map(|(c, pl, pf)| if swap { (c, pf, pl) } else { (c, pl, pf) })
-                .collect();
-            (matches, stats)
-        }
-        IntersectPolicy::SkipAhead => intersect_skip_ahead(a, b),
-    }
-}
-
-fn intersect_two_finger(a: &Fiber, b: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
-    let (ae, be) = (a.elements(), b.elements());
-    let mut out = Vec::new();
-    let mut stats = CoIterStats::default();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ae.len() && j < be.len() {
-        stats.comparisons += 1;
-        match ae[i].coord.cmp(&be[j].coord) {
-            std::cmp::Ordering::Equal => {
-                out.push((ae[i].coord.clone(), i, j));
-                stats.matches += 1;
-                i += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-        }
-    }
-    (out, stats)
-}
-
-fn intersect_leader(lead: &Fiber, follow: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
-    let mut out = Vec::new();
-    let mut stats = CoIterStats::default();
-    for (pl, e) in lead.iter().enumerate() {
-        stats.comparisons += 1; // one probe per leader element
-        if let Some(pf) = follow.position(&e.coord) {
-            out.push((e.coord.clone(), pl, pf));
-            stats.matches += 1;
-        }
-    }
-    (out, stats)
-}
-
-fn intersect_skip_ahead(a: &Fiber, b: &Fiber) -> (Vec<(Coord, usize, usize)>, CoIterStats) {
-    let (ae, be) = (a.elements(), b.elements());
-    let mut out = Vec::new();
-    let mut stats = CoIterStats::default();
-    let (mut i, mut j) = (0usize, 0usize);
-    while i < ae.len() && j < be.len() {
-        stats.comparisons += 1;
-        match ae[i].coord.cmp(&be[j].coord) {
-            std::cmp::Ordering::Equal => {
-                out.push((ae[i].coord.clone(), i, j));
-                stats.matches += 1;
-                i += 1;
-                j += 1;
-            }
-            std::cmp::Ordering::Less => {
-                let (ni, probes) = gallop(ae, i, &be[j].coord);
-                stats.comparisons += probes;
-                i = ni;
-            }
-            std::cmp::Ordering::Greater => {
-                let (nj, probes) = gallop(be, j, &ae[i].coord);
-                stats.comparisons += probes;
-                j = nj;
-            }
-        }
-    }
-    (out, stats)
+    let mut s = intersect2_stream(FiberView::Owned(a), FiberView::Owned(b), policy);
+    let out: Vec<_> = s.by_ref().collect();
+    (out, s.stats())
 }
 
 /// Gallops forward from `start` to the first position whose coordinate is
 /// `>= target`, returning `(position, probes spent)`.
-fn gallop(elems: &[crate::fiber::Element], start: usize, target: &Coord) -> (usize, u64) {
+fn gallop(fiber: &FiberView<'_>, start: usize, target: &CoordKey<'_>) -> (usize, u64) {
+    let len = fiber.occupancy();
     let mut probes = 0u64;
     let mut step = 1usize;
     let mut lo = start;
     let mut hi = start;
     // Exponential probe.
-    while hi < elems.len() && elems[hi].coord < *target {
+    while hi < len && fiber.coord_key_at(hi).cmp_key(target).is_lt() {
         probes += 1;
         lo = hi;
-        hi = (hi + step).min(elems.len());
+        hi = (hi + step).min(len);
         step *= 2;
     }
     // Binary search within (lo, hi].
@@ -154,7 +221,7 @@ fn gallop(elems: &[crate::fiber::Element], start: usize, target: &Coord) -> (usi
     while left < right {
         probes += 1;
         let mid = (left + right) / 2;
-        if elems[mid].coord < *target {
+        if fiber.coord_key_at(mid).cmp_key(target).is_lt() {
             left = mid + 1;
         } else {
             right = mid;
@@ -163,126 +230,291 @@ fn gallop(elems: &[crate::fiber::Element], start: usize, target: &Coord) -> (usi
     (left, probes)
 }
 
-/// Intersects any number of fibers with a two-finger cascade, returning for
-/// each matching coordinate the per-fiber positions.
+// ---------------------------------------------------------------------------
+// Multi-input intersection: a lazy cascade of two-input stages.
+// ---------------------------------------------------------------------------
+
+/// Lazy multi-input intersection: yields, per matching coordinate, the
+/// per-fiber positions.
 ///
-/// Comparisons are accumulated as if the fibers were intersected pairwise
-/// left to right, which is how multi-way intersections are built from
-/// two-input units in hardware.
+/// Structured as a cascade of two-input stages — fiber 0 feeds stage 1,
+/// whose output feeds stage 2, and so on — which is how multi-way
+/// intersections are built from two-input units in hardware, and is also
+/// exactly how comparisons are charged: each stage counts as if it merged
+/// the *complete* output of the previous stage, so the totals equal the
+/// eager pairwise composition even though nothing is materialized. (A
+/// stage whose own fiber exhausts silently drains its upstream to keep
+/// that equivalence.)
+#[derive(Debug)]
+pub struct IntersectStream<'a> {
+    top: ManyNode<'a>,
+    matches: u64,
+}
+
+#[derive(Debug)]
+enum ManyNode<'a> {
+    /// Fiber 0: emits every element with its position, charging nothing.
+    Source { fiber: FiberView<'a>, pos: usize },
+    /// One two-input unit merging the upstream match stream with a fiber.
+    Stage(Box<ManyStage<'a>>),
+}
+
+#[derive(Debug)]
+struct ManyStage<'a> {
+    upstream: ManyNode<'a>,
+    fiber: FiberView<'a>,
+    j: usize,
+    /// Leader-follower mode: probe instead of merge.
+    probe: bool,
+    comparisons: u64,
+    left: Option<(Coord, Vec<usize>)>,
+    primed: bool,
+    done: bool,
+}
+
+impl<'a> ManyNode<'a> {
+    fn next(&mut self) -> Option<(Coord, Vec<usize>)> {
+        match self {
+            ManyNode::Source { fiber, pos } => {
+                if *pos >= fiber.occupancy() {
+                    return None;
+                }
+                let item = (fiber.coord_at(*pos), vec![*pos]);
+                *pos += 1;
+                Some(item)
+            }
+            ManyNode::Stage(s) => s.next(),
+        }
+    }
+
+    fn comparisons(&self) -> u64 {
+        match self {
+            ManyNode::Source { .. } => 0,
+            ManyNode::Stage(s) => s.comparisons + s.upstream.comparisons(),
+        }
+    }
+}
+
+impl ManyStage<'_> {
+    fn next(&mut self) -> Option<(Coord, Vec<usize>)> {
+        if self.done {
+            return None;
+        }
+        if !self.primed {
+            self.left = self.upstream.next();
+            self.primed = true;
+        }
+        if self.probe {
+            // Leader-follower: every upstream match costs one probe of
+            // this fiber, whether or not it hits.
+            while let Some((c, mut ps)) = self.left.take() {
+                self.comparisons += 1;
+                let hit = self.fiber.position(&c);
+                self.left = self.upstream.next();
+                if let Some(pf) = hit {
+                    ps.push(pf);
+                    return Some((c, ps));
+                }
+            }
+            self.done = true;
+            return None;
+        }
+        // Two-finger merge of the upstream stream against this fiber.
+        loop {
+            if self.left.is_none() {
+                // Upstream exhausted (and, by induction, fully drained).
+                self.done = true;
+                return None;
+            }
+            if self.j >= self.fiber.occupancy() {
+                // This fiber exhausted: the eager pairwise composition
+                // still materializes the full upstream match list, so
+                // drain it (charging its comparisons) without emitting.
+                while self.upstream.next().is_some() {}
+                self.left = None;
+                self.done = true;
+                return None;
+            }
+            self.comparisons += 1;
+            let cmp = {
+                let (c, _) = self.left.as_ref().expect("checked above");
+                self.fiber.coord_key_at(self.j).cmp_coord(c).reverse()
+            };
+            match cmp {
+                std::cmp::Ordering::Equal => {
+                    let (c, mut ps) = self.left.take().expect("checked above");
+                    ps.push(self.j);
+                    self.j += 1;
+                    self.left = self.upstream.next();
+                    return Some((c, ps));
+                }
+                std::cmp::Ordering::Less => self.left = self.upstream.next(),
+                std::cmp::Ordering::Greater => self.j += 1,
+            }
+        }
+    }
+}
+
+/// Starts a lazy multi-input intersection of `fibers` under `policy`.
+///
+/// # Panics
+///
+/// Panics when `fibers` is empty.
+pub fn intersect_stream<'a>(
+    fibers: &[FiberView<'a>],
+    policy: IntersectPolicy,
+) -> IntersectStream<'a> {
+    assert!(
+        !fibers.is_empty(),
+        "intersect_stream needs at least one fiber"
+    );
+    let mut top = ManyNode::Source {
+        fiber: fibers[0],
+        pos: 0,
+    };
+    for &f in &fibers[1..] {
+        top = ManyNode::Stage(Box::new(ManyStage {
+            upstream: top,
+            fiber: f,
+            j: 0,
+            probe: matches!(policy, IntersectPolicy::LeaderFollower { .. }),
+            comparisons: 0,
+            left: None,
+            primed: false,
+            done: false,
+        }));
+    }
+    IntersectStream { top, matches: 0 }
+}
+
+impl IntersectStream<'_> {
+    /// The statistics accrued so far (complete after draining).
+    pub fn stats(&self) -> CoIterStats {
+        CoIterStats {
+            comparisons: self.top.comparisons(),
+            matches: self.matches,
+        }
+    }
+}
+
+impl Iterator for IntersectStream<'_> {
+    type Item = (Coord, Vec<usize>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        let item = self.top.next();
+        if item.is_some() {
+            self.matches += 1;
+        }
+        item
+    }
+}
+
+/// Intersects any number of fibers eagerly, returning for each matching
+/// coordinate the per-fiber positions. This is [`intersect_stream`]
+/// drained into a `Vec`.
+///
+/// # Panics
+///
+/// Panics when `fibers` is empty.
 pub fn intersect_many(
     fibers: &[&Fiber],
     policy: IntersectPolicy,
 ) -> (Vec<(Coord, Vec<usize>)>, CoIterStats) {
-    assert!(
-        !fibers.is_empty(),
-        "intersect_many needs at least one fiber"
-    );
-    let mut stats = CoIterStats::default();
-    let mut acc: Vec<(Coord, Vec<usize>)> = fibers[0]
-        .iter()
-        .enumerate()
-        .map(|(i, e)| (e.coord.clone(), vec![i]))
-        .collect();
-    for f in &fibers[1..] {
-        let (matched, s) = intersect_positions(&acc, f, policy);
-        stats.comparisons += s.comparisons;
-        acc = matched;
-    }
-    stats.matches = acc.len() as u64;
-    (acc, stats)
+    let views: Vec<FiberView<'_>> = fibers.iter().map(|f| FiberView::Owned(f)).collect();
+    let mut s = intersect_stream(&views, policy);
+    let out: Vec<_> = s.by_ref().collect();
+    (out, s.stats())
 }
 
-fn intersect_positions(
-    acc: &[(Coord, Vec<usize>)],
-    f: &Fiber,
-    policy: IntersectPolicy,
-) -> (Vec<(Coord, Vec<usize>)>, CoIterStats) {
-    let mut out = Vec::new();
-    let mut stats = CoIterStats::default();
-    match policy {
-        IntersectPolicy::LeaderFollower { .. } => {
-            for (c, ps) in acc {
-                stats.comparisons += 1;
-                if let Some(pf) = f.position(c) {
-                    let mut ps = ps.clone();
-                    ps.push(pf);
-                    out.push((c.clone(), ps));
-                }
-            }
-        }
-        _ => {
-            let fe = f.elements();
-            let (mut i, mut j) = (0usize, 0usize);
-            while i < acc.len() && j < fe.len() {
-                stats.comparisons += 1;
-                match acc[i].0.cmp(&fe[j].coord) {
-                    std::cmp::Ordering::Equal => {
-                        let mut ps = acc[i].1.clone();
-                        ps.push(j);
-                        out.push((acc[i].0.clone(), ps));
-                        i += 1;
-                        j += 1;
-                    }
-                    std::cmp::Ordering::Less => i += 1,
-                    std::cmp::Ordering::Greater => j += 1,
-                }
-            }
-        }
-    }
-    stats.matches = out.len() as u64;
-    (out, stats)
-}
+// ---------------------------------------------------------------------------
+// Union.
+// ---------------------------------------------------------------------------
 
 /// One union result row: a coordinate plus, per input fiber, the position
 /// of that coordinate when the fiber holds it.
 pub type UnionMatch = (Coord, Vec<Option<usize>>);
 
-/// Unions any number of fibers: yields every coordinate present in at least
-/// one fiber, with the per-fiber position when present.
-pub fn union_many(fibers: &[&Fiber]) -> (Vec<UnionMatch>, CoIterStats) {
-    let n = fibers.len();
-    let mut cursors = vec![0usize; n];
-    let mut out: Vec<UnionMatch> = Vec::new();
-    let mut stats = CoIterStats::default();
-    loop {
+/// Lazy multi-input union over fiber cursors: yields every coordinate
+/// present in at least one fiber, with the per-fiber position when
+/// present. One comparison is charged per live fiber per emitted
+/// coordinate (the min-finding work of the merging sequencer).
+#[derive(Clone, Debug)]
+pub struct UnionStream<'a> {
+    fibers: Vec<FiberView<'a>>,
+    cursors: Vec<usize>,
+    stats: CoIterStats,
+}
+
+/// Starts a lazy union of `fibers`.
+pub fn union_stream<'a>(fibers: &[FiberView<'a>]) -> UnionStream<'a> {
+    UnionStream {
+        cursors: vec![0; fibers.len()],
+        fibers: fibers.to_vec(),
+        stats: CoIterStats::default(),
+    }
+}
+
+impl UnionStream<'_> {
+    /// The statistics accrued so far (complete after draining).
+    pub fn stats(&self) -> CoIterStats {
+        self.stats.clone()
+    }
+}
+
+impl Iterator for UnionStream<'_> {
+    type Item = UnionMatch;
+
+    fn next(&mut self) -> Option<Self::Item> {
         // Find the minimum current coordinate across all fibers.
-        let mut min: Option<Coord> = None;
-        for (f, &cur) in fibers.iter().zip(&cursors) {
-            if let Some(e) = f.elements().get(cur) {
-                stats.comparisons += 1;
+        let mut min: Option<CoordKey<'_>> = None;
+        for (f, &cur) in self.fibers.iter().zip(&self.cursors) {
+            if cur < f.occupancy() {
+                self.stats.comparisons += 1;
+                let key = f.coord_key_at(cur);
                 match &min {
-                    None => min = Some(e.coord.clone()),
-                    Some(m) if e.coord < *m => min = Some(e.coord.clone()),
+                    None => min = Some(key),
+                    Some(m) if key.cmp_key(m).is_lt() => min = Some(key),
                     _ => {}
                 }
             }
         }
-        let Some(m) = min else { break };
-        let mut row: Vec<Option<usize>> = Vec::with_capacity(n);
-        for (idx, f) in fibers.iter().enumerate() {
-            let cur = cursors[idx];
-            match f.elements().get(cur) {
-                Some(e) if e.coord == m => {
-                    row.push(Some(cur));
-                    cursors[idx] += 1;
-                }
-                _ => row.push(None),
+        let m = min?.to_coord();
+        let mut row: Vec<Option<usize>> = Vec::with_capacity(self.fibers.len());
+        for (idx, f) in self.fibers.iter().enumerate() {
+            let cur = self.cursors[idx];
+            if cur < f.occupancy() && f.coord_key_at(cur).cmp_coord(&m).is_eq() {
+                row.push(Some(cur));
+                self.cursors[idx] += 1;
+            } else {
+                row.push(None);
             }
         }
-        out.push((m, row));
-        stats.matches += 1;
+        self.stats.matches += 1;
+        Some((m, row))
     }
-    (out, stats)
 }
+
+/// Unions any number of fibers eagerly. This is [`union_stream`] drained
+/// into a `Vec`.
+pub fn union_many(fibers: &[&Fiber]) -> (Vec<UnionMatch>, CoIterStats) {
+    let views: Vec<FiberView<'_>> = fibers.iter().map(|f| FiberView::Owned(f)).collect();
+    let mut s = union_stream(&views);
+    let out: Vec<_> = s.by_ref().collect();
+    (out, s.stats())
+}
+
+// ---------------------------------------------------------------------------
+// Projection.
+// ---------------------------------------------------------------------------
 
 /// Looks up a coordinate in a fiber by *projection*: used when a loop rank
 /// covers several root ranks (after flattening) but a tensor only carries a
 /// subset of them, so the relevant tuple component is extracted and probed.
 pub fn project_lookup<'f>(
-    fiber: &'f Fiber,
+    fiber: &FiberView<'f>,
     coord: &Coord,
     component: usize,
-) -> Option<&'f Payload> {
+) -> Option<PayloadView<'f>> {
     let c = match coord {
         Coord::Point(_) => {
             debug_assert_eq!(component, 0, "points have a single component");
@@ -296,12 +528,24 @@ pub fn project_lookup<'f>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::compressed::CompressedTensor;
     use crate::coord::Shape;
+    use crate::view::TensorData;
 
     fn fib(coords: &[u64]) -> Fiber {
         Fiber::from_pairs(
             Shape::Interval(1000),
             coords.iter().map(|&c| (c, c as f64 + 1.0)),
+        )
+        .expect("test fiber is valid")
+    }
+
+    fn compressed(coords: &[u64]) -> CompressedTensor {
+        CompressedTensor::from_entries(
+            "F",
+            &["K"],
+            &[1000],
+            coords.iter().map(|&c| (vec![c], c as f64 + 1.0)).collect(),
         )
         .expect("test fiber is valid")
     }
@@ -366,6 +610,70 @@ mod tests {
     }
 
     #[test]
+    fn streams_are_lazy_but_stats_complete_on_drain() {
+        let a = fib(&[1, 3, 5, 7]);
+        let b = fib(&[3, 7]);
+        let mut s = intersect2_stream(
+            FiberView::Owned(&a),
+            FiberView::Owned(&b),
+            IntersectPolicy::TwoFinger,
+        );
+        let first = s.next().unwrap();
+        assert_eq!(first.0, Coord::Point(3));
+        let partial = s.stats();
+        assert_eq!(partial.matches, 1);
+        let rest: Vec<_> = s.by_ref().collect();
+        assert_eq!(rest.len(), 1);
+        assert!(s.stats().comparisons > partial.comparisons);
+    }
+
+    #[test]
+    fn streams_agree_across_representations() {
+        let coords_a: Vec<u64> = vec![0, 2, 4, 6, 8, 10, 50, 51, 52];
+        let coords_b: Vec<u64> = vec![4, 5, 6, 52, 99];
+        let (oa, ob) = (fib(&coords_a), fib(&coords_b));
+        let (ca, cb) = (compressed(&coords_a), compressed(&coords_b));
+        let (da, db) = (TensorData::Compressed(ca), TensorData::Compressed(cb));
+        for policy in [
+            IntersectPolicy::TwoFinger,
+            IntersectPolicy::LeaderFollower { leader: 0 },
+            IntersectPolicy::LeaderFollower { leader: 1 },
+            IntersectPolicy::SkipAhead,
+        ] {
+            let (mo, so) = intersect2(&oa, &ob, policy);
+            let mut s = intersect2_stream(
+                da.root_fiber_view().unwrap(),
+                db.root_fiber_view().unwrap(),
+                policy,
+            );
+            let mc: Vec<_> = s.by_ref().collect();
+            assert_eq!(mo, mc, "{policy:?}");
+            assert_eq!(so, s.stats(), "{policy:?}");
+        }
+        let (uo, suo) = union_many(&[&oa, &ob]);
+        let mut us = union_stream(&[da.root_fiber_view().unwrap(), db.root_fiber_view().unwrap()]);
+        let uc: Vec<_> = us.by_ref().collect();
+        assert_eq!(uo, uc);
+        assert_eq!(suo, us.stats());
+    }
+
+    #[test]
+    fn cascade_drains_upstream_when_a_stage_exhausts() {
+        // b exhausts immediately, but the a→b stage must still charge the
+        // comparisons the eager composition would (full |a| materialized,
+        // then the a∩b merge, then nothing at the c stage).
+        let a = fib(&[1, 2, 3, 4, 5]);
+        let b = fib(&[1]);
+        let c = fib(&[9]);
+        let (me, se) = intersect_many(&[&a, &b, &c], IntersectPolicy::TwoFinger);
+        assert!(me.is_empty());
+        let views = [&a, &b, &c].map(FiberView::Owned);
+        let mut s = intersect_stream(&views, IntersectPolicy::TwoFinger);
+        assert!(s.by_ref().next().is_none());
+        assert_eq!(s.stats(), se);
+    }
+
+    #[test]
     fn union_yields_every_coordinate_once() {
         let a = fib(&[1, 3]);
         let b = fib(&[2, 3, 5]);
@@ -388,9 +696,10 @@ mod tests {
     #[test]
     fn project_lookup_extracts_tuple_components() {
         let f = fib(&[7]);
+        let v = FiberView::Owned(&f);
         let tuple = Coord::pair(7, 3);
-        assert!(project_lookup(&f, &tuple, 0).is_some());
-        assert!(project_lookup(&f, &tuple, 1).is_none());
-        assert!(project_lookup(&f, &Coord::Point(7), 0).is_some());
+        assert!(project_lookup(&v, &tuple, 0).is_some());
+        assert!(project_lookup(&v, &tuple, 1).is_none());
+        assert!(project_lookup(&v, &Coord::Point(7), 0).is_some());
     }
 }

@@ -10,6 +10,34 @@
 //! and IR (`teaal-core`) lower mapped Einsums onto these structures, and
 //! the simulator (`teaal-sim`) executes them on real tensors.
 //!
+//! ## Choosing a representation
+//!
+//! Tensor content has two storage representations behind one cursor
+//! interface:
+//!
+//! - [`Tensor`] — the *owned* fibertree: every fiber is its own
+//!   allocation, payloads nest recursively. Supports in-place writes
+//!   ([`Tensor::set`], [`fiber::Fiber::get_or_insert_with`]) and all the
+//!   content-preserving transforms, including flattening into tuple
+//!   coordinates. Use it for outputs, intermediates, transform pipelines,
+//!   and small workloads.
+//! - [`CompressedTensor`] — *compressed sparse fiber* (CSF) storage: two
+//!   flat arrays per rank plus one leaf value arena. Read-only, point
+//!   coordinates only, built in one pass from COO entries
+//!   ([`CompressedTensor::from_entries`]) or from an owned tree
+//!   ([`CompressedTensor::from_tensor`]). Iteration touches contiguous
+//!   memory and cloning is a flat copy, so multi-million-entry inputs
+//!   (graph adjacencies, SuiteSparse-scale matrices) co-iterate without
+//!   pointer-chasing. Use it for every large, read-only input.
+//!
+//! [`TensorData`] erases the choice, and [`FiberView`] /
+//! [`PayloadView`] cursors iterate both identically — the streaming
+//! co-iteration in [`iterate`] and the simulator engine are written
+//! against the cursors, never against a concrete representation. A
+//! round-trip (`from_entries → compress → iterate`) yields the same
+//! entries, matches, and [`CoIterStats`] either way; property tests pin
+//! that equivalence.
+//!
 //! ## Quick tour
 //!
 //! ```
@@ -37,9 +65,33 @@
 //! # use teaal_fibertree::partition;
 //! # Ok::<(), teaal_fibertree::FibertreeError>(())
 //! ```
+//!
+//! The same co-iteration as a lazy stream over compressed storage:
+//!
+//! ```
+//! use teaal_fibertree::{CompressedTensor, IntersectPolicy, TensorData};
+//! use teaal_fibertree::iterate::intersect2_stream;
+//!
+//! let a = CompressedTensor::from_entries(
+//!     "A", &["K"], &[8], vec![(vec![1], 2.0), (vec![5], 3.0)])?;
+//! let b = CompressedTensor::from_entries(
+//!     "B", &["K"], &[8], vec![(vec![5], 4.0), (vec![7], 1.0)])?;
+//! let (da, db) = (TensorData::from(a), TensorData::from(b));
+//! let mut stream = intersect2_stream(
+//!     da.root_fiber_view().unwrap(),
+//!     db.root_fiber_view().unwrap(),
+//!     IntersectPolicy::TwoFinger,
+//! );
+//! let m = stream.next().unwrap();
+//! assert_eq!(m.0.as_point(), Some(5));
+//! assert!(stream.next().is_none());
+//! assert_eq!(stream.stats().matches, 1);
+//! # Ok::<(), teaal_fibertree::FibertreeError>(())
+//! ```
 
 #![warn(missing_docs)]
 
+pub mod compressed;
 pub mod coord;
 pub mod error;
 pub mod fiber;
@@ -49,10 +101,13 @@ pub mod partition;
 pub mod semiring;
 pub mod swizzle;
 pub mod tensor;
+pub mod view;
 
+pub use compressed::CompressedTensor;
 pub use coord::{Coord, Shape};
 pub use error::FibertreeError;
 pub use fiber::{Element, Fiber, Payload};
 pub use iterate::{CoIterStats, IntersectPolicy};
 pub use semiring::Semiring;
 pub use tensor::{Tensor, TensorBuilder};
+pub use view::{CoordKey, FiberView, PayloadView, TensorData};

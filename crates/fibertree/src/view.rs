@@ -1,0 +1,481 @@
+//! Read-only cursors over fibertree storage: [`FiberView`],
+//! [`PayloadView`], and the representation-erasing [`TensorData`].
+//!
+//! A `FiberView` is a cheap `Copy` cursor onto one fiber, regardless of
+//! whether that fiber lives in an owned [`Fiber`] tree or in a
+//! [`CompressedTensor`]'s flat arrays. The streaming co-iteration layer
+//! ([`crate::iterate`]) and the simulator's engine drive these cursors
+//! end-to-end, so the hot path neither clones subtrees nor cares which
+//! representation a tensor arrived in.
+
+use std::cmp::Ordering;
+
+use crate::compressed::CompressedTensor;
+use crate::coord::{Coord, Shape};
+use crate::fiber::{Fiber, Payload};
+use crate::tensor::Tensor;
+
+/// A read-only cursor onto one fiber of either representation.
+///
+/// Positions index the fiber's elements in coordinate order, exactly like
+/// [`Fiber::elements`]. All accessors are `O(1)` or a binary search
+/// (except [`FiberView::leaf_count`] — see its docs); none allocate
+/// except [`FiberView::coord_at`] on tuple coordinates.
+#[derive(Clone, Copy, Debug)]
+pub enum FiberView<'a> {
+    /// A fiber of an owned tree.
+    Owned(&'a Fiber),
+    /// A fiber of a compressed tensor: the elements
+    /// `coords[level][start..end]`.
+    Compressed {
+        /// The backing compressed tensor.
+        tree: &'a CompressedTensor,
+        /// The rank (level) this fiber sits at.
+        level: usize,
+        /// First element position (inclusive) in the level's flat arrays.
+        start: usize,
+        /// Last element position (exclusive).
+        end: usize,
+    },
+}
+
+/// What a fiber element holds: a scalar leaf or the fiber one rank below.
+#[derive(Clone, Copy, Debug)]
+pub enum PayloadView<'a> {
+    /// A scalar value (leaf).
+    Val(f64),
+    /// The child fiber.
+    Fiber(FiberView<'a>),
+}
+
+/// A borrowed-or-inline coordinate, for comparisons that must not
+/// allocate: owned fibers lend `&Coord` (possibly a tuple), compressed
+/// fibers produce inline points.
+#[derive(Clone, Copy, Debug)]
+pub enum CoordKey<'a> {
+    /// A coordinate borrowed from an owned fiber.
+    Borrowed(&'a Coord),
+    /// An inline point coordinate from a compressed fiber.
+    Point(u64),
+}
+
+impl CoordKey<'_> {
+    /// Total order, agreeing with [`Coord`]'s `Ord` (points before
+    /// tuples, tuples lexicographic).
+    pub fn cmp_key(&self, other: &CoordKey<'_>) -> Ordering {
+        match (self, other) {
+            (CoordKey::Point(a), CoordKey::Point(b)) => a.cmp(b),
+            (CoordKey::Borrowed(a), CoordKey::Borrowed(b)) => a.cmp(b),
+            (CoordKey::Borrowed(a), CoordKey::Point(b)) => (*a).cmp(&Coord::Point(*b)),
+            (CoordKey::Point(a), CoordKey::Borrowed(b)) => Coord::Point(*a).cmp(b),
+        }
+    }
+
+    /// Comparison against a materialized coordinate.
+    pub fn cmp_coord(&self, other: &Coord) -> Ordering {
+        match self {
+            CoordKey::Borrowed(a) => (*a).cmp(other),
+            CoordKey::Point(a) => Coord::Point(*a).cmp(other),
+        }
+    }
+
+    /// Materializes the coordinate (clones tuples, copies points).
+    pub fn to_coord(&self) -> Coord {
+        match self {
+            CoordKey::Borrowed(c) => (*c).clone(),
+            CoordKey::Point(p) => Coord::Point(*p),
+        }
+    }
+}
+
+impl<'a> FiberView<'a> {
+    /// Number of (present) elements in the fiber.
+    pub fn occupancy(&self) -> usize {
+        match self {
+            FiberView::Owned(f) => f.occupancy(),
+            FiberView::Compressed { start, end, .. } => end - start,
+        }
+    }
+
+    /// Whether the fiber has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.occupancy() == 0
+    }
+
+    /// The fiber's shape (legal coordinate space).
+    pub fn shape(&self) -> Shape {
+        match self {
+            FiberView::Owned(f) => f.shape().clone(),
+            FiberView::Compressed { tree, level, .. } => tree.rank_shapes()[*level].clone(),
+        }
+    }
+
+    /// The coordinate at `pos`, materialized.
+    pub fn coord_at(&self, pos: usize) -> Coord {
+        self.coord_key_at(pos).to_coord()
+    }
+
+    /// The coordinate at `pos` as an allocation-free comparison key.
+    pub fn coord_key_at(&self, pos: usize) -> CoordKey<'a> {
+        match self {
+            FiberView::Owned(f) => CoordKey::Borrowed(&f.elements()[pos].coord),
+            FiberView::Compressed {
+                tree, level, start, ..
+            } => CoordKey::Point(tree.level_coords(*level)[start + pos]),
+        }
+    }
+
+    /// The payload at `pos`.
+    pub fn payload_at(&self, pos: usize) -> PayloadView<'a> {
+        match self {
+            FiberView::Owned(f) => PayloadView::of(&f.elements()[pos].payload),
+            FiberView::Compressed {
+                tree, level, start, ..
+            } => {
+                let p = start + pos;
+                if level + 1 == tree.order() {
+                    PayloadView::Val(tree.value_at(p))
+                } else {
+                    let (cs, ce) = tree.child_range(*level, p);
+                    PayloadView::Fiber(FiberView::Compressed {
+                        tree,
+                        level: level + 1,
+                        start: cs,
+                        end: ce,
+                    })
+                }
+            }
+        }
+    }
+
+    /// A stable identity for the element at `pos`, unique within the
+    /// backing storage for the lifetime of the borrow. The simulator's
+    /// instrumentation uses this to deduplicate touches; the value itself
+    /// carries no meaning.
+    pub fn payload_key(&self, pos: usize) -> usize {
+        match self {
+            FiberView::Owned(f) => &f.elements()[pos].payload as *const Payload as usize,
+            FiberView::Compressed {
+                tree, level, start, ..
+            } => &tree.level_coords(*level)[start + pos] as *const u64 as usize,
+        }
+    }
+
+    /// Binary-searches for `coord`, returning its position if present.
+    pub fn position(&self, coord: &Coord) -> Option<usize> {
+        match self {
+            FiberView::Owned(f) => f.position(coord),
+            FiberView::Compressed {
+                tree,
+                level,
+                start,
+                end,
+            } => {
+                let p = coord.as_point()?;
+                tree.level_coords(*level)[*start..*end]
+                    .binary_search(&p)
+                    .ok()
+            }
+        }
+    }
+
+    /// Binary-searches for a comparison key, returning its position.
+    pub fn position_of_key(&self, key: &CoordKey<'_>) -> Option<usize> {
+        match self {
+            FiberView::Owned(f) => f
+                .elements()
+                .binary_search_by(|e| key.cmp_coord(&e.coord).reverse())
+                .ok(),
+            FiberView::Compressed {
+                tree,
+                level,
+                start,
+                end,
+            } => {
+                let p = match key {
+                    CoordKey::Point(p) => *p,
+                    CoordKey::Borrowed(c) => c.as_point()?,
+                };
+                tree.level_coords(*level)[*start..*end]
+                    .binary_search(&p)
+                    .ok()
+            }
+        }
+    }
+
+    /// Looks up the payload stored at `coord`.
+    pub fn get(&self, coord: &Coord) -> Option<PayloadView<'a>> {
+        self.position(coord).map(|p| self.payload_at(p))
+    }
+
+    /// Iterates `(coordinate, payload)` pairs in coordinate order.
+    pub fn iter(&self) -> FiberViewIter<'a> {
+        FiberViewIter {
+            view: *self,
+            pos: 0,
+        }
+    }
+
+    /// Number of scalar leaves beneath this fiber (`O(subtree)` for
+    /// owned trees, `O(depth)` for compressed storage — a range's
+    /// children are a contiguous range, so each rank is two segment
+    /// lookups).
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            FiberView::Owned(f) => f.leaf_count(),
+            FiberView::Compressed {
+                tree,
+                level,
+                start,
+                end,
+            } => tree.leaf_count_in(*level, *start, *end),
+        }
+    }
+}
+
+/// Iterator over a [`FiberView`]'s elements.
+#[derive(Clone, Debug)]
+pub struct FiberViewIter<'a> {
+    view: FiberView<'a>,
+    pos: usize,
+}
+
+impl<'a> Iterator for FiberViewIter<'a> {
+    type Item = (Coord, PayloadView<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.view.occupancy() {
+            return None;
+        }
+        let item = (self.view.coord_at(self.pos), self.view.payload_at(self.pos));
+        self.pos += 1;
+        Some(item)
+    }
+}
+
+impl<'a> PayloadView<'a> {
+    /// Wraps a borrowed owned-tree payload.
+    pub fn of(p: &'a Payload) -> Self {
+        match p {
+            Payload::Val(v) => PayloadView::Val(*v),
+            Payload::Fiber(f) => PayloadView::Fiber(FiberView::Owned(f)),
+        }
+    }
+
+    /// The scalar value if this is a leaf payload.
+    pub fn as_val(&self) -> Option<f64> {
+        match self {
+            PayloadView::Val(v) => Some(*v),
+            PayloadView::Fiber(_) => None,
+        }
+    }
+
+    /// The child fiber view if this is an intermediate payload.
+    pub fn as_fiber(&self) -> Option<FiberView<'a>> {
+        match self {
+            PayloadView::Val(_) => None,
+            PayloadView::Fiber(f) => Some(*f),
+        }
+    }
+}
+
+/// A tensor in either representation, presented uniformly.
+///
+/// The simulator takes its inputs as `TensorData`: owned trees when the
+/// workload is small or needs in-place construction, compressed storage
+/// when it is large and read-only. [`TensorData::root_view`] hands the
+/// engine a cursor either way.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TensorData {
+    /// An owned fibertree.
+    Owned(Tensor),
+    /// Compressed (CSF) storage.
+    Compressed(CompressedTensor),
+}
+
+impl TensorData {
+    /// The tensor's name.
+    pub fn name(&self) -> &str {
+        match self {
+            TensorData::Owned(t) => t.name(),
+            TensorData::Compressed(c) => c.name(),
+        }
+    }
+
+    /// The labelled ranks, top-to-bottom.
+    pub fn rank_ids(&self) -> &[String] {
+        match self {
+            TensorData::Owned(t) => t.rank_ids(),
+            TensorData::Compressed(c) => c.rank_ids(),
+        }
+    }
+
+    /// The per-rank shapes, in rank order.
+    pub fn rank_shapes(&self) -> &[Shape] {
+        match self {
+            TensorData::Owned(t) => t.rank_shapes(),
+            TensorData::Compressed(c) => c.rank_shapes(),
+        }
+    }
+
+    /// Number of ranks.
+    pub fn order(&self) -> usize {
+        self.rank_ids().len()
+    }
+
+    /// Number of stored leaves.
+    pub fn nnz(&self) -> usize {
+        match self {
+            TensorData::Owned(t) => t.nnz(),
+            TensorData::Compressed(c) => c.nnz(),
+        }
+    }
+
+    /// A cursor onto the root payload.
+    pub fn root_view(&self) -> PayloadView<'_> {
+        match self {
+            TensorData::Owned(t) => PayloadView::of(t.root()),
+            TensorData::Compressed(c) => {
+                if c.order() == 0 {
+                    PayloadView::Val(c.values()[0])
+                } else {
+                    PayloadView::Fiber(FiberView::Compressed {
+                        tree: c,
+                        level: 0,
+                        start: 0,
+                        end: c.level_coords(0).len(),
+                    })
+                }
+            }
+        }
+    }
+
+    /// The root fiber view, if this is not a scalar.
+    pub fn root_fiber_view(&self) -> Option<FiberView<'_>> {
+        self.root_view().as_fiber()
+    }
+
+    /// Materializes an owned tensor (clones owned storage, decompresses
+    /// compressed storage). The transform pipeline operates on the result.
+    pub fn to_tensor(&self) -> Tensor {
+        match self {
+            TensorData::Owned(t) => t.clone(),
+            TensorData::Compressed(c) => c.to_tensor(),
+        }
+    }
+
+    /// Consumes `self`, yielding an owned tensor.
+    pub fn into_tensor(self) -> Tensor {
+        match self {
+            TensorData::Owned(t) => t,
+            TensorData::Compressed(c) => c.to_tensor(),
+        }
+    }
+
+    /// Borrows the owned tensor, if this is the owned representation.
+    pub fn as_owned(&self) -> Option<&Tensor> {
+        match self {
+            TensorData::Owned(t) => Some(t),
+            TensorData::Compressed(_) => None,
+        }
+    }
+
+    /// Whether this is the compressed representation.
+    pub fn is_compressed(&self) -> bool {
+        matches!(self, TensorData::Compressed(_))
+    }
+}
+
+impl From<Tensor> for TensorData {
+    fn from(t: Tensor) -> Self {
+        TensorData::Owned(t)
+    }
+}
+
+impl From<CompressedTensor> for TensorData {
+    fn from(c: CompressedTensor) -> Self {
+        TensorData::Compressed(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::fig1_matrix_a;
+
+    fn both_views() -> (TensorData, TensorData) {
+        let t = fig1_matrix_a();
+        let c = CompressedTensor::from_tensor(&t).unwrap();
+        (TensorData::Owned(t), TensorData::Compressed(c))
+    }
+
+    #[test]
+    fn views_agree_across_representations() {
+        let (o, c) = both_views();
+        let (fo, fc) = (o.root_fiber_view().unwrap(), c.root_fiber_view().unwrap());
+        assert_eq!(fo.occupancy(), fc.occupancy());
+        for pos in 0..fo.occupancy() {
+            assert_eq!(fo.coord_at(pos), fc.coord_at(pos));
+            let (po, pc) = (fo.payload_at(pos), fc.payload_at(pos));
+            let (ko, kc) = (po.as_fiber().unwrap(), pc.as_fiber().unwrap());
+            let leaves_o: Vec<(Coord, f64)> =
+                ko.iter().map(|(c, p)| (c, p.as_val().unwrap())).collect();
+            let leaves_c: Vec<(Coord, f64)> =
+                kc.iter().map(|(c, p)| (c, p.as_val().unwrap())).collect();
+            assert_eq!(leaves_o, leaves_c);
+        }
+    }
+
+    #[test]
+    fn position_and_get_binary_search_both_representations() {
+        let (o, c) = both_views();
+        for data in [&o, &c] {
+            let root = data.root_fiber_view().unwrap();
+            assert_eq!(root.position(&Coord::Point(2)), Some(1));
+            assert_eq!(root.position(&Coord::Point(1)), None);
+            let k = root.get(&Coord::Point(2)).unwrap().as_fiber().unwrap();
+            assert_eq!(k.get(&Coord::Point(1)).unwrap().as_val(), Some(4.0));
+        }
+    }
+
+    #[test]
+    fn payload_keys_are_stable_and_distinct() {
+        let (_, c) = both_views();
+        let root = c.root_fiber_view().unwrap();
+        let keys: Vec<usize> = (0..root.occupancy()).map(|p| root.payload_key(p)).collect();
+        assert_eq!(
+            keys,
+            (0..root.occupancy())
+                .map(|p| root.payload_key(p))
+                .collect::<Vec<_>>()
+        );
+        let mut dedup = keys.clone();
+        dedup.dedup();
+        assert_eq!(dedup.len(), keys.len());
+    }
+
+    #[test]
+    fn coord_keys_order_like_coords() {
+        let tuple = Coord::pair(1, 2);
+        let key = CoordKey::Borrowed(&tuple);
+        assert_eq!(
+            key.cmp_key(&CoordKey::Point(9)),
+            std::cmp::Ordering::Greater
+        );
+        assert_eq!(
+            CoordKey::Point(3).cmp_key(&CoordKey::Point(7)),
+            std::cmp::Ordering::Less
+        );
+        assert_eq!(CoordKey::Point(3).to_coord(), Coord::Point(3));
+    }
+
+    #[test]
+    fn leaf_counts_match() {
+        let (o, c) = both_views();
+        assert_eq!(
+            o.root_fiber_view().unwrap().leaf_count(),
+            c.root_fiber_view().unwrap().leaf_count()
+        );
+        assert_eq!(o.nnz(), c.nnz());
+    }
+}

@@ -14,7 +14,7 @@
 #![warn(missing_docs)]
 
 use teaal_accel::vertex_centric::{self, GraphDesign, GRAPHDYNS_CHUNKS};
-use teaal_fibertree::Tensor;
+use teaal_fibertree::{Tensor, TensorData};
 use teaal_sim::{OpTable, SimError, Simulator};
 use teaal_workloads::Graph;
 
@@ -123,7 +123,11 @@ pub fn run(
     let spec = vertex_centric::spec(design, v, weighted);
     let sim = Simulator::new(spec)?.with_ops(OpTable::sssp());
 
-    let g = build_adjacency(graph, weighted);
+    // One compressed adjacency, built once in the mapping's `[S, V]`
+    // storage order (so the engine's offline swizzle is the identity) and
+    // *borrowed* by every superstep — the engine iterates it through
+    // cursors, so a multi-million-edge graph is never cloned or rebuilt.
+    let g = TensorData::Compressed(graph.compressed_source_major("G", ["S", "V"], weighted));
 
     let mut properties = vec![UNDISCOVERED; v as usize];
     properties[root as usize] = 0.0;
@@ -143,7 +147,7 @@ pub fn run(
             v,
             properties.iter().enumerate().map(|(i, &p)| (i as u64, p)),
         );
-        let report = sim.run(&[g.clone(), a0, p0])?;
+        let report = sim.run_data(&[&g, &a0, &p0])?;
 
         let r = report.outputs.get("R").map_or(0, Tensor::nnz);
         let modified = report.outputs.get("M").map_or(0, Tensor::nnz);
@@ -216,37 +220,23 @@ pub fn run(
     Ok(VertexRun { distances, metrics })
 }
 
-/// Builds the adjacency tensor with the rank names the cascades use,
-/// directly in the mapping's `[S, V]` storage order (source-major) so the
-/// engine's offline swizzle is the identity — rebuilding a multi-million
-/// edge tensor once per superstep would dominate the wall clock.
-fn build_adjacency(graph: &Graph, weighted: bool) -> Tensor {
-    let v = graph.vertices;
-    let mut entries = Vec::with_capacity(graph.edges);
-    for (p, w) in graph.adjacency.entries() {
-        let weight = if weighted { w } else { 1.0 };
-        entries.push((vec![p[1], p[0]], weight)); // (s, v)
-    }
-    Tensor::from_entries("G", &["S", "V"], &[v, v], entries)
-        .expect("adjacency entries are in range")
-}
-
 /// Builds a 1-tensor that may legitimately hold `0.0` payloads (the root's
 /// distance), bypassing the implicit-zero dropping of
-/// `Tensor::from_entries`.
+/// `Tensor::from_entries`. Frontier and property vectors are small and
+/// rebuilt each superstep, so they stay in the owned representation.
 fn build_vector(
     name: &str,
     rank: &str,
     extent: u64,
     entries: impl Iterator<Item = (u64, f64)>,
-) -> Tensor {
+) -> TensorData {
     let mut t = Tensor::empty(name, &[rank], &[extent]);
     let mut sorted: Vec<(u64, f64)> = entries.collect();
     sorted.sort_by_key(|(c, _)| *c);
     for (c, val) in sorted {
         t.set(&[c], val);
     }
-    t
+    TensorData::Owned(t)
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use teaal_fibertree::{Fiber, Payload};
+use teaal_fibertree::{FiberView, PayloadView};
 
 /// LRU cache model with a fixed number of lines (fully associative; caches
 /// in the modelled accelerators are small scratchpad-like structures).
@@ -140,9 +140,10 @@ impl TensorChannel {
     }
 
     /// Records an element touch at `rank`. `key` identifies the element
-    /// stably (the engine passes the payload's address); `payload` lets
-    /// eager bindings size the subtree fill.
-    pub fn touch(&mut self, rank: &str, key: usize, payload: Option<&Payload>) {
+    /// stably (the engine passes [`FiberView::payload_key`]); `payload`
+    /// lets eager bindings size the subtree fill and may come from either
+    /// tensor representation.
+    pub fn touch(&mut self, rank: &str, key: usize, payload: Option<PayloadView<'_>>) {
         *self.reads_by_rank.entry(rank.to_string()).or_insert(0) += 1;
         let bits = self.cfg.bits_of(rank);
         self.buffer_read_bits += bits;
@@ -203,25 +204,25 @@ impl TensorChannel {
         }
     }
 
-    fn subtree_bits(&self, rank: &str, payload: &Payload) -> u64 {
+    fn subtree_bits(&self, rank: &str, payload: PayloadView<'_>) -> u64 {
         // Sum element bits over the subtree, charging each deeper rank
         // its configured element width (working-order depth).
-        fn walk(f: &Fiber, ranks: &[(String, u64)], depth: usize, acc: &mut u64) {
+        fn walk(f: FiberView<'_>, ranks: &[(String, u64)], depth: usize, acc: &mut u64) {
             if depth >= ranks.len() {
                 return;
             }
             let bits = ranks[depth].1;
             *acc += bits * f.occupancy() as u64;
-            for e in f.iter() {
-                if let Payload::Fiber(child) = &e.payload {
+            for pos in 0..f.occupancy() {
+                if let PayloadView::Fiber(child) = f.payload_at(pos) {
                     walk(child, ranks, depth + 1, acc);
                 }
             }
         }
         let start = self.cfg.rank_pos(rank).unwrap_or(0);
         match payload {
-            Payload::Val(_) => self.cfg.bits_of(rank),
-            Payload::Fiber(f) => {
+            PayloadView::Val(_) => self.cfg.bits_of(rank),
+            PayloadView::Fiber(f) => {
                 let mut acc = self.cfg.bits_of(rank);
                 walk(f, &self.cfg.rank_bits[start..], 1, &mut acc);
                 acc

@@ -6,17 +6,23 @@
 //! modelled hardware would — intersecting multiplicative operands,
 //! unioning additive ones, projecting flattened coordinates, resolving
 //! affine indices — while streaming every access into [`Instruments`].
+//!
+//! The nest is driven end-to-end by [`FiberView`] cursors over
+//! [`TensorData`] inputs: untransformed tensors (owned or compressed) are
+//! borrowed, never cloned, and each loop level consumes a lazy
+//! intersection/union stream instead of materializing a match list — the
+//! engine allocates per *level*, not per *step*.
 
-use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
-use std::hash::{Hash, Hasher};
 
 use teaal_core::einsum::Rhs;
 use teaal_core::ir::{Descent, EinsumPlan, PlanStep};
-use teaal_fibertree::iterate::{intersect_many, union_many};
+use teaal_fibertree::iterate::{intersect_stream, union_stream, IntersectStream, UnionStream};
 use teaal_fibertree::partition::SplitKind;
 use teaal_fibertree::swizzle::from_coord_entries;
-use teaal_fibertree::{Coord, Fiber, IntersectPolicy, Payload, Shape, Tensor};
+use teaal_fibertree::{
+    Coord, Fiber, FiberView, IntersectPolicy, Payload, PayloadView, Shape, Tensor, TensorData,
+};
 
 use crate::counters::{Instruments, MergeGroup};
 use crate::error::SimError;
@@ -47,10 +53,19 @@ struct Exec<'e, 'p> {
 }
 
 struct State<'t> {
-    nodes: Vec<Option<&'t Payload>>,
+    nodes: Vec<Option<PayloadView<'t>>>,
     binds: Vec<(String, u64)>,
     space: Vec<u64>,
     out: BTreeMap<Vec<u64>, f64>,
+}
+
+/// The per-level coordinate source: a dense counter for affine kernels, a
+/// lazy union or intersection stream otherwise.
+enum LevelStream<'v> {
+    Dense { next: u64, extent: u64 },
+    Union(UnionStream<'v>),
+    Intersect(IntersectStream<'v>),
+    Empty,
 }
 
 impl<'p> Engine<'p> {
@@ -72,52 +87,50 @@ impl<'p> Engine<'p> {
     /// Executes the plan.
     ///
     /// `inputs` must contain every input tensor (cascade inputs and
-    /// already-produced intermediates); `instruments` receives the access
-    /// stream; `boundaries` carries leader partition boundaries across
-    /// tensors.
+    /// already-produced intermediates) in either representation;
+    /// `instruments` receives the access stream; `boundaries` carries
+    /// leader partition boundaries across tensors.
     ///
     /// # Errors
     ///
     /// Returns [`SimError`] when inputs are missing, a transform fails, or
     /// a dense loop rank has no known extent.
-    pub fn execute(
+    pub fn execute<'t>(
         &self,
-        inputs: &BTreeMap<String, Tensor>,
+        inputs: &BTreeMap<String, &'t TensorData>,
         instruments: &mut Instruments,
         boundaries: &mut BoundaryCache,
     ) -> Result<Tensor, SimError> {
         // 1. Transform inputs per plan (leaders first — plan order).
-        // Untransformed inputs are borrowed rather than cloned: the graph
+        // Untransformed inputs are borrowed rather than cloned — the graph
         // driver re-executes cascades every superstep against the same
-        // multi-million-entry adjacency tensor.
-        let mut tensors: Vec<std::borrow::Cow<'_, Tensor>> = Vec::new();
+        // multi-million-entry compressed adjacency. Transform pipelines
+        // materialize an owned tree (decompressing if needed) and operate
+        // on that.
+        let mut tensors: Vec<std::borrow::Cow<'t, TensorData>> = Vec::new();
         let mut tensor_names: Vec<String> = Vec::new();
         for tp in &self.plan.tensor_plans {
-            let input = inputs
-                .get(&tp.tensor)
-                .ok_or_else(|| SimError::MissingTensor {
-                    tensor: tp.tensor.clone(),
-                })?;
+            let input: &TensorData =
+                inputs
+                    .get(&tp.tensor)
+                    .copied()
+                    .ok_or_else(|| SimError::MissingTensor {
+                        tensor: tp.tensor.clone(),
+                    })?;
             let needs_swizzle = input.rank_ids() != tp.initial_order.as_slice();
-            let mut t = if needs_swizzle || !tp.steps.is_empty() {
-                let mut t = input.clone();
+            let t = if needs_swizzle || !tp.steps.is_empty() {
+                let mut t = input.to_tensor();
                 if needs_swizzle {
                     let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
                     t = t.swizzle(&want)?;
                 }
-                std::borrow::Cow::Owned(t)
+                for step in &tp.steps {
+                    t = self.apply_step(t, tp.online_swizzle, step, instruments, boundaries)?;
+                }
+                std::borrow::Cow::Owned(TensorData::Owned(t))
             } else {
                 std::borrow::Cow::Borrowed(input)
             };
-            for step in &tp.steps {
-                t = std::borrow::Cow::Owned(self.apply_step(
-                    t.into_owned(),
-                    tp.online_swizzle,
-                    step,
-                    instruments,
-                    boundaries,
-                )?);
-            }
             tensor_names.push(tp.tensor.clone());
             tensors.push(t);
         }
@@ -171,7 +184,7 @@ impl<'p> Engine<'p> {
             nodes: exec
                 .access_tensor
                 .iter()
-                .map(|&ti| Some(tensors[ti].root()))
+                .map(|&ti| Some(tensors[ti].root_view()))
                 .collect(),
             binds: Vec::new(),
             space: Vec::new(),
@@ -292,6 +305,25 @@ impl<'p> Engine<'p> {
     }
 }
 
+/// FNV-1a over the output point's coordinate words.
+///
+/// The output channel deduplicates partial-output drains by key hash;
+/// `DefaultHasher`'s algorithm is explicitly unspecified and has changed
+/// across Rust releases, so instrument reports hashed with it were not
+/// reproducible across toolchains. FNV-1a is pinned by a regression test.
+fn fnv1a_hash(words: &[u64]) -> u64 {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET_BASIS;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    }
+    h
+}
+
 /// Records the merge work of reordering `t` into `new_order`: one group
 /// per fiber at the common-prefix depth, with fan-in equal to that fiber's
 /// occupancy (the number of sorted runs the merger combines).
@@ -350,16 +382,15 @@ impl<'e, 'p> Exec<'e, 'p> {
             }
         }
 
-        // Build the iteration item list.
-        let mut items: Vec<(Coord, Vec<Option<usize>>)> = Vec::new();
-        let live: Vec<(usize, &Fiber)> = driver_idx
+        // Open the iteration stream for this level.
+        let live: Vec<(usize, FiberView<'_>)> = driver_idx
             .iter()
             .filter_map(|&ai| match state.nodes[ai] {
-                Some(Payload::Fiber(f)) => Some((ai, f)),
+                Some(PayloadView::Fiber(f)) => Some((ai, f)),
                 _ => None,
             })
             .collect();
-        if driver_idx.is_empty() {
+        let mut stream = if driver_idx.is_empty() {
             // Dense iteration over the rank's extent (affine kernels).
             let root = lr
                 .binds
@@ -372,52 +403,61 @@ impl<'e, 'p> Exec<'e, 'p> {
                 .get(&root)
                 .copied()
                 .ok_or(SimError::MissingExtent { rank: root })?;
-            for c in 0..extent {
-                items.push((Coord::Point(c), Vec::new()));
-            }
+            LevelStream::Dense { next: 0, extent }
         } else if self.union_mode {
-            if !live.is_empty() {
-                let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
-                let (u, stats) = union_many(&fibers);
-                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) += if fibers.len() > 1 {
-                    stats.comparisons
-                } else {
-                    0
-                };
-                for (c, pos) in u {
-                    // Re-expand to all drivers (dead drivers stay None).
-                    let mut full = Vec::with_capacity(driver_idx.len());
-                    let mut pi = 0usize;
-                    for &ai in &driver_idx {
-                        if live.iter().any(|(lai, _)| *lai == ai) {
-                            full.push(pos[pi]);
-                            pi += 1;
-                        } else {
-                            full.push(None);
-                        }
-                    }
-                    items.push((c, full));
-                }
+            if live.is_empty() {
+                LevelStream::Empty
+            } else {
+                let fibers: Vec<FiberView<'_>> = live.iter().map(|(_, f)| *f).collect();
+                LevelStream::Union(union_stream(&fibers))
             }
         } else {
             // Intersection mode: a dead driver kills the whole subtree.
             if live.len() != driver_idx.len() {
                 return Ok(());
             }
-            let fibers: Vec<&Fiber> = live.iter().map(|(_, f)| *f).collect();
-            let (m, stats) = intersect_many(&fibers, self.engine.policy);
-            if fibers.len() > 1 {
-                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) += stats.comparisons;
-            }
-            for (c, pos) in m {
-                items.push((c, pos.into_iter().map(Some).collect()));
-            }
-        }
-
-        *inst.loop_visits.entry(lr.name.clone()).or_insert(0) += items.len() as u64;
+            let fibers: Vec<FiberView<'_>> = live.iter().map(|(_, f)| *f).collect();
+            LevelStream::Intersect(intersect_stream(&fibers, self.engine.policy))
+        };
 
         let binds_depth = state.binds.len();
-        for (pi, (coord, positions)) in items.iter().enumerate() {
+        let mut visits = 0u64;
+        let mut pi = 0usize;
+        loop {
+            // Pull the next coordinate, normalizing positions to one
+            // `Option<usize>` per driver (dead union drivers stay `None`).
+            let item = match &mut stream {
+                LevelStream::Dense { next, extent } => {
+                    if next < extent {
+                        let c = Coord::Point(*next);
+                        *next += 1;
+                        Some((c, Vec::new()))
+                    } else {
+                        None
+                    }
+                }
+                LevelStream::Union(u) => u.next().map(|(c, pos)| {
+                    let mut full = Vec::with_capacity(driver_idx.len());
+                    let mut lp = 0usize;
+                    for &ai in &driver_idx {
+                        if live.iter().any(|(lai, _)| *lai == ai) {
+                            full.push(pos[lp]);
+                            lp += 1;
+                        } else {
+                            full.push(None);
+                        }
+                    }
+                    (c, full)
+                }),
+                LevelStream::Intersect(s) => s
+                    .next()
+                    .map(|(c, pos)| (c, pos.into_iter().map(Some).collect())),
+                LevelStream::Empty => None,
+            };
+            let Some((coord, positions)) = item else {
+                break;
+            };
+            visits += 1;
             inst.rank_advanced(&lr.name);
 
             // Bind loop variables (needed by affine descents below).
@@ -440,9 +480,9 @@ impl<'e, 'p> Exec<'e, 'p> {
                             .iter()
                             .find(|(lai, _)| *lai == ai)
                             .expect("driver with a position is live");
-                        let e = &fiber.elements()[p];
-                        self.touch(ai, li, e, inst);
-                        state.nodes[ai] = Some(&e.payload);
+                        let pv = fiber.payload_at(p);
+                        self.touch(ai, li, fiber.payload_key(p), pv, inst);
+                        state.nodes[ai] = Some(pv);
                     }
                     None => {
                         state.nodes[ai] = None;
@@ -461,7 +501,7 @@ impl<'e, 'p> Exec<'e, 'p> {
                             Descent::CoIterate => {}
                             Descent::Project { component } => {
                                 let next = match state.nodes[ai] {
-                                    Some(Payload::Fiber(f)) => {
+                                    Some(PayloadView::Fiber(f)) => {
                                         let comps = coord.components();
                                         let key = comps
                                             .get(*component)
@@ -469,9 +509,9 @@ impl<'e, 'p> Exec<'e, 'p> {
                                             .unwrap_or_else(|| coord.clone());
                                         match f.position(&key) {
                                             Some(p) => {
-                                                let e = &f.elements()[p];
-                                                self.touch(ai, li, e, inst);
-                                                Some(&e.payload)
+                                                let pv = f.payload_at(p);
+                                                self.touch(ai, li, f.payload_key(p), pv, inst);
+                                                Some(pv)
                                             }
                                             None => None,
                                         }
@@ -496,12 +536,12 @@ impl<'e, 'p> Exec<'e, 'p> {
                                         .map(|(_, x)| *x as i64)
                                 });
                                 let next = match (state.nodes[ai], val) {
-                                    (Some(Payload::Fiber(f)), Some(c)) => {
+                                    (Some(PayloadView::Fiber(f)), Some(c)) => {
                                         match f.position(&Coord::Point(c)) {
                                             Some(p) => {
-                                                let e = &f.elements()[p];
-                                                self.touch(ai, li, e, inst);
-                                                Some(&e.payload)
+                                                let pv = f.payload_at(p);
+                                                self.touch(ai, li, f.payload_key(p), pv, inst);
+                                                Some(pv)
                                             }
                                             None => None,
                                         }
@@ -537,16 +577,41 @@ impl<'e, 'p> Exec<'e, 'p> {
 
             state.nodes = saved_nodes;
             state.binds.truncate(binds_depth);
+            pi += 1;
+        }
+
+        *inst.loop_visits.entry(lr.name.clone()).or_insert(0) += visits;
+        // Intersection-unit work, now that the stream is drained. A single
+        // live operand co-iterates without an intersection unit.
+        match &stream {
+            LevelStream::Union(u) => {
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) += if live.len() > 1 {
+                    u.stats().comparisons
+                } else {
+                    0
+                };
+            }
+            LevelStream::Intersect(s) if live.len() > 1 => {
+                *inst.intersect_by_rank.entry(lr.name.clone()).or_insert(0) +=
+                    s.stats().comparisons;
+            }
+            _ => {}
         }
         Ok(())
     }
 
-    fn touch(&self, ai: usize, li: usize, elem: &teaal_fibertree::Element, inst: &mut Instruments) {
+    fn touch(
+        &self,
+        ai: usize,
+        li: usize,
+        key: usize,
+        payload: PayloadView<'_>,
+        inst: &mut Instruments,
+    ) {
         let tensor = &self.engine.plan.tensor_plans[self.access_tensor[ai]].tensor;
         let rank = &self.access_rank_names[ai][li];
         if let Some(ch) = inst.tensors.get_mut(tensor) {
-            let key = &elem.payload as *const Payload as usize;
-            ch.touch(rank, key, Some(&elem.payload));
+            ch.touch(rank, key, Some(payload));
         }
     }
 
@@ -555,9 +620,9 @@ impl<'e, 'p> Exec<'e, 'p> {
         let ops = &self.engine.ops;
         let zero = ops.semiring.zero();
 
-        let scalar = |n: &Option<&Payload>| -> Option<f64> {
+        let scalar = |n: &Option<PayloadView<'_>>| -> Option<f64> {
             match n {
-                Some(Payload::Val(v)) => Some(*v),
+                Some(PayloadView::Val(v)) => Some(*v),
                 _ => None,
             }
         };
@@ -621,9 +686,7 @@ impl<'e, 'p> Exec<'e, 'p> {
             }
         }
 
-        let mut hasher = DefaultHasher::new();
-        key.hash(&mut hasher);
-        let key_hash = hasher.finish();
+        let key_hash = fnv1a_hash(&key);
 
         let is_take = self.take_which.is_some();
         let mut adds = term_adds;
@@ -648,5 +711,29 @@ impl<'e, 'p> Exec<'e, 'p> {
         if adds > 0 {
             *inst.compute.adds.entry(space_id).or_insert(0) += adds;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pinned FNV-1a values: these must never change, or instrument
+    /// reports stop being comparable across toolchains and releases.
+    #[test]
+    fn fnv1a_hash_is_pinned() {
+        // Offset basis: hashing nothing.
+        assert_eq!(fnv1a_hash(&[]), 0xcbf2_9ce4_8422_2325);
+        // Reference values computed from the FNV-1a definition over the
+        // little-endian byte expansion of each word.
+        assert_eq!(fnv1a_hash(&[0]), 0xa8c7_f832_281a_39c5);
+        assert_eq!(fnv1a_hash(&[1, 2, 3]), 0xda2b_fb22_5e0d_1f05);
+        assert_eq!(fnv1a_hash(&[u64::MAX]), 0x8cf5_1a8b_fca3_883d);
+    }
+
+    #[test]
+    fn fnv1a_hash_distinguishes_order_and_length() {
+        assert_ne!(fnv1a_hash(&[1, 2]), fnv1a_hash(&[2, 1]));
+        assert_ne!(fnv1a_hash(&[1]), fnv1a_hash(&[1, 0]));
     }
 }

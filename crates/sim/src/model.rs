@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use teaal_core::ir::{self, EinsumBlock, EinsumPlan};
 use teaal_core::spec::{BindStyle, BufferKind, ComponentClass, ComputeOp, TeaalSpec};
 use teaal_core::TeaalSpec as Spec;
-use teaal_fibertree::{IntersectPolicy, Tensor};
+use teaal_fibertree::{IntersectPolicy, Tensor, TensorData};
 
 use crate::counters::{ChannelCfg, Instruments};
 use crate::energy::{ActionCounts, EnergyTable};
@@ -150,15 +150,35 @@ impl Simulator {
 
     /// Runs the cascade on the given input tensors (matched by name).
     ///
+    /// Convenience wrapper over [`Simulator::run_data`] for owned
+    /// tensors; each input is cloned into the execution environment.
+    ///
     /// # Errors
     ///
     /// Returns [`SimError`] when inputs are missing or execution fails.
     pub fn run(&self, inputs: &[Tensor]) -> Result<SimReport, SimError> {
-        let mut env: BTreeMap<String, Tensor> = inputs
+        let data: Vec<TensorData> = inputs
             .iter()
-            .map(|t| (t.name().to_string(), t.clone()))
+            .map(|t| TensorData::Owned(t.clone()))
             .collect();
+        let refs: Vec<&TensorData> = data.iter().collect();
+        self.run_data(&refs)
+    }
 
+    /// Runs the cascade on borrowed inputs in either representation.
+    ///
+    /// Inputs are *borrowed*, not cloned: a large compressed tensor (a
+    /// graph adjacency, a SuiteSparse-scale matrix) can be reused across
+    /// many runs — the graph driver re-executes its cascade every
+    /// superstep against the same [`TensorData`]. Results are
+    /// representation-independent: the same content yields bit-identical
+    /// instrument counters and outputs whether inputs arrive owned or
+    /// compressed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when inputs are missing or execution fails.
+    pub fn run_data(&self, inputs: &[&TensorData]) -> Result<SimReport, SimError> {
         // Rank extents from input shapes plus overrides.
         let mut extents: BTreeMap<String, u64> = BTreeMap::new();
         for t in inputs {
@@ -171,14 +191,25 @@ impl Simulator {
         extents.extend(self.extent_overrides.clone());
 
         let mut report = SimReport::default();
-        let mut all_instruments: Vec<Instruments> = Vec::new();
+        // Intermediates produced so far; later Einsums read them by name.
+        let mut produced: Vec<TensorData> = Vec::new();
 
         for plan in &self.plans {
-            let mut instruments = self.build_instruments(plan, &env);
+            let mut instruments = self.build_instruments(plan);
             let policy = self.intersect_policy(plan);
             let engine = Engine::new(plan, self.ops, policy, extents.clone());
             let mut boundaries = BoundaryCache::new();
-            let output = engine.execute(&env, &mut instruments, &mut boundaries)?;
+            let output = {
+                // Later entries shadow earlier ones, so intermediates win
+                // over same-named inputs (as the cascade requires).
+                let env: BTreeMap<String, &TensorData> = inputs
+                    .iter()
+                    .copied()
+                    .chain(produced.iter())
+                    .map(|t| (t.name().to_string(), t))
+                    .collect();
+                engine.execute(&env, &mut instruments, &mut boundaries)?
+            };
 
             // Extents learned from the produced output.
             for (i, r) in output.rank_ids().iter().enumerate() {
@@ -192,8 +223,7 @@ impl Simulator {
             report
                 .outputs
                 .insert(output.name().to_string(), output.clone());
-            env.insert(output.name().to_string(), output);
-            all_instruments.push(instruments);
+            produced.push(TensorData::Owned(output));
         }
 
         self.analyze_time(&mut report)?;
@@ -252,7 +282,7 @@ impl Simulator {
 
     /// Builds the instrumentation channels for one Einsum from the
     /// binding + format specifications.
-    fn build_instruments(&self, plan: &EinsumPlan, _env: &BTreeMap<String, Tensor>) -> Instruments {
+    fn build_instruments(&self, plan: &EinsumPlan) -> Instruments {
         let name = plan.equation.name();
         let binding = self.spec.binding.for_einsum(name);
         let mut instruments = Instruments::default();

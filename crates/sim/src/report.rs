@@ -23,7 +23,7 @@ pub struct TensorTraffic {
 }
 
 /// Statistics for one executed Einsum.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct EinsumStats {
     /// The Einsum's name (output tensor).
     pub einsum: String,

@@ -75,10 +75,12 @@ fn matrix_b() -> Tensor {
     .unwrap()
 }
 
-const OUTERSPACE: &str = include_str!("specs/outerspace_em.yaml");
-const GAMMA: &str = include_str!("specs/gamma_em.yaml");
-const EXTENSOR: &str = include_str!("specs/extensor_em.yaml");
-const SIGMA: &str = include_str!("specs/sigma_em.yaml");
+// The catalog specs come from the shared fixtures crate — the same bytes
+// `teaal-accel` embeds (sim cannot depend on accel without a cycle).
+const OUTERSPACE: &str = teaal_fixtures::OUTERSPACE_EM;
+const GAMMA: &str = teaal_fixtures::GAMMA_EM;
+const EXTENSOR: &str = teaal_fixtures::EXTENSOR_EM;
+const SIGMA: &str = teaal_fixtures::SIGMA_EM;
 
 #[test]
 fn plain_matmul_matches_reference() {

@@ -66,6 +66,9 @@ pub use teaal_workloads as workloads;
 pub mod prelude {
     pub use teaal_accel::{GraphDesign, SpmspmAccel};
     pub use teaal_core::{SpecError, TeaalSpec};
-    pub use teaal_fibertree::{Coord, Fiber, Payload, Semiring, Shape, Tensor, TensorBuilder};
+    pub use teaal_fibertree::{
+        CompressedTensor, Coord, Fiber, FiberView, Payload, PayloadView, Semiring, Shape, Tensor,
+        TensorBuilder, TensorData,
+    };
     pub use teaal_sim::{OpTable, SimError, SimReport, Simulator};
 }

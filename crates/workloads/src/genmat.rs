@@ -8,7 +8,19 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use teaal_fibertree::Tensor;
+use teaal_fibertree::{CompressedTensor, Tensor};
+
+fn uniform_entries(rows: u64, cols: u64, nnz: usize, seed: u64) -> Vec<(Vec<u64>, f64)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut entries = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        let r = rng.random_range(0..rows);
+        let c = rng.random_range(0..cols);
+        let v: f64 = rng.random_range(0.1..10.0);
+        entries.push((vec![r, c], v));
+    }
+    entries
+}
 
 /// Generates a uniform-random sparse matrix with the given shape and
 /// expected number of nonzeros.
@@ -23,16 +35,33 @@ pub fn uniform(
     nnz: usize,
     seed: u64,
 ) -> Tensor {
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut entries = Vec::with_capacity(nnz);
-    for _ in 0..nnz {
-        let r = rng.random_range(0..rows);
-        let c = rng.random_range(0..cols);
-        let v: f64 = rng.random_range(0.1..10.0);
-        entries.push((vec![r, c], v));
-    }
-    Tensor::from_entries(name, rank_ids, &[rows, cols], entries)
-        .expect("generated coordinates are in shape")
+    Tensor::from_entries(
+        name,
+        rank_ids,
+        &[rows, cols],
+        uniform_entries(rows, cols, nnz, seed),
+    )
+    .expect("generated coordinates are in shape")
+}
+
+/// Same generator as [`uniform`], built straight into compressed (CSF)
+/// storage from the COO stream — the same seed yields the same content
+/// in either representation.
+pub fn uniform_compressed(
+    name: &str,
+    rank_ids: &[&str; 2],
+    rows: u64,
+    cols: u64,
+    nnz: usize,
+    seed: u64,
+) -> CompressedTensor {
+    CompressedTensor::from_entries(
+        name,
+        rank_ids,
+        &[rows, cols],
+        uniform_entries(rows, cols, nnz, seed),
+    )
+    .expect("generated coordinates are in shape")
 }
 
 /// Generates a uniform-random matrix from a density instead of a count.
@@ -172,6 +201,13 @@ mod tests {
         let t = uniform("U", &["M", "K"], 100, 100, 500, 1);
         // Duplicates collapse, so nnz ≤ 500 but close.
         assert!(t.nnz() > 450 && t.nnz() <= 500, "nnz = {}", t.nnz());
+    }
+
+    #[test]
+    fn compressed_generator_matches_owned() {
+        let t = uniform("U", &["M", "K"], 100, 100, 500, 9);
+        let c = uniform_compressed("U", &["M", "K"], 100, 100, 500, 9);
+        assert_eq!(c.to_tensor(), t);
     }
 
     #[test]

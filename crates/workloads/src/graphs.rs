@@ -7,7 +7,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use teaal_fibertree::Tensor;
+use teaal_fibertree::{CompressedTensor, Tensor};
 
 /// A directed graph stored as an adjacency tensor plus metadata.
 #[derive(Clone, Debug)]
@@ -56,6 +56,31 @@ impl Graph {
             vertices,
             edges,
         }
+    }
+
+    /// The adjacency re-keyed *source-major* (`[s, d]` points) as a
+    /// compressed tensor, built directly from the edge list without an
+    /// intermediate owned tree.
+    ///
+    /// This is the layout the vertex-centric cascades consume (their
+    /// mappings store `G` source-major so the engine's offline swizzle is
+    /// the identity), and the compressed representation is what lets one
+    /// multi-million-edge adjacency be borrowed across every superstep
+    /// instead of cloned. `weighted = false` forces unit weights (BFS).
+    pub fn compressed_source_major(
+        &self,
+        name: &str,
+        rank_ids: [&str; 2],
+        weighted: bool,
+    ) -> CompressedTensor {
+        let v = self.vertices;
+        let mut entries = Vec::with_capacity(self.edges);
+        for (p, w) in self.adjacency.entries() {
+            let weight = if weighted { w } else { 1.0 };
+            entries.push((vec![p[1], p[0]], weight)); // (s, d)
+        }
+        CompressedTensor::from_entries(name, &rank_ids, &[v, v], entries)
+            .expect("edges are in range")
     }
 
     /// Out-neighbors as `(dst, weight)` lists indexed by source — used by
@@ -185,6 +210,24 @@ mod tests {
         // The hub reaches a nontrivial component.
         let reached = bfs.iter().filter(|d| d.is_finite()).count();
         assert!(reached > 10, "hub should reach vertices, got {reached}");
+    }
+
+    #[test]
+    fn compressed_source_major_transposes_the_adjacency() {
+        let g = Graph::power_law(100, 400, true, 5);
+        let c = g.compressed_source_major("G", ["S", "V"], true);
+        assert_eq!(c.nnz(), g.edges);
+        let mut want: Vec<(Vec<u64>, f64)> = g
+            .adjacency
+            .entries()
+            .into_iter()
+            .map(|(p, w)| (vec![p[1], p[0]], w))
+            .collect();
+        want.sort_by(|a, b| a.0.cmp(&b.0));
+        assert_eq!(c.entries(), want);
+        // Unit weights under BFS.
+        let b = g.compressed_source_major("G", ["S", "V"], false);
+        assert!(b.entries().iter().all(|(_, w)| *w == 1.0));
     }
 
     #[test]

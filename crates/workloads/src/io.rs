@@ -15,7 +15,7 @@
 
 use std::io::{BufRead, Write};
 
-use teaal_fibertree::Tensor;
+use teaal_fibertree::{CompressedTensor, Tensor};
 
 /// An I/O or parse error with line context.
 #[derive(Debug)]
@@ -50,12 +50,52 @@ impl From<std::io::Error> for TensorIoError {
     }
 }
 
+/// A tensor parsed to COO form: name, rank ids, shape, and entries.
+struct CooFile {
+    name: String,
+    rank_ids: Vec<String>,
+    shape: Vec<u64>,
+    entries: Vec<(Vec<u64>, f64)>,
+}
+
 /// Reads a tensor from the whitespace-separated format.
 ///
 /// # Errors
 ///
 /// Returns [`TensorIoError`] on I/O failure or malformed lines.
 pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, TensorIoError> {
+    let coo = read_coo(reader, default_name)?;
+    let ids: Vec<&str> = coo.rank_ids.iter().map(String::as_str).collect();
+    Tensor::from_entries(coo.name, &ids, &coo.shape, coo.entries).map_err(|e| {
+        TensorIoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        }
+    })
+}
+
+/// Reads a tensor from the whitespace-separated format straight into
+/// compressed (CSF) storage, never materializing an owned tree — the
+/// large-workload ingest path.
+///
+/// # Errors
+///
+/// Returns [`TensorIoError`] on I/O failure or malformed lines.
+pub fn read_compressed(
+    reader: impl BufRead,
+    default_name: &str,
+) -> Result<CompressedTensor, TensorIoError> {
+    let coo = read_coo(reader, default_name)?;
+    let ids: Vec<&str> = coo.rank_ids.iter().map(String::as_str).collect();
+    CompressedTensor::from_entries(coo.name, &ids, &coo.shape, coo.entries).map_err(|e| {
+        TensorIoError::Parse {
+            line: 0,
+            message: e.to_string(),
+        }
+    })
+}
+
+fn read_coo(reader: impl BufRead, default_name: &str) -> Result<CooFile, TensorIoError> {
     let mut name = default_name.to_string();
     let mut rank_ids: Option<Vec<String>> = None;
     let mut shape: Option<Vec<u64>> = None;
@@ -123,10 +163,11 @@ pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, T
             .map(|d| entries.iter().map(|(p, _)| p[d] + 1).max().unwrap_or(1))
             .collect()
     });
-    let ids: Vec<&str> = rank_ids.iter().map(String::as_str).collect();
-    Tensor::from_entries(name, &ids, &shape, entries).map_err(|e| TensorIoError::Parse {
-        line: 0,
-        message: e.to_string(),
+    Ok(CooFile {
+        name,
+        rank_ids,
+        shape,
+        entries,
     })
 }
 
@@ -177,6 +218,23 @@ mod tests {
         assert_eq!(back.name(), "A");
         assert_eq!(back.rank_ids(), t.rank_ids());
         assert_eq!(back.max_abs_diff(&t), 0.0);
+    }
+
+    #[test]
+    fn compressed_read_matches_owned_read() {
+        let t = Tensor::from_entries(
+            "A",
+            &["K", "M"],
+            &[8, 8],
+            vec![(vec![0, 1], 2.5), (vec![3, 4], -1.0)],
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_tensor(&mut buf, &t).unwrap();
+        let owned = read_tensor(Cursor::new(&buf), "X").unwrap();
+        let compressed = read_compressed(Cursor::new(&buf), "X").unwrap();
+        assert_eq!(compressed.to_tensor(), owned);
+        assert_eq!(compressed.entries(), owned.entries());
     }
 
     #[test]
