@@ -2,7 +2,7 @@
 //! `BENCH_fibertree.json` — the start of the storage-layer perf
 //! trajectory.
 //!
-//! Three cases, each timed over both representations of identical
+//! Five cases, each timed over both representations of identical
 //! content:
 //!
 //! 1. `leaf_stream` — DFS over every leaf of a large sparse matrix (the
@@ -10,7 +10,13 @@
 //! 2. `intersect2_vectors` — two-finger co-iteration of two long sparse
 //!    vectors (the per-rank inner loop of every SpMSpM),
 //! 3. `rowwise_cointeration` — Gustavson-style traversal: intersect the
-//!    row ranks of two matrices, then co-iterate the matching row pairs.
+//!    row ranks of two matrices, then co-iterate the matching row pairs,
+//! 4. `transform_swizzle_partition` — a Gamma-style transform pipeline
+//!    (transpose, then occupancy-partition both ranks): owned tree
+//!    rebuilds vs compressed-native key re-sort + segment-array splits,
+//! 5. `transform_flatten_occupancy` — the Fig. 2 / SIGMA pipeline
+//!    (flatten two ranks, occupancy-partition the fused rank): owned
+//!    tuple-coordinate rebuild vs compressed segment fusion.
 //!
 //! Pass `--quick` for a CI-sized run. Timings are the minimum of several
 //! repetitions of a full pass (wall clock; the stub criterion offers no
@@ -21,7 +27,8 @@ use std::time::Instant;
 
 use teaal_bench::leaf_sum;
 use teaal_fibertree::iterate::{intersect2_stream, IntersectPolicy};
-use teaal_fibertree::{FiberView, TensorData};
+use teaal_fibertree::partition::SplitKind;
+use teaal_fibertree::{CompressedTensor, FiberView, Tensor, TensorData};
 use teaal_workloads::genmat;
 
 struct CaseResult {
@@ -173,6 +180,66 @@ fn main() {
         results.push(CaseResult {
             case: "rowwise_cointeration",
             detail: format!("{rows}x{rows}, 2 x {n} nnz"),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
+    // Case 4: transform pipeline — swizzle then occupancy-partition both
+    // ranks (Gamma's data orchestration), owned-tree rebuilds vs
+    // compressed-native segment-array operations.
+    {
+        let owned = genmat::uniform("A", &["M", "K"], dim, dim, nnz, 6);
+        let comp = genmat::uniform_compressed("A", &["M", "K"], dim, dim, nnz, 6);
+        let owned_pipeline = |t: &Tensor| -> Tensor {
+            t.swizzle(&["K", "M"])
+                .unwrap()
+                .partition_rank("K", SplitKind::UniformOccupancy(64), "K1", "K0")
+                .unwrap()
+                .partition_rank("M", SplitKind::UniformOccupancy(32), "M1", "M0")
+                .unwrap()
+        };
+        let comp_pipeline = |c: &CompressedTensor| -> CompressedTensor {
+            c.swizzle(&["K", "M"])
+                .unwrap()
+                .partition_rank("K", SplitKind::UniformOccupancy(64), "K1", "K0")
+                .unwrap()
+                .partition_rank("M", SplitKind::UniformOccupancy(32), "M1", "M0")
+                .unwrap()
+        };
+        let owned_ns = time_min(reps, || owned_pipeline(&owned).nnz());
+        let compressed_ns = time_min(reps, || comp_pipeline(&comp).nnz());
+        results.push(CaseResult {
+            case: "transform_swizzle_partition",
+            detail: format!("{dim}x{dim}, {} nnz", owned.nnz()),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
+    // Case 5: transform pipeline — flatten then occupancy-partition the
+    // fused pair-coordinate rank (Fig. 2 / SIGMA load balancing).
+    {
+        let owned = genmat::uniform("A", &["M", "K"], dim, dim, nnz, 7);
+        let comp = genmat::uniform_compressed("A", &["M", "K"], dim, dim, nnz, 7);
+        let owned_ns = time_min(reps, || {
+            owned
+                .flatten_rank("M", "MK")
+                .unwrap()
+                .partition_rank("MK", SplitKind::UniformOccupancy(256), "MK1", "MK0")
+                .unwrap()
+                .nnz()
+        });
+        let compressed_ns = time_min(reps, || {
+            comp.flatten_rank("M", "MK")
+                .unwrap()
+                .partition_rank("MK", SplitKind::UniformOccupancy(256), "MK1", "MK0")
+                .unwrap()
+                .nnz()
+        });
+        results.push(CaseResult {
+            case: "transform_flatten_occupancy",
+            detail: format!("{dim}x{dim}, {} nnz", owned.nnz()),
             owned_ns,
             compressed_ns,
         });

@@ -76,7 +76,7 @@ pub fn algorithmic_min_bytes(
         .map(|z| {
             spec.format
                 .config_or_default(z.name(), None, z.rank_ids())
-                .footprint_bytes(z)
+                .footprint_bytes_data(z)
         })
         .unwrap_or(0);
     fmt(a) + fmt(b) + z_bytes

@@ -147,13 +147,35 @@ impl TensorFormat {
     /// rank, the footprint sums [`RankFormat::fiber_bits`] over all fibers
     /// (for uncompressed ranks, using the declared shape extent).
     pub fn footprint_bytes(&self, tensor: &Tensor) -> u64 {
-        let stats = tensor.rank_stats();
+        self.footprint_from_parts(
+            tensor.rank_ids(),
+            tensor.rank_shapes(),
+            &tensor.rank_stats(),
+        )
+    }
+
+    /// [`TensorFormat::footprint_bytes`] for a tensor in either
+    /// representation, without decompressing.
+    pub fn footprint_bytes_data(&self, tensor: &teaal_fibertree::TensorData) -> u64 {
+        self.footprint_from_parts(
+            tensor.rank_ids(),
+            tensor.rank_shapes(),
+            &tensor.rank_stats(),
+        )
+    }
+
+    fn footprint_from_parts(
+        &self,
+        rank_ids: &[String],
+        rank_shapes: &[teaal_fibertree::Shape],
+        stats: &[(usize, usize)],
+    ) -> u64 {
         let mut bits = 0u64;
-        for (depth, rank_id) in tensor.rank_ids().iter().enumerate() {
+        for (depth, rank_id) in rank_ids.iter().enumerate() {
             let default = RankFormat::default();
             let rf = self.ranks.get(rank_id).unwrap_or(&default);
             let (fiber_count, total_occ) = stats.get(depth).copied().unwrap_or((0, 0));
-            let extent = tensor.rank_shapes()[depth].extent();
+            let extent = rank_shapes[depth].extent();
             match rf.format {
                 FormatType::C => {
                     // occupancy-proportional: sum over fibers collapses.

@@ -1,0 +1,380 @@
+//! Streaming construction of compressed (CSF) tensors.
+//!
+//! [`CompressedBuilder`] accepts leaves in lexicographically sorted order
+//! and appends them straight into the flat per-rank arrays — no owned
+//! tree, no COO buffer, `O(output nnz)` memory. It is how the simulator's
+//! engine assembles compressed outputs (its accumulator drains in sorted
+//! order) and how the compressed transform primitives rebuild their
+//! results. Per-level coordinate narrowing (`u32` vs `u64`) is chosen
+//! from the rank shapes at construction, so every construction path —
+//! `from_entries`, `from_tensor`, transforms, outputs — lands on an
+//! identical representation for identical content.
+
+use crate::compressed::{CompressedTensor, Level};
+use crate::coord::{Coord, Shape};
+use crate::error::FibertreeError;
+
+/// Builds a [`CompressedTensor`] from a sorted stream of leaves.
+///
+/// Leaves must arrive in strictly increasing lexicographic order of their
+/// coordinate paths; pushing an equal path sums the values (mirroring
+/// [`crate::Tensor::from_entries`]), and a decreasing path is an error.
+/// Values are stored as given — explicit zeros survive, so semiring-zero
+/// filtering is the caller's policy, not the builder's.
+///
+/// # Examples
+///
+/// ```
+/// use teaal_fibertree::{CompressedBuilder, Shape};
+/// let mut b = CompressedBuilder::new(
+///     "Z",
+///     vec!["M".into(), "N".into()],
+///     vec![Shape::Interval(4), Shape::Interval(4)],
+/// ).unwrap();
+/// b.push_point(&[0, 1], 2.0).unwrap();
+/// b.push_point(&[2, 0], 3.0).unwrap();
+/// let z = b.finish();
+/// assert_eq!(z.nnz(), 2);
+/// assert_eq!(z.get(&[2, 0]), Some(3.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct CompressedBuilder {
+    name: String,
+    rank_ids: Vec<String>,
+    rank_shapes: Vec<Shape>,
+    levels: Vec<Level>,
+    values: Vec<f64>,
+    /// Raw `(upper, lower)` key of the last pushed leaf, for divergence
+    /// computation and order checking.
+    last: Vec<(u64, u64)>,
+    has_last: bool,
+}
+
+impl CompressedBuilder {
+    /// Starts a builder for a tensor with the given ranks and shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::NotCompressible`] when a shape is not
+    /// representable in a compressed level (tuple arity > 2).
+    pub fn new(
+        name: impl Into<String>,
+        rank_ids: Vec<String>,
+        rank_shapes: Vec<Shape>,
+    ) -> Result<Self, FibertreeError> {
+        assert_eq!(rank_ids.len(), rank_shapes.len(), "one shape per rank");
+        let levels = rank_shapes
+            .iter()
+            .map(Level::for_shape)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(CompressedBuilder {
+            name: name.into(),
+            rank_ids,
+            rank_shapes,
+            levels,
+            values: Vec::new(),
+            last: Vec::new(),
+            has_last: false,
+        })
+    }
+
+    /// Number of leaves appended so far.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no leaf has been appended yet.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Appends one leaf at a coordinate path (one coordinate per rank;
+    /// pairs on flattened ranks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::ArityMismatch`] for a wrong path length,
+    /// [`FibertreeError::OutOfShape`] for a coordinate outside its rank's
+    /// shape, and [`FibertreeError::Unsorted`] when the path does not
+    /// follow the previous one in lexicographic order.
+    pub fn push(&mut self, point: &[Coord], value: f64) -> Result<(), FibertreeError> {
+        if point.len() != self.rank_ids.len() {
+            return Err(FibertreeError::ArityMismatch {
+                expected: self.rank_ids.len(),
+                got: point.len(),
+            });
+        }
+        for (c, s) in point.iter().zip(&self.rank_shapes) {
+            if !s.contains(c) {
+                return Err(FibertreeError::OutOfShape {
+                    coord: c.clone(),
+                    shape: s.clone(),
+                });
+            }
+        }
+        let key: Vec<(u64, u64)> = point
+            .iter()
+            .map(|c| match c {
+                Coord::Point(p) => Ok((*p, 0)),
+                Coord::Tuple(cs) => match cs.as_slice() {
+                    [Coord::Point(a), Coord::Point(b)] => Ok((*a, *b)),
+                    _ => Err(FibertreeError::NotCompressible {
+                        reason: format!("coordinate {c} is neither a point nor a pair"),
+                    }),
+                },
+            })
+            .collect::<Result<_, _>>()?;
+        self.push_raw(&key, value)
+    }
+
+    /// Appends one leaf at a point-coordinate path.
+    ///
+    /// # Errors
+    ///
+    /// As [`CompressedBuilder::push`].
+    pub fn push_point(&mut self, point: &[u64], value: f64) -> Result<(), FibertreeError> {
+        if point.len() != self.rank_ids.len() {
+            return Err(FibertreeError::ArityMismatch {
+                expected: self.rank_ids.len(),
+                got: point.len(),
+            });
+        }
+        for (d, (&p, s)) in point.iter().zip(&self.rank_shapes).enumerate() {
+            if self.levels[d].arity() != 1 || !s.contains(&Coord::Point(p)) {
+                return Err(FibertreeError::OutOfShape {
+                    coord: Coord::Point(p),
+                    shape: s.clone(),
+                });
+            }
+        }
+        let key: Vec<(u64, u64)> = point.iter().map(|&p| (p, 0)).collect();
+        self.push_raw(&key, value)
+    }
+
+    /// Core append: `key` is the raw `(upper, lower)` pair per rank
+    /// (`(coord, 0)` on point ranks), already validated against the
+    /// shapes.
+    pub(crate) fn push_raw(
+        &mut self,
+        key: &[(u64, u64)],
+        value: f64,
+    ) -> Result<(), FibertreeError> {
+        let n = self.levels.len();
+        if n == 0 {
+            // 0-tensor: accumulate into the single scalar slot.
+            match self.values.first_mut() {
+                Some(v) => *v += value,
+                None => self.values.push(value),
+            }
+            return Ok(());
+        }
+        // First rank where this leaf diverges from the previous one:
+        // every rank from there down gains an element, and every rank
+        // strictly below gains a fresh fiber.
+        let diff = if self.has_last {
+            match self.last.as_slice().cmp(key) {
+                std::cmp::Ordering::Less => self
+                    .last
+                    .iter()
+                    .zip(key)
+                    .position(|(a, b)| a != b)
+                    .expect("strictly less implies a diverging rank"),
+                std::cmp::Ordering::Equal => {
+                    *self.values.last_mut().expect("a leaf was pushed") += value;
+                    return Ok(());
+                }
+                std::cmp::Ordering::Greater => {
+                    let d = self
+                        .last
+                        .iter()
+                        .zip(key)
+                        .position(|(a, b)| a != b)
+                        .expect("strictly greater implies a diverging rank");
+                    return Err(FibertreeError::Unsorted {
+                        prev: raw_coord(self.last[d], self.levels[d].arity()),
+                        next: raw_coord(key[d], self.levels[d].arity()),
+                    });
+                }
+            }
+        } else {
+            0
+        };
+        for (d, &k) in key.iter().enumerate().skip(diff) {
+            if d > diff && self.levels[d].coords.len() > 0 {
+                let end = self.levels[d].coords.len();
+                self.levels[d].segs.push(end);
+            }
+            self.levels[d].push_raw(k);
+        }
+        self.values.push(value);
+        self.last.clear();
+        self.last.extend_from_slice(key);
+        self.has_last = true;
+        Ok(())
+    }
+
+    /// Closes the trailing fiber of each rank and yields the tensor.
+    pub fn finish(mut self) -> CompressedTensor {
+        let n = self.levels.len();
+        if n == 0 {
+            if self.values.is_empty() {
+                self.values.push(0.0);
+            }
+            return CompressedTensor {
+                name: self.name,
+                rank_ids: self.rank_ids,
+                rank_shapes: self.rank_shapes,
+                levels: self.levels,
+                values: self.values,
+            };
+        }
+        // A rank below an empty parent has no fibers at all (mirroring
+        // the owned tree, where only the root fiber exists in an empty
+        // tensor), so its segment list stays `[0]`.
+        for d in 0..n {
+            let parents = if d == 0 {
+                1
+            } else {
+                self.levels[d - 1].coords.len()
+            };
+            if parents > 0 {
+                let end = self.levels[d].coords.len();
+                self.levels[d].segs.push(end);
+            }
+        }
+        CompressedTensor {
+            name: self.name,
+            rank_ids: self.rank_ids,
+            rank_shapes: self.rank_shapes,
+            levels: self.levels,
+            values: self.values,
+        }
+    }
+}
+
+/// Materializes a raw key back into a coordinate (for error reporting).
+fn raw_coord(key: (u64, u64), arity: usize) -> Coord {
+    if arity == 2 {
+        Coord::pair(key.0, key.1)
+    } else {
+        Coord::Point(key.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressed::CompressedTensor;
+    use crate::tensor::Tensor;
+
+    fn shapes(ns: &[u64]) -> Vec<Shape> {
+        ns.iter().map(|&n| Shape::Interval(n)).collect()
+    }
+
+    #[test]
+    fn streaming_build_matches_from_entries() {
+        let entries = vec![
+            (vec![0, 2], 3.0),
+            (vec![2, 0], 9.0),
+            (vec![2, 1], 4.0),
+            (vec![2, 2], 5.0),
+        ];
+        let mut b =
+            CompressedBuilder::new("A", vec!["M".into(), "K".into()], shapes(&[4, 3])).unwrap();
+        for (p, v) in &entries {
+            b.push_point(p, *v).unwrap();
+        }
+        let c = b.finish();
+        let reference = CompressedTensor::from_entries("A", &["M", "K"], &[4, 3], entries).unwrap();
+        assert_eq!(c, reference);
+    }
+
+    #[test]
+    fn explicit_zeros_survive_streaming_build() {
+        let mut b = CompressedBuilder::new("P", vec!["V".into()], shapes(&[4])).unwrap();
+        b.push_point(&[0], 0.0).unwrap();
+        b.push_point(&[2], 7.0).unwrap();
+        let c = b.finish();
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(c.get(&[0]), Some(0.0));
+    }
+
+    #[test]
+    fn duplicates_sum_and_disorder_errors() {
+        let mut b = CompressedBuilder::new("T", vec!["I".into()], shapes(&[8])).unwrap();
+        b.push_point(&[3], 1.0).unwrap();
+        b.push_point(&[3], 2.0).unwrap();
+        let err = b.push_point(&[1], 1.0);
+        assert!(matches!(err, Err(FibertreeError::Unsorted { .. })));
+        let c = b.finish();
+        assert_eq!(c.entries(), vec![(vec![3], 3.0)]);
+    }
+
+    #[test]
+    fn pair_ranks_build_from_tuple_coords() {
+        let mut b = CompressedBuilder::new(
+            "F",
+            vec!["MK".into()],
+            vec![Shape::Tuple(vec![Shape::Interval(4), Shape::Interval(3)])],
+        )
+        .unwrap();
+        b.push(&[Coord::pair(0, 2)], 3.0).unwrap();
+        b.push(&[Coord::pair(2, 0)], 9.0).unwrap();
+        let c = b.finish();
+        let owned = crate::tensor::fig1_matrix_a();
+        let flat = Tensor::from_entries("F", &["M", "K"], &[4, 3], vec![])
+            .unwrap()
+            .flatten_rank("M", "MK")
+            .unwrap();
+        assert_eq!(c.rank_shapes(), flat.rank_shapes());
+        assert_eq!(c.nnz(), 2);
+        assert_eq!(
+            c.leaves()[1],
+            (vec![Coord::pair(2, 0)], 9.0),
+            "pair coordinates come back out"
+        );
+        drop(owned);
+    }
+
+    #[test]
+    fn wrong_arity_and_shape_are_rejected() {
+        let mut b = CompressedBuilder::new("T", vec!["I".into()], shapes(&[4])).unwrap();
+        assert!(matches!(
+            b.push_point(&[1, 2], 1.0),
+            Err(FibertreeError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            b.push_point(&[9], 1.0),
+            Err(FibertreeError::OutOfShape { .. })
+        ));
+        assert!(matches!(
+            b.push(&[Coord::pair(0, 0)], 1.0),
+            Err(FibertreeError::OutOfShape { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_and_scalar_builders_finish() {
+        let b = CompressedBuilder::new("E", vec!["I".into()], shapes(&[4])).unwrap();
+        assert!(b.is_empty());
+        let c = b.finish();
+        assert_eq!(c.nnz(), 0);
+        let mut s = CompressedBuilder::new("s", vec![], vec![]).unwrap();
+        s.push(&[], 2.0).unwrap();
+        s.push(&[], 1.5).unwrap();
+        assert_eq!(s.len(), 1);
+        let c = s.finish();
+        assert_eq!(c.get(&[]), Some(3.5));
+    }
+
+    #[test]
+    fn deep_tuple_shapes_are_not_compressible() {
+        let deep = Shape::Tuple(vec![
+            Shape::Interval(2),
+            Shape::Interval(2),
+            Shape::Interval(2),
+        ]);
+        let err = CompressedBuilder::new("T", vec!["ABC".into()], vec![deep]);
+        assert!(matches!(err, Err(FibertreeError::NotCompressible { .. })));
+    }
+}

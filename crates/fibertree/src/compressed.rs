@@ -1,7 +1,7 @@
 //! Compressed (CSF-style) fibertree storage: per-rank flat coordinate and
 //! segment arrays plus a leaf value arena.
 //!
-//! The owned [`Tensor`](crate::Tensor) stores each fiber as its own
+//! The owned [`Tensor`] stores each fiber as its own
 //! `Vec<Element>` with boxed recursive payloads — flexible (it supports
 //! tuple coordinates and in-place mutation) but pointer-chasing and
 //! allocation-heavy at scale. [`CompressedTensor`] is the read-optimized
@@ -16,25 +16,120 @@
 //!
 //! and all leaf values live in one arena indexed by bottom-rank position.
 //! Element `p` of rank `d` owns child fiber `p` of rank `d + 1`, so a
-//! whole multi-million-entry tensor is `2·N + 1` allocations instead of
+//! whole multi-million-entry tensor is `O(ranks)` allocations instead of
 //! one per fiber. Iteration never chases pointers and cloning is a flat
 //! `memcpy`, which is what makes large-workload co-iteration (graph
 //! adjacencies, SuiteSparse-scale matrices) tractable.
 //!
-//! Compressed tensors are read-only and hold point coordinates only; the
-//! content-preserving transforms (partition / flatten / swizzle) operate
-//! on owned trees. [`CompressedTensor::to_tensor`] and
-//! [`CompressedTensor::from_tensor`] convert losslessly between the two,
-//! and [`FiberView`](crate::view::FiberView) cursors iterate both behind
-//! one interface.
+//! Each level's coordinate array is *narrowed* per rank: when the rank's
+//! extent fits, coordinates are stored as `u32` instead of `u64`
+//! (`CoordStore`), halving the footprint of typical matrices. Ranks
+//! produced by flattening hold *pair* coordinates as two parallel stores
+//! (one per tuple component); deeper tuples are not representable and
+//! stay on the owned path.
+//!
+//! Compressed tensors are read-only, but the content-preserving
+//! transforms (swizzle / partition / flatten) have compressed-native
+//! implementations that produce a new `CompressedTensor` directly from
+//! the flat arrays — see [`crate::swizzle`], [`crate::partition`], and
+//! [`crate::flatten`]. Streaming construction goes through
+//! [`CompressedBuilder`].
+//! [`CompressedTensor::to_tensor`] and [`CompressedTensor::from_tensor`]
+//! convert losslessly between the representations, and
+//! [`FiberView`](crate::view::FiberView) cursors iterate both behind one
+//! interface. Every `to_tensor` decompression is counted by
+//! [`crate::telemetry`], which is how the simulator's tests prove the hot
+//! path never leaves the compressed representation.
 
+use std::cmp::Ordering;
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::builder::CompressedBuilder;
 use crate::coord::{Coord, Shape};
 use crate::error::FibertreeError;
 use crate::fiber::{Fiber, Payload};
 use crate::tensor::Tensor;
+use crate::view::CoordKey;
+
+/// One level's flat coordinate array, narrowed to `u32` when the rank
+/// extent allows.
+#[derive(Clone, Debug, PartialEq)]
+pub(crate) enum CoordStore {
+    /// Coordinates fit in 32 bits (rank extent ≤ 2³²).
+    U32(Vec<u32>),
+    /// Full-width coordinates.
+    U64(Vec<u64>),
+}
+
+impl CoordStore {
+    /// An empty store wide enough for coordinates in `[0, extent)`.
+    pub(crate) fn for_extent(extent: u64) -> Self {
+        if extent <= u64::from(u32::MAX) + 1 {
+            CoordStore::U32(Vec::new())
+        } else {
+            CoordStore::U64(Vec::new())
+        }
+    }
+
+    /// An empty store of the same width as `self`.
+    pub(crate) fn new_like(&self) -> Self {
+        match self {
+            CoordStore::U32(_) => CoordStore::U32(Vec::new()),
+            CoordStore::U64(_) => CoordStore::U64(Vec::new()),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn push(&mut self, c: u64) {
+        match self {
+            CoordStore::U32(v) => {
+                debug_assert!(c <= u64::from(u32::MAX), "narrowed store overflow");
+                v.push(c as u32);
+            }
+            CoordStore::U64(v) => v.push(c),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn get(&self, i: usize) -> u64 {
+        match self {
+            CoordStore::U32(v) => u64::from(v[i]),
+            CoordStore::U64(v) => v[i],
+        }
+    }
+
+    #[inline]
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            CoordStore::U32(v) => v.len(),
+            CoordStore::U64(v) => v.len(),
+        }
+    }
+
+    /// A stable address-based identity for element `i`, unique within the
+    /// backing allocation for the lifetime of the borrow.
+    #[inline]
+    fn addr_key(&self, i: usize) -> usize {
+        match self {
+            CoordStore::U32(v) => v.as_ptr() as usize + i * std::mem::size_of::<u32>(),
+            CoordStore::U64(v) => v.as_ptr() as usize + i * std::mem::size_of::<u64>(),
+        }
+    }
+
+    /// Binary search for `target` within `[start, end)`.
+    fn search(&self, start: usize, end: usize, target: u64) -> Result<usize, usize> {
+        match self {
+            CoordStore::U32(v) => {
+                if target > u64::from(u32::MAX) {
+                    return Err(end - start);
+                }
+                v[start..end].binary_search(&(target as u32))
+            }
+            CoordStore::U64(v) => v[start..end].binary_search(&target),
+        }
+    }
+}
 
 /// One compressed rank: flat coordinates plus fiber segment boundaries.
 #[derive(Clone, Debug, PartialEq)]
@@ -42,9 +137,148 @@ pub(crate) struct Level {
     /// Fiber `f` spans `coords[segs[f]..segs[f+1]]`; there is always one
     /// trailing entry equal to `coords.len()`.
     pub(crate) segs: Vec<usize>,
+    /// Upper tuple components, present only on flattened (pair) ranks:
+    /// element `i`'s coordinate is `(upper[i], coords[i])`.
+    pub(crate) upper: Option<CoordStore>,
     /// Coordinates of every element at this rank, fiber-concatenated,
-    /// strictly increasing within each fiber.
-    pub(crate) coords: Vec<u64>,
+    /// strictly increasing within each fiber (lexicographically, for pair
+    /// ranks).
+    pub(crate) coords: CoordStore,
+}
+
+impl Level {
+    /// An empty level sized for `shape`: point coordinates for intervals,
+    /// pair coordinates for two-component tuple shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::NotCompressible`] for tuple shapes of
+    /// arity ≠ 2 or with non-interval components (flattening three or more
+    /// ranks stays on the owned path).
+    pub(crate) fn for_shape(shape: &Shape) -> Result<Self, FibertreeError> {
+        match shape {
+            Shape::Interval(n) => Ok(Level {
+                segs: vec![0],
+                upper: None,
+                coords: CoordStore::for_extent(*n),
+            }),
+            Shape::Tuple(cs) => {
+                let [a, b] = cs.as_slice() else {
+                    return Err(FibertreeError::NotCompressible {
+                        reason: format!(
+                            "tuple shape {shape} has arity {}; compressed levels hold \
+                             points or pairs only",
+                            cs.len()
+                        ),
+                    });
+                };
+                let (Some(ea), Some(eb)) = (a.as_interval(), b.as_interval()) else {
+                    return Err(FibertreeError::NotCompressible {
+                        reason: format!("tuple shape {shape} has non-interval components"),
+                    });
+                };
+                Ok(Level {
+                    segs: vec![0],
+                    upper: Some(CoordStore::for_extent(ea)),
+                    coords: CoordStore::for_extent(eb),
+                })
+            }
+        }
+    }
+
+    /// An empty level with the same coordinate widths as `self`.
+    pub(crate) fn new_like(&self) -> Self {
+        Level {
+            segs: vec![0],
+            upper: self.upper.as_ref().map(CoordStore::new_like),
+            coords: self.coords.new_like(),
+        }
+    }
+
+    /// 1 for point levels, 2 for pair (flattened) levels.
+    #[inline]
+    pub(crate) fn arity(&self) -> usize {
+        if self.upper.is_some() {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The raw `(upper, lower)` key of element `i` (`(coord, 0)` on point
+    /// levels).
+    #[inline]
+    pub(crate) fn raw(&self, i: usize) -> (u64, u64) {
+        match &self.upper {
+            Some(u) => (u.get(i), self.coords.get(i)),
+            None => (self.coords.get(i), 0),
+        }
+    }
+
+    /// Appends a raw `(upper, lower)` key.
+    pub(crate) fn push_raw(&mut self, key: (u64, u64)) {
+        match &mut self.upper {
+            Some(u) => {
+                u.push(key.0);
+                self.coords.push(key.1);
+            }
+            None => self.coords.push(key.0),
+        }
+    }
+
+    /// The materialized coordinate of element `i`.
+    #[inline]
+    pub(crate) fn coord(&self, i: usize) -> Coord {
+        match &self.upper {
+            Some(u) => Coord::pair(u.get(i), self.coords.get(i)),
+            None => Coord::Point(self.coords.get(i)),
+        }
+    }
+
+    /// The allocation-free comparison key of element `i`.
+    #[inline]
+    pub(crate) fn key(&self, i: usize) -> CoordKey<'static> {
+        match &self.upper {
+            Some(u) => CoordKey::Pair(u.get(i), self.coords.get(i)),
+            None => CoordKey::Point(self.coords.get(i)),
+        }
+    }
+
+    /// Binary search within elements `[start, end)` for the coordinate
+    /// `key` addresses, when it is representable at this level.
+    pub(crate) fn search_key(&self, start: usize, end: usize, key: &CoordKey<'_>) -> Option<usize> {
+        match &self.upper {
+            None => {
+                let p = match key {
+                    CoordKey::Point(p) => *p,
+                    CoordKey::Pair(..) => return None,
+                    CoordKey::Borrowed(c) => c.as_point()?,
+                };
+                self.coords.search(start, end, p).ok().map(|i| start + i)
+            }
+            Some(u) => {
+                let (a, b) = match key {
+                    CoordKey::Pair(a, b) => (*a, *b),
+                    CoordKey::Point(_) => return None,
+                    CoordKey::Borrowed(c) => match c {
+                        Coord::Tuple(cs) if cs.len() == 2 => (cs[0].as_point()?, cs[1].as_point()?),
+                        _ => return None,
+                    },
+                };
+                let mut lo = start;
+                let mut hi = end;
+                while lo < hi {
+                    let mid = lo + (hi - lo) / 2;
+                    match (u.get(mid), self.coords.get(mid)).cmp(&(a, b)) {
+                        Ordering::Less => lo = mid + 1,
+                        Ordering::Greater => hi = mid,
+                        Ordering::Equal => return Some(mid),
+                    }
+                }
+                None
+            }
+        }
+    }
 }
 
 /// An `N`-tensor in compressed sparse fiber (CSF) form.
@@ -52,8 +286,9 @@ pub(crate) struct Level {
 /// Content-equivalent to an owned [`Tensor`] with the same entries: the
 /// same rank ids, shapes, and `(point, value)` leaves, stored as flat
 /// per-rank arrays instead of a recursive tree. Build one directly from
-/// COO entries ([`CompressedTensor::from_entries`]) or from an existing
-/// tree ([`CompressedTensor::from_tensor`]).
+/// COO entries ([`CompressedTensor::from_entries`]), from a sorted stream
+/// ([`CompressedBuilder`]), or from an
+/// existing tree ([`CompressedTensor::from_tensor`]).
 ///
 /// # Examples
 ///
@@ -66,17 +301,17 @@ pub(crate) struct Level {
 ///     vec![(vec![0, 2], 3.0), (vec![2, 0], 9.0), (vec![2, 1], 4.0)],
 /// ).unwrap();
 /// assert_eq!(c.nnz(), 3);
-/// assert_eq!(c.to_tensor().get(&[2, 1]), Some(4.0));
+/// assert_eq!(c.get(&[2, 1]), Some(4.0));
 /// ```
 #[derive(Clone, Debug, PartialEq)]
 pub struct CompressedTensor {
-    name: String,
-    rank_ids: Vec<String>,
-    rank_shapes: Vec<Shape>,
-    levels: Vec<Level>,
+    pub(crate) name: String,
+    pub(crate) rank_ids: Vec<String>,
+    pub(crate) rank_shapes: Vec<Shape>,
+    pub(crate) levels: Vec<Level>,
     /// Leaf value arena: `values[p]` is the payload of bottom-rank
     /// element `p`. For a 0-tensor this holds the single scalar.
-    values: Vec<f64>,
+    pub(crate) values: Vec<f64>,
 }
 
 impl CompressedTensor {
@@ -117,86 +352,18 @@ impl CompressedTensor {
             }
             *dedup.entry(point).or_insert(0.0) += v;
         }
-        if n == 0 {
-            let v = dedup.values().next().copied().unwrap_or(0.0);
-            return Ok(CompressedTensor {
-                name: name.into(),
-                rank_ids: Vec::new(),
-                rank_shapes,
-                levels: Vec::new(),
-                values: vec![v],
-            });
-        }
-        let sorted = dedup.into_iter().filter(|(_, v)| *v != 0.0);
-        Ok(Self::from_sorted_unique(
+        let mut b = CompressedBuilder::new(
             name,
             rank_ids.iter().map(|s| s.to_string()).collect(),
             rank_shapes,
-            sorted,
-        ))
-    }
-
-    /// Core builder: `entries` must be lexicographically sorted with
-    /// unique points of arity `rank_shapes.len() ≥ 1`.
-    fn from_sorted_unique(
-        name: impl Into<String>,
-        rank_ids: Vec<String>,
-        rank_shapes: Vec<Shape>,
-        entries: impl IntoIterator<Item = (Vec<u64>, f64)>,
-    ) -> Self {
-        let n = rank_ids.len();
-        let mut levels: Vec<Level> = (0..n)
-            .map(|_| Level {
-                segs: vec![0],
-                coords: Vec::new(),
-            })
-            .collect();
-        let mut values = Vec::new();
-        let mut prev: Option<Vec<u64>> = None;
-        for (point, v) in entries {
-            // First rank where this point diverges from the previous one:
-            // every rank from there down gains an element, and every rank
-            // strictly below gains a fresh fiber.
-            let diff = match &prev {
-                None => 0,
-                Some(p) => p
-                    .iter()
-                    .zip(&point)
-                    .position(|(a, b)| a != b)
-                    .expect("points are unique"),
-            };
-            for d in diff..n {
-                if d > diff && !levels[d].coords.is_empty() {
-                    let end = levels[d].coords.len();
-                    levels[d].segs.push(end);
-                }
-                levels[d].coords.push(point[d]);
+        )?;
+        for (point, v) in dedup {
+            if n > 0 && v == 0.0 {
+                continue;
             }
-            values.push(v);
-            prev = Some(point);
+            b.push_point(&point, v)?;
         }
-        // Close the trailing fiber of each rank. A rank below an empty
-        // parent has no fibers at all (mirroring the owned tree, where
-        // only the root fiber exists in an empty tensor), so its segment
-        // list stays `[0]`.
-        for d in 0..n {
-            let parents = if d == 0 {
-                1
-            } else {
-                levels[d - 1].coords.len()
-            };
-            if parents > 0 {
-                let end = levels[d].coords.len();
-                levels[d].segs.push(end);
-            }
-        }
-        CompressedTensor {
-            name: name.into(),
-            rank_ids,
-            rank_shapes,
-            levels,
-            values,
-        }
+        Ok(b.finish())
     }
 
     /// Compresses an owned tensor, preserving every stored leaf
@@ -205,72 +372,47 @@ impl CompressedTensor {
     /// # Errors
     ///
     /// Returns [`FibertreeError::NotCompressible`] if the tensor carries
-    /// tuple coordinates (flattened ranks): transform pipelines operate
-    /// on owned trees, so compress before — not after — flattening.
+    /// tuple coordinates of arity greater than two: compressed levels
+    /// represent points and pairs (one flatten), nothing deeper.
     pub fn from_tensor(t: &Tensor) -> Result<Self, FibertreeError> {
-        let n = t.order();
-        if n == 0 {
-            return Ok(CompressedTensor {
-                name: t.name().to_string(),
-                rank_ids: Vec::new(),
-                rank_shapes: Vec::new(),
-                levels: Vec::new(),
-                values: vec![t.get(&[]).unwrap_or(0.0)],
-            });
+        let mut b =
+            CompressedBuilder::new(t.name(), t.rank_ids().to_vec(), t.rank_shapes().to_vec())?;
+        if t.order() == 0 {
+            if let Some(v) = t.get(&[]) {
+                b.push(&[], v)?;
+            }
+            return Ok(b.finish());
         }
-        let mut levels: Vec<Level> = (0..n)
-            .map(|_| Level {
-                segs: vec![0],
-                coords: Vec::new(),
-            })
-            .collect();
-        let mut values = Vec::new();
         fn walk(
             f: &Fiber,
-            depth: usize,
-            levels: &mut Vec<Level>,
-            values: &mut Vec<f64>,
+            path: &mut Vec<Coord>,
+            b: &mut CompressedBuilder,
         ) -> Result<(), FibertreeError> {
             for e in f.iter() {
-                let Some(c) = e.coord.as_point() else {
-                    return Err(FibertreeError::NotCompressible {
-                        reason: format!(
-                            "rank {depth} holds tuple coordinate {}; compressed storage \
-                             is point-coordinate only",
-                            e.coord
-                        ),
-                    });
-                };
-                levels[depth].coords.push(c);
+                path.push(e.coord.clone());
                 match &e.payload {
-                    Payload::Val(v) => values.push(*v),
-                    Payload::Fiber(child) => {
-                        walk(child, depth + 1, levels, values)?;
-                        let end = levels[depth + 1].coords.len();
-                        levels[depth + 1].segs.push(end);
-                    }
+                    Payload::Val(v) => b.push(path, *v)?,
+                    Payload::Fiber(child) => walk(child, path, b)?,
                 }
+                path.pop();
             }
             Ok(())
         }
         if let Some(root) = t.root_fiber() {
-            walk(root, 0, &mut levels, &mut values)?;
+            let mut path = Vec::new();
+            walk(root, &mut path, &mut b)?;
         }
-        let root_end = levels[0].coords.len();
-        levels[0].segs.push(root_end);
-        Ok(CompressedTensor {
-            name: t.name().to_string(),
-            rank_ids: t.rank_ids().to_vec(),
-            rank_shapes: t.rank_shapes().to_vec(),
-            levels,
-            values,
-        })
+        Ok(b.finish())
     }
 
     /// Decompresses into an owned fibertree. Lossless: the result
     /// compares equal to the tensor this was built from (or that
     /// [`Tensor::from_entries`] builds from the same entries).
+    ///
+    /// Every call is counted by [`crate::telemetry::decompress_count`] —
+    /// the simulator's compressed fast path asserts it stays at zero.
     pub fn to_tensor(&self) -> Tensor {
+        crate::telemetry::note_decompress();
         if self.order() == 0 {
             return Tensor::scalar(&self.name, self.values[0]);
         }
@@ -293,7 +435,7 @@ impl CompressedTensor {
                 let (cs, ce) = self.child_range(level, p);
                 Payload::Fiber(self.build_fiber(level + 1, cs, ce))
             };
-            f.append(self.levels[level].coords[p], payload)
+            f.append(self.levels[level].coord(p), payload)
                 .expect("compressed coordinates are sorted and in shape");
         }
         f
@@ -324,6 +466,21 @@ impl CompressedTensor {
         self.rank_ids.len()
     }
 
+    /// The index of the named rank.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::UnknownRank`] when absent.
+    pub fn rank_index(&self, rank: &str) -> Result<usize, FibertreeError> {
+        self.rank_ids
+            .iter()
+            .position(|r| r == rank)
+            .ok_or_else(|| FibertreeError::UnknownRank {
+                rank: rank.to_string(),
+                have: self.rank_ids.clone(),
+            })
+    }
+
     /// Number of stored leaves (matches [`Tensor::nnz`] for the same
     /// content).
     pub fn nnz(&self) -> usize {
@@ -337,6 +494,32 @@ impl CompressedTensor {
     /// The leaf value arena.
     pub fn values(&self) -> &[f64] {
         &self.values
+    }
+
+    /// Looks up the value stored at `point` by binary-searching each
+    /// level, `O(order · log nnz)`. Point-coordinate ranks only.
+    pub fn get(&self, point: &[u64]) -> Option<f64> {
+        if self.order() == 0 {
+            return if point.is_empty() {
+                Some(self.values[0])
+            } else {
+                None
+            };
+        }
+        if point.len() != self.order() {
+            return None;
+        }
+        let (mut s, mut e) = (0usize, self.levels[0].coords.len());
+        let mut pos = 0usize;
+        for (d, &c) in point.iter().enumerate() {
+            pos = self.levels[d].search_key(s, e, &CoordKey::Point(c))?;
+            if d + 1 < self.order() {
+                let (cs, ce) = self.child_range(d, pos);
+                s = cs;
+                e = ce;
+            }
+        }
+        Some(self.values[pos])
     }
 
     /// Per-rank `(fiber count, total occupancy)` statistics, matching
@@ -354,9 +537,10 @@ impl CompressedTensor {
         out
     }
 
-    /// Enumerates `(point, value)` for every nonzero leaf, in
-    /// lexicographic order (matches [`Tensor::entries`]).
-    pub fn entries(&self) -> Vec<(Vec<u64>, f64)> {
+    /// Enumerates `(path, value)` for every nonzero leaf in lexicographic
+    /// order, one coordinate per rank (pairs on flattened ranks) —
+    /// matches [`Tensor::leaves`].
+    pub fn leaves(&self) -> Vec<(Vec<Coord>, f64)> {
         let mut out = Vec::with_capacity(self.values.len());
         if self.order() == 0 {
             if self.values[0] != 0.0 {
@@ -364,46 +548,104 @@ impl CompressedTensor {
             }
             return out;
         }
-        let mut path = vec![0u64; self.order()];
-        self.collect_entries(0, 0, self.levels[0].coords.len(), &mut path, &mut out);
+        let mut path = vec![Coord::Point(0); self.order()];
+        self.collect_leaves(0, 0, self.levels[0].coords.len(), &mut path, &mut out);
         out
     }
 
-    fn collect_entries(
+    fn collect_leaves(
         &self,
         level: usize,
         start: usize,
         end: usize,
-        path: &mut Vec<u64>,
-        out: &mut Vec<(Vec<u64>, f64)>,
+        path: &mut Vec<Coord>,
+        out: &mut Vec<(Vec<Coord>, f64)>,
     ) {
         let leaf = level + 1 == self.order();
         for p in start..end {
-            path[level] = self.levels[level].coords[p];
+            path[level] = self.levels[level].coord(p);
             if leaf {
                 if self.values[p] != 0.0 {
                     out.push((path.clone(), self.values[p]));
                 }
             } else {
                 let (cs, ce) = self.child_range(level, p);
-                self.collect_entries(level + 1, cs, ce, path, out);
+                self.collect_leaves(level + 1, cs, ce, path, out);
             }
         }
     }
 
-    /// The coordinate array of one rank (crate-internal cursor access).
-    pub(crate) fn level_coords(&self, level: usize) -> &[u64] {
-        &self.levels[level].coords
+    /// Enumerates `(point, value)` for every nonzero leaf, in
+    /// lexicographic order (matches [`Tensor::entries`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flattened (pair-coordinate) rank is encountered.
+    pub fn entries(&self) -> Vec<(Vec<u64>, f64)> {
+        self.leaves()
+            .into_iter()
+            .map(|(path, v)| {
+                let pt = path
+                    .iter()
+                    .map(|c| c.as_point().expect("entries() requires point coordinates"))
+                    .collect();
+                (pt, v)
+            })
+            .collect()
+    }
+
+    /// The coordinate of element `p` of `level`, materialized.
+    pub(crate) fn coord_at_level(&self, level: usize, p: usize) -> Coord {
+        self.levels[level].coord(p)
+    }
+
+    /// The allocation-free comparison key of element `p` of `level`.
+    #[inline]
+    pub(crate) fn coord_key(&self, level: usize, p: usize) -> CoordKey<'static> {
+        self.levels[level].key(p)
+    }
+
+    /// The raw `(upper, lower)` key of element `p` of `level`
+    /// (`(coord, 0)` on point levels).
+    #[inline]
+    pub(crate) fn raw_at(&self, level: usize, p: usize) -> (u64, u64) {
+        self.levels[level].raw(p)
+    }
+
+    /// Number of elements at `level`.
+    #[inline]
+    pub(crate) fn level_len(&self, level: usize) -> usize {
+        self.levels[level].coords.len()
+    }
+
+    /// Binary search for `key` within elements `[start, end)` of `level`.
+    pub(crate) fn position_in(
+        &self,
+        level: usize,
+        start: usize,
+        end: usize,
+        key: &CoordKey<'_>,
+    ) -> Option<usize> {
+        self.levels[level].search_key(start, end, key)
+    }
+
+    /// A stable identity for element `p` of `level`, unique within this
+    /// tensor for the lifetime of the borrow.
+    #[inline]
+    pub(crate) fn payload_key(&self, level: usize, p: usize) -> usize {
+        self.levels[level].coords.addr_key(p)
     }
 
     /// The `[start, end)` range of element `p`'s child fiber one rank
     /// below `level`.
+    #[inline]
     pub(crate) fn child_range(&self, level: usize, p: usize) -> (usize, usize) {
         let segs = &self.levels[level + 1].segs;
         (segs[p], segs[p + 1])
     }
 
     /// The leaf value at bottom-rank position `p`.
+    #[inline]
     pub(crate) fn value_at(&self, p: usize) -> f64 {
         self.values[p]
     }
@@ -439,6 +681,10 @@ mod tests {
     use super::*;
     use crate::tensor::fig1_matrix_a;
 
+    pub(crate) fn coords_u64(l: &Level) -> Vec<u64> {
+        (0..l.coords.len()).map(|i| l.coords.get(i)).collect()
+    }
+
     #[test]
     fn from_entries_matches_owned_construction() {
         let entries = vec![
@@ -459,12 +705,26 @@ mod tests {
     fn csf_arrays_have_the_fig1_layout() {
         let c = CompressedTensor::from_tensor(&fig1_matrix_a()).unwrap();
         // Rank M: one fiber holding m = 0, 2.
-        assert_eq!(c.levels[0].coords, vec![0, 2]);
+        assert_eq!(coords_u64(&c.levels[0]), vec![0, 2]);
         assert_eq!(c.levels[0].segs, vec![0, 2]);
         // Rank K: two fibers [2] and [0, 1, 2].
-        assert_eq!(c.levels[1].coords, vec![2, 0, 1, 2]);
+        assert_eq!(coords_u64(&c.levels[1]), vec![2, 0, 1, 2]);
         assert_eq!(c.levels[1].segs, vec![0, 1, 4]);
         assert_eq!(c.values, vec![3.0, 9.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn small_extents_narrow_to_u32_large_stay_u64() {
+        let c = CompressedTensor::from_entries(
+            "T",
+            &["I", "J"],
+            &[100, u64::MAX / 2],
+            vec![(vec![1, 1 << 40], 1.0)],
+        )
+        .unwrap();
+        assert!(matches!(c.levels[0].coords, CoordStore::U32(_)));
+        assert!(matches!(c.levels[1].coords, CoordStore::U64(_)));
+        assert_eq!(c.get(&[1, 1 << 40]), Some(1.0));
     }
 
     #[test]
@@ -500,8 +760,26 @@ mod tests {
     }
 
     #[test]
-    fn tuple_coordinates_are_rejected() {
+    fn pair_coordinates_compress_after_one_flatten() {
         let t = fig1_matrix_a().flatten_rank("M", "MK").unwrap();
+        let c = CompressedTensor::from_tensor(&t).unwrap();
+        assert_eq!(c.order(), 1);
+        assert_eq!(c.levels[0].arity(), 2);
+        assert_eq!(c.to_tensor(), t);
+        assert_eq!(c.leaves(), t.leaves());
+    }
+
+    #[test]
+    fn deep_tuple_coordinates_are_rejected() {
+        let t = crate::tensor::TensorBuilder::new("T", &["A", "B", "C"], &[2, 2, 2])
+            .entry(&[0, 1, 0], 1.0)
+            .entry(&[1, 0, 1], 2.0)
+            .build()
+            .unwrap()
+            .flatten_rank("A", "AB")
+            .unwrap()
+            .flatten_rank("AB", "ABC")
+            .unwrap();
         let err = CompressedTensor::from_tensor(&t);
         assert!(matches!(err, Err(FibertreeError::NotCompressible { .. })));
     }
@@ -522,5 +800,14 @@ mod tests {
         assert!(matches!(err, Err(FibertreeError::OutOfShape { .. })));
         let err = CompressedTensor::from_entries("T", &["I"], &[4], vec![(vec![1, 2], 1.0)]);
         assert!(matches!(err, Err(FibertreeError::ArityMismatch { .. })));
+    }
+
+    #[test]
+    fn get_binary_searches_each_level() {
+        let c = CompressedTensor::from_tensor(&fig1_matrix_a()).unwrap();
+        assert_eq!(c.get(&[0, 2]), Some(3.0));
+        assert_eq!(c.get(&[2, 1]), Some(4.0));
+        assert_eq!(c.get(&[1, 0]), None);
+        assert_eq!(c.get(&[0]), None);
     }
 }

@@ -6,6 +6,7 @@
 //! (§3.2.1): flatten first, then re-partition so every partition holds the
 //! same number of values.
 
+use crate::compressed::{CompressedTensor, Level};
 use crate::coord::{Coord, Shape};
 use crate::error::FibertreeError;
 use crate::fiber::{Fiber, Payload};
@@ -82,6 +83,80 @@ impl Tensor {
             Payload::Fiber(f) => Payload::Fiber(unflatten_at(f, d, names.len(), shapes)?),
         };
         Ok(Tensor::from_parts(self.name(), rank_ids, rank_shapes, root))
+    }
+}
+
+impl CompressedTensor {
+    /// Flattens rank `upper` with the rank immediately below it into a
+    /// pair-coordinate rank — the compressed-native counterpart of
+    /// [`Tensor::flatten_rank`], bit-identical to compressing its result.
+    ///
+    /// Runs as pure segment fusion: the fused level's lower components
+    /// *are* the old lower level's coordinate array (reused as-is), the
+    /// upper components are the old upper coordinates expanded by child
+    /// count, and the fused segment list is the upper segment list
+    /// composed through the lower one. Everything below — and the value
+    /// arena — is untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::UnknownRank`] if `upper` is missing or is
+    /// the bottom rank, and [`FibertreeError::NotCompressible`] when
+    /// either rank already holds pair coordinates (a second flatten needs
+    /// the owned path).
+    pub fn flatten_rank(
+        &self,
+        upper: &str,
+        new_name: &str,
+    ) -> Result<CompressedTensor, FibertreeError> {
+        let d = self.rank_index(upper)?;
+        if d + 1 >= self.order() {
+            return Err(FibertreeError::UnknownRank {
+                rank: format!("{upper} (no rank below to flatten with)"),
+                have: self.rank_ids().to_vec(),
+            });
+        }
+        let (lu, ll) = (&self.levels[d], &self.levels[d + 1]);
+        if lu.arity() != 1 || ll.arity() != 1 {
+            return Err(FibertreeError::NotCompressible {
+                reason: format!(
+                    "flattening {upper} would produce coordinates deeper than pairs; \
+                     compressed levels hold points or pairs only"
+                ),
+            });
+        }
+        let mut rank_ids = self.rank_ids().to_vec();
+        let mut shapes = self.rank_shapes().to_vec();
+        let flat_shape = shapes[d].flattened_with(&shapes[d + 1]);
+        rank_ids.splice(d..=d + 1, [new_name.to_string()]);
+        shapes.splice(d..=d + 1, [flat_shape]);
+
+        // Upper components, expanded per child count.
+        let mut upper_store = lu.coords.new_like();
+        for p in 0..lu.coords.len() {
+            let (cs, ce) = (ll.segs[p], ll.segs[p + 1]);
+            let up = lu.coords.get(p);
+            for _ in cs..ce {
+                upper_store.push(up);
+            }
+        }
+        // Fused fiber boundaries: the upper segment list composed through
+        // the lower one.
+        let segs: Vec<usize> = lu.segs.iter().map(|&f| ll.segs[f]).collect();
+        let fused = Level {
+            segs,
+            upper: Some(upper_store),
+            coords: ll.coords.clone(),
+        };
+        let mut levels = self.levels.clone();
+        levels.splice(d..=d + 1, [fused]);
+        Ok(CompressedTensor {
+            name: self.name.clone(),
+            rank_ids,
+            rank_shapes: shapes,
+            levels,
+            values: self.values.clone(),
+        })
     }
 }
 

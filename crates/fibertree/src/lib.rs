@@ -17,18 +17,29 @@
 //!
 //! - [`Tensor`] — the *owned* fibertree: every fiber is its own
 //!   allocation, payloads nest recursively. Supports in-place writes
-//!   ([`Tensor::set`], [`fiber::Fiber::get_or_insert_with`]) and all the
-//!   content-preserving transforms, including flattening into tuple
-//!   coordinates. Use it for outputs, intermediates, transform pipelines,
-//!   and small workloads.
+//!   ([`Tensor::set`], [`fiber::Fiber::get_or_insert_with`]) and
+//!   arbitrary-depth flattening into tuple coordinates. Use it for small
+//!   workloads, in-place construction, and as the oracle the compressed
+//!   path is tested against.
 //! - [`CompressedTensor`] — *compressed sparse fiber* (CSF) storage: two
-//!   flat arrays per rank plus one leaf value arena. Read-only, point
-//!   coordinates only, built in one pass from COO entries
-//!   ([`CompressedTensor::from_entries`]) or from an owned tree
+//!   flat arrays per rank (coordinates narrowed to `u32` when the rank
+//!   extent fits) plus one leaf value arena, built in one pass from COO
+//!   entries ([`CompressedTensor::from_entries`]), streamed through a
+//!   [`CompressedBuilder`], or converted from an owned tree
 //!   ([`CompressedTensor::from_tensor`]). Iteration touches contiguous
 //!   memory and cloning is a flat copy, so multi-million-entry inputs
 //!   (graph adjacencies, SuiteSparse-scale matrices) co-iterate without
-//!   pointer-chasing. Use it for every large, read-only input.
+//!   pointer-chasing. Use it for every large tensor.
+//!
+//! The content-preserving transforms run natively on both
+//! representations, bit-identically: [`CompressedTensor::swizzle`] is a
+//! key-permutation re-sort (no tree build),
+//! [`CompressedTensor::partition_rank`] a pure segment-array split, and
+//! [`CompressedTensor::flatten_rank`] a segment fusion producing
+//! pair-coordinate levels (one flatten; deeper tuples stay owned). Every
+//! decompression ([`CompressedTensor::to_tensor`]) is counted by
+//! [`telemetry::decompress_count`], so a pipeline that claims to be
+//! compressed-native can prove it.
 //!
 //! [`TensorData`] erases the choice, and [`FiberView`] /
 //! [`PayloadView`] cursors iterate both identically — the streaming
@@ -36,7 +47,8 @@
 //! against the cursors, never against a concrete representation. A
 //! round-trip (`from_entries → compress → iterate`) yields the same
 //! entries, matches, and [`CoIterStats`] either way; property tests pin
-//! that equivalence.
+//! that equivalence, and `proptest_compressed_transforms` pins the
+//! transform primitives bit-identical to the owned oracle.
 //!
 //! ## Quick tour
 //!
@@ -91,6 +103,7 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod compressed;
 pub mod coord;
 pub mod error;
@@ -100,9 +113,11 @@ pub mod iterate;
 pub mod partition;
 pub mod semiring;
 pub mod swizzle;
+pub mod telemetry;
 pub mod tensor;
 pub mod view;
 
+pub use builder::CompressedBuilder;
 pub use compressed::CompressedTensor;
 pub use coord::{Coord, Shape};
 pub use error::FibertreeError;

@@ -8,6 +8,7 @@
 //! same number of elements, using a leader tensor's boundaries so that
 //! co-iterated followers stay aligned.
 
+use crate::compressed::{CompressedTensor, Level};
 use crate::coord::{Coord, Shape};
 use crate::error::FibertreeError;
 use crate::fiber::{Fiber, Payload};
@@ -241,6 +242,224 @@ impl Tensor {
             collect_boundaries_by_path(f, d, size, &mut path, &mut out)?;
         }
         Ok(out)
+    }
+}
+
+impl CompressedTensor {
+    /// Partitions rank `rank` into two ranks `[upper_name, lower_name]` —
+    /// the compressed-native counterpart of [`Tensor::partition_rank`],
+    /// bit-identical to compressing its result.
+    ///
+    /// Runs as a pure segment-array split: the target level's coordinate
+    /// array is scanned once per fiber to find partition boundaries, a new
+    /// upper level of partition bases is emitted, and the lower level
+    /// reuses the original coordinate store (element order never changes).
+    /// Ranks above and below — and the value arena — are untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rank is unknown, the split size is zero,
+    /// shape-based splitting hits a pair-coordinate rank, or externally
+    /// supplied boundaries are not representable at the rank's arity.
+    pub fn partition_rank(
+        &self,
+        rank: &str,
+        kind: SplitKind,
+        upper_name: &str,
+        lower_name: &str,
+    ) -> Result<CompressedTensor, FibertreeError> {
+        let d = self.rank_index(rank)?;
+        match &kind {
+            SplitKind::UniformShape(0) | SplitKind::UniformOccupancy(0) => {
+                return Err(FibertreeError::ZeroPartition)
+            }
+            _ => {}
+        }
+        let mut rank_ids = self.rank_ids().to_vec();
+        let mut shapes = self.rank_shapes().to_vec();
+        let rank_shape = shapes[d].clone();
+        rank_ids.splice(d..=d, [upper_name.to_string(), lower_name.to_string()]);
+        shapes.splice(d..=d, [rank_shape.clone(), rank_shape.clone()]);
+
+        let old = &self.levels[d];
+        let arity = old.arity();
+        if matches!(kind, SplitKind::UniformShape(_)) && arity != 1 {
+            return Err(FibertreeError::NotAnInterval {
+                rank: rank_shape.to_string(),
+            });
+        }
+        let mut upper_level = old.new_like();
+        let mut lower_segs: Vec<usize> = vec![0];
+
+        self.walk_fibers(d, &mut |idx, path: &[Coord], s, e| {
+            let by_path_bounds;
+            let bounds: Option<&[Coord]> = match &kind {
+                SplitKind::Boundaries(per_fiber) => Some(if per_fiber.len() == 1 {
+                    &per_fiber[0]
+                } else {
+                    per_fiber.get(idx).ok_or(FibertreeError::ZeroPartition)?
+                }),
+                SplitKind::BoundariesByPath(by_path) => {
+                    // The leader has no fiber here: every element opens its
+                    // own group at its first coordinate (an empty boundary
+                    // list), exactly like the owned follower path.
+                    by_path_bounds = by_path.get(path);
+                    Some(by_path_bounds.map(Vec::as_slice).unwrap_or(&[]))
+                }
+                _ => None,
+            };
+            let mut current: Option<(u64, u64)> = None;
+            let mut bi = 0usize;
+            for p in s..e {
+                let base: (u64, u64) = match &kind {
+                    SplitKind::UniformShape(chunk) => {
+                        let c = self.raw_at(d, p).0;
+                        ((c / chunk) * chunk, 0)
+                    }
+                    SplitKind::UniformOccupancy(size) => {
+                        if (p - s) % size == 0 {
+                            self.raw_at(d, p)
+                        } else {
+                            current.expect("a chunk is open after its first element")
+                        }
+                    }
+                    SplitKind::Boundaries(_) | SplitKind::BoundariesByPath(_) => {
+                        let bounds = bounds.expect("boundary kinds carry bounds");
+                        let key = self.coord_key(d, p);
+                        while bi < bounds.len() && !key.cmp_coord(&bounds[bi]).is_lt() {
+                            bi += 1;
+                        }
+                        if bi == 0 {
+                            // Precedes every boundary: open leading group.
+                            self.raw_at(d, p)
+                        } else {
+                            raw_of_coord(&bounds[bi - 1], arity)?
+                        }
+                    }
+                };
+                if current != Some(base) {
+                    if current.is_some() {
+                        lower_segs.push(p);
+                    }
+                    upper_level.push_raw(base);
+                    current = Some(base);
+                }
+            }
+            if current.is_some() {
+                lower_segs.push(e);
+            }
+            let end = upper_level.coords.len();
+            upper_level.segs.push(end);
+            Ok(())
+        })?;
+
+        let lower_level = Level {
+            segs: lower_segs,
+            upper: old.upper.clone(),
+            coords: old.coords.clone(),
+        };
+        let mut levels = self.levels.clone();
+        levels.splice(d..=d, [upper_level, lower_level]);
+        Ok(CompressedTensor {
+            name: self.name.clone(),
+            rank_ids,
+            rank_shapes: shapes,
+            levels,
+            values: self.values.clone(),
+        })
+    }
+
+    /// Computes per-fiber occupancy boundaries at the given rank, keyed by
+    /// the coordinate path above it — the compressed-native counterpart of
+    /// [`Tensor::occupancy_boundaries_by_path`], producing an identical
+    /// map (leaders and followers interoperate across representations).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the rank is unknown or `size == 0`.
+    pub fn occupancy_boundaries_by_path(
+        &self,
+        rank: &str,
+        size: usize,
+    ) -> Result<std::collections::BTreeMap<Vec<Coord>, Vec<Coord>>, FibertreeError> {
+        if size == 0 {
+            return Err(FibertreeError::ZeroPartition);
+        }
+        let d = self.rank_index(rank)?;
+        let mut out = std::collections::BTreeMap::new();
+        self.walk_fibers(d, &mut |_, path, s, e| {
+            let bounds: Vec<Coord> = (s..e)
+                .step_by(size)
+                .map(|p| self.coord_at_level(d, p))
+                .collect();
+            out.insert(path.to_vec(), bounds);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Visits every fiber at `level` in depth-first order with its index,
+    /// ancestor coordinate path, and element range.
+    pub(crate) fn walk_fibers(
+        &self,
+        level: usize,
+        visit: &mut impl FnMut(usize, &[Coord], usize, usize) -> Result<(), FibertreeError>,
+    ) -> Result<(), FibertreeError> {
+        #[allow(clippy::too_many_arguments)] // internal recursion carrying cursors
+        fn rec(
+            c: &CompressedTensor,
+            cur: usize,
+            s: usize,
+            e: usize,
+            target: usize,
+            path: &mut Vec<Coord>,
+            idx: &mut usize,
+            visit: &mut impl FnMut(usize, &[Coord], usize, usize) -> Result<(), FibertreeError>,
+        ) -> Result<(), FibertreeError> {
+            if cur == target {
+                let i = *idx;
+                *idx += 1;
+                return visit(i, path, s, e);
+            }
+            for p in s..e {
+                path.push(c.coord_at_level(cur, p));
+                let (cs, ce) = c.child_range(cur, p);
+                rec(c, cur + 1, cs, ce, target, path, idx, visit)?;
+                path.pop();
+            }
+            Ok(())
+        }
+        if self.order() == 0 {
+            return Ok(());
+        }
+        let mut path = Vec::new();
+        let mut idx = 0usize;
+        rec(
+            self,
+            0,
+            0,
+            self.level_len(0),
+            level,
+            &mut path,
+            &mut idx,
+            visit,
+        )
+    }
+}
+
+/// Converts a boundary coordinate to a raw key at the given level arity.
+fn raw_of_coord(c: &Coord, arity: usize) -> Result<(u64, u64), FibertreeError> {
+    match (c, arity) {
+        (Coord::Point(p), 1) => Ok((*p, 0)),
+        (Coord::Tuple(cs), 2) => match cs.as_slice() {
+            [Coord::Point(a), Coord::Point(b)] => Ok((*a, *b)),
+            _ => Err(FibertreeError::NotCompressible {
+                reason: format!("boundary coordinate {c} is not a pair of points"),
+            }),
+        },
+        _ => Err(FibertreeError::NotCompressible {
+            reason: format!("boundary coordinate {c} does not match the rank's arity {arity}"),
+        }),
     }
 }
 

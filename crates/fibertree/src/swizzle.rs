@@ -6,10 +6,37 @@
 
 use std::collections::BTreeMap;
 
+use crate::builder::CompressedBuilder;
+use crate::compressed::CompressedTensor;
 use crate::coord::{Coord, Shape};
 use crate::error::FibertreeError;
 use crate::fiber::{Fiber, Payload};
 use crate::tensor::Tensor;
+
+/// Computes the permutation mapping new rank positions to old ones.
+///
+/// # Errors
+///
+/// Returns [`FibertreeError::BadPermutation`] if `order` is not a
+/// permutation of `rank_ids`.
+pub fn permutation_of(rank_ids: &[String], order: &[&str]) -> Result<Vec<usize>, FibertreeError> {
+    let bad = || FibertreeError::BadPermutation {
+        requested: order.iter().map(|s| s.to_string()).collect(),
+        have: rank_ids.to_vec(),
+    };
+    if order.len() != rank_ids.len() {
+        return Err(bad());
+    }
+    let mut perm = Vec::with_capacity(order.len());
+    for r in order {
+        let idx = rank_ids.iter().position(|x| x == r).ok_or_else(bad)?;
+        if perm.contains(&idx) {
+            return Err(bad());
+        }
+        perm.push(idx);
+    }
+    Ok(perm)
+}
 
 impl Tensor {
     /// Returns a tensor with the same content and the given rank order.
@@ -60,26 +87,88 @@ impl Tensor {
     /// Returns [`FibertreeError::BadPermutation`] if `order` is not a
     /// permutation of the tensor's rank ids.
     pub fn permutation_for(&self, order: &[&str]) -> Result<Vec<usize>, FibertreeError> {
-        let bad = || FibertreeError::BadPermutation {
-            requested: order.iter().map(|s| s.to_string()).collect(),
-            have: self.rank_ids().to_vec(),
-        };
-        if order.len() != self.order() {
-            return Err(bad());
+        permutation_of(self.rank_ids(), order)
+    }
+}
+
+impl CompressedTensor {
+    /// Returns a compressed tensor with the same content and the given
+    /// rank order — the compressed-native counterpart of
+    /// [`Tensor::swizzle`], and bit-identical to compressing its result.
+    ///
+    /// Runs entirely on the flat arrays: one pass gathers each leaf's
+    /// coordinate path with the permutation applied, a sort re-orders the
+    /// keys, and a [`CompressedBuilder`] appends the sorted stream — no
+    /// owned tree is ever materialized.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::BadPermutation`] if `order` is not a
+    /// permutation of this tensor's rank ids.
+    pub fn swizzle(&self, order: &[&str]) -> Result<CompressedTensor, FibertreeError> {
+        let perm = permutation_of(self.rank_ids(), order)?;
+        if perm.iter().enumerate().all(|(i, &p)| i == p) {
+            return Ok(self.clone());
         }
-        let mut perm = Vec::with_capacity(order.len());
-        for r in order {
-            let idx = self
-                .rank_ids()
-                .iter()
-                .position(|x| x == r)
-                .ok_or_else(bad)?;
-            if perm.contains(&idx) {
-                return Err(bad());
+        let shapes: Vec<Shape> = perm
+            .iter()
+            .map(|&p| self.rank_shapes()[p].clone())
+            .collect();
+        // Gather every nonzero leaf as its permuted raw key (mirroring
+        // Tensor::swizzle, which rebuilds from `leaves()` and therefore
+        // drops explicit zeros). Keys live in one flat buffer, `order`
+        // slots per leaf, and an index sort avoids a per-leaf allocation.
+        let n = self.order();
+        let mut keys: Vec<(u64, u64)> = Vec::with_capacity(n * self.nnz());
+        let mut vals: Vec<f64> = Vec::with_capacity(self.nnz());
+        let mut path = vec![(0u64, 0u64); n];
+        self.gather_raw(
+            0,
+            0,
+            self.level_len(0),
+            &perm,
+            &mut path,
+            &mut keys,
+            &mut vals,
+        );
+        let mut idx: Vec<usize> = (0..vals.len()).collect();
+        idx.sort_unstable_by(|&a, &b| keys[a * n..(a + 1) * n].cmp(&keys[b * n..(b + 1) * n]));
+        let mut b = CompressedBuilder::new(
+            self.name(),
+            order.iter().map(|s| s.to_string()).collect(),
+            shapes,
+        )?;
+        for &i in &idx {
+            b.push_raw(&keys[i * n..(i + 1) * n], vals[i])?;
+        }
+        Ok(b.finish())
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal recursion carrying cursors
+    fn gather_raw(
+        &self,
+        level: usize,
+        start: usize,
+        end: usize,
+        perm: &[usize],
+        path: &mut [(u64, u64)],
+        keys: &mut Vec<(u64, u64)>,
+        vals: &mut Vec<f64>,
+    ) {
+        let leaf = level + 1 == self.order();
+        for p in start..end {
+            path[level] = self.raw_at(level, p);
+            if leaf {
+                let v = self.value_at(p);
+                if v != 0.0 {
+                    keys.extend(perm.iter().map(|&i| path[i]));
+                    vals.push(v);
+                }
+            } else {
+                let (cs, ce) = self.child_range(level, p);
+                self.gather_raw(level + 1, cs, ce, perm, path, keys, vals);
             }
-            perm.push(idx);
         }
-        Ok(perm)
     }
 }
 

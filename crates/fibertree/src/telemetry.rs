@@ -1,0 +1,39 @@
+//! Process-wide storage telemetry.
+//!
+//! A single counter tracks every decompression
+//! ([`CompressedTensor::to_tensor`](crate::CompressedTensor::to_tensor)),
+//! which is the one operation a compressed-native pipeline must never
+//! perform. The simulator's integration tests snapshot it around a run to
+//! prove the hot path stayed in the compressed representation — silent
+//! fallbacks to the owned path show up as a nonzero delta instead of as a
+//! quiet performance cliff.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DECOMPRESSIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of `CompressedTensor::to_tensor` decompressions performed by
+/// this process so far. Monotonic; compare snapshots rather than
+/// resetting, so concurrent tests cannot race a reset.
+pub fn decompress_count() -> u64 {
+    DECOMPRESSIONS.load(Ordering::Relaxed)
+}
+
+pub(crate) fn note_decompress() {
+    DECOMPRESSIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compressed::CompressedTensor;
+
+    #[test]
+    fn to_tensor_increments_the_counter() {
+        let c = CompressedTensor::from_entries("T", &["I"], &[4], vec![(vec![1], 1.0)]).unwrap();
+        let before = decompress_count();
+        let _ = c.to_tensor();
+        let _ = c.to_tensor();
+        assert!(decompress_count() >= before + 2);
+    }
+}

@@ -50,46 +50,91 @@ pub enum PayloadView<'a> {
 
 /// A borrowed-or-inline coordinate, for comparisons that must not
 /// allocate: owned fibers lend `&Coord` (possibly a tuple), compressed
-/// fibers produce inline points.
+/// fibers produce inline points or pairs (flattened ranks).
 #[derive(Clone, Copy, Debug)]
 pub enum CoordKey<'a> {
     /// A coordinate borrowed from an owned fiber.
     Borrowed(&'a Coord),
     /// An inline point coordinate from a compressed fiber.
     Point(u64),
+    /// An inline pair coordinate from a compressed flattened rank.
+    Pair(u64, u64),
+}
+
+/// Compares an inline `(a, b)` pair against a materialized coordinate,
+/// agreeing with [`Coord`]'s derived `Ord` (points before tuples, tuples
+/// lexicographic with length tiebreak) without allocating.
+#[inline]
+fn pair_cmp_coord(a: u64, b: u64, other: &Coord) -> Ordering {
+    match other {
+        Coord::Point(_) => Ordering::Greater,
+        Coord::Tuple(cs) => {
+            for (mine, theirs) in [Coord::Point(a), Coord::Point(b)].iter().zip(cs) {
+                match mine.cmp(theirs) {
+                    Ordering::Equal => {}
+                    o => return o,
+                }
+            }
+            2usize.cmp(&cs.len())
+        }
+    }
 }
 
 impl CoordKey<'_> {
     /// Total order, agreeing with [`Coord`]'s `Ord` (points before
     /// tuples, tuples lexicographic).
+    #[inline]
     pub fn cmp_key(&self, other: &CoordKey<'_>) -> Ordering {
         match (self, other) {
             (CoordKey::Point(a), CoordKey::Point(b)) => a.cmp(b),
+            (CoordKey::Pair(a, b), CoordKey::Pair(c, d)) => (a, b).cmp(&(c, d)),
+            (CoordKey::Point(_), CoordKey::Pair(..)) => Ordering::Less,
+            (CoordKey::Pair(..), CoordKey::Point(_)) => Ordering::Greater,
             (CoordKey::Borrowed(a), CoordKey::Borrowed(b)) => a.cmp(b),
-            (CoordKey::Borrowed(a), CoordKey::Point(b)) => (*a).cmp(&Coord::Point(*b)),
-            (CoordKey::Point(a), CoordKey::Borrowed(b)) => Coord::Point(*a).cmp(b),
+            (CoordKey::Borrowed(a), _) => other.cmp_coord(a).reverse(),
+            (_, CoordKey::Borrowed(b)) => self.cmp_coord(b),
         }
     }
 
     /// Comparison against a materialized coordinate.
+    #[inline]
     pub fn cmp_coord(&self, other: &Coord) -> Ordering {
         match self {
             CoordKey::Borrowed(a) => (*a).cmp(other),
             CoordKey::Point(a) => Coord::Point(*a).cmp(other),
+            CoordKey::Pair(a, b) => pair_cmp_coord(*a, *b, other),
         }
     }
 
     /// Materializes the coordinate (clones tuples, copies points).
+    #[inline]
     pub fn to_coord(&self) -> Coord {
         match self {
             CoordKey::Borrowed(c) => (*c).clone(),
             CoordKey::Point(p) => Coord::Point(*p),
+            CoordKey::Pair(a, b) => Coord::pair(*a, *b),
         }
     }
 }
 
 impl<'a> FiberView<'a> {
+    /// A cursor onto a compressed tensor's root fiber (`None` for
+    /// scalars).
+    pub fn of_compressed(tree: &'a CompressedTensor) -> Option<FiberView<'a>> {
+        if tree.order() == 0 {
+            None
+        } else {
+            Some(FiberView::Compressed {
+                tree,
+                level: 0,
+                start: 0,
+                end: tree.level_len(0),
+            })
+        }
+    }
+
     /// Number of (present) elements in the fiber.
+    #[inline]
     pub fn occupancy(&self) -> usize {
         match self {
             FiberView::Owned(f) => f.occupancy(),
@@ -116,16 +161,18 @@ impl<'a> FiberView<'a> {
     }
 
     /// The coordinate at `pos` as an allocation-free comparison key.
+    #[inline]
     pub fn coord_key_at(&self, pos: usize) -> CoordKey<'a> {
         match self {
             FiberView::Owned(f) => CoordKey::Borrowed(&f.elements()[pos].coord),
             FiberView::Compressed {
                 tree, level, start, ..
-            } => CoordKey::Point(tree.level_coords(*level)[start + pos]),
+            } => tree.coord_key(*level, start + pos),
         }
     }
 
     /// The payload at `pos`.
+    #[inline]
     pub fn payload_at(&self, pos: usize) -> PayloadView<'a> {
         match self {
             FiberView::Owned(f) => PayloadView::of(&f.elements()[pos].payload),
@@ -152,12 +199,13 @@ impl<'a> FiberView<'a> {
     /// backing storage for the lifetime of the borrow. The simulator's
     /// instrumentation uses this to deduplicate touches; the value itself
     /// carries no meaning.
+    #[inline]
     pub fn payload_key(&self, pos: usize) -> usize {
         match self {
             FiberView::Owned(f) => &f.elements()[pos].payload as *const Payload as usize,
             FiberView::Compressed {
                 tree, level, start, ..
-            } => &tree.level_coords(*level)[start + pos] as *const u64 as usize,
+            } => tree.payload_key(*level, start + pos),
         }
     }
 
@@ -170,12 +218,9 @@ impl<'a> FiberView<'a> {
                 level,
                 start,
                 end,
-            } => {
-                let p = coord.as_point()?;
-                tree.level_coords(*level)[*start..*end]
-                    .binary_search(&p)
-                    .ok()
-            }
+            } => tree
+                .position_in(*level, *start, *end, &CoordKey::Borrowed(coord))
+                .map(|p| p - start),
         }
     }
 
@@ -191,15 +236,9 @@ impl<'a> FiberView<'a> {
                 level,
                 start,
                 end,
-            } => {
-                let p = match key {
-                    CoordKey::Point(p) => *p,
-                    CoordKey::Borrowed(c) => c.as_point()?,
-                };
-                tree.level_coords(*level)[*start..*end]
-                    .binary_search(&p)
-                    .ok()
-            }
+            } => tree
+                .position_in(*level, *start, *end, key)
+                .map(|p| p - start),
         }
     }
 
@@ -331,6 +370,14 @@ impl TensorData {
         }
     }
 
+    /// Per-rank `(fiber count, total occupancy)` statistics.
+    pub fn rank_stats(&self) -> Vec<(usize, usize)> {
+        match self {
+            TensorData::Owned(t) => t.rank_stats(),
+            TensorData::Compressed(c) => c.rank_stats(),
+        }
+    }
+
     /// A cursor onto the root payload.
     pub fn root_view(&self) -> PayloadView<'_> {
         match self {
@@ -343,7 +390,7 @@ impl TensorData {
                         tree: c,
                         level: 0,
                         start: 0,
-                        end: c.level_coords(0).len(),
+                        end: c.level_len(0),
                     })
                 }
             }
@@ -380,9 +427,66 @@ impl TensorData {
         }
     }
 
+    /// Looks up the value at a point, in either representation.
+    pub fn get(&self, point: &[u64]) -> Option<f64> {
+        match self {
+            TensorData::Owned(t) => t.get(point),
+            TensorData::Compressed(c) => c.get(point),
+        }
+    }
+
+    /// Enumerates `(path, value)` for every nonzero leaf (coordinates may
+    /// be tuples on flattened ranks), in lexicographic order.
+    pub fn leaves(&self) -> Vec<(Vec<Coord>, f64)> {
+        match self {
+            TensorData::Owned(t) => t.leaves(),
+            TensorData::Compressed(c) => c.leaves(),
+        }
+    }
+
+    /// Enumerates `(point, value)` for every nonzero leaf, in
+    /// lexicographic order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a flattened (tuple-coordinate) rank is encountered.
+    pub fn entries(&self) -> Vec<(Vec<u64>, f64)> {
+        match self {
+            TensorData::Owned(t) => t.entries(),
+            TensorData::Compressed(c) => c.entries(),
+        }
+    }
+
+    /// Maximum elementwise absolute difference against another tensor in
+    /// either representation — convenience for functional validation,
+    /// without decompressing either side.
+    pub fn max_abs_diff(&self, other: &TensorData) -> f64 {
+        let mut points: std::collections::BTreeMap<Vec<Coord>, (f64, f64)> =
+            std::collections::BTreeMap::new();
+        for (p, v) in self.leaves() {
+            points.entry(p).or_insert((0.0, 0.0)).0 = v;
+        }
+        for (p, v) in other.leaves() {
+            points.entry(p).or_insert((0.0, 0.0)).1 = v;
+        }
+        points
+            .values()
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
     /// Whether this is the compressed representation.
     pub fn is_compressed(&self) -> bool {
         matches!(self, TensorData::Compressed(_))
+    }
+}
+
+impl std::fmt::Display for TensorData {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorData::Owned(t) => t.fmt(f),
+            TensorData::Compressed(c) => c.fmt(f),
+        }
     }
 }
 

@@ -127,6 +127,8 @@ pub fn run(
     // storage order (so the engine's offline swizzle is the identity) and
     // *borrowed* by every superstep — the engine iterates it through
     // cursors, so a multi-million-edge graph is never cloned or rebuilt.
+    // Supersteps run through `run_data_compressed`, so per-iteration
+    // outputs stream into CSF arrays instead of rebuilding owned trees.
     let g = TensorData::Compressed(graph.compressed_source_major("G", ["S", "V"], weighted));
 
     let mut properties = vec![UNDISCOVERED; v as usize];
@@ -147,10 +149,10 @@ pub fn run(
             v,
             properties.iter().enumerate().map(|(i, &p)| (i as u64, p)),
         );
-        let report = sim.run_data(&[&g, &a0, &p0])?;
+        let report = sim.run_data_compressed(&[&g, &a0, &p0])?;
 
-        let r = report.outputs.get("R").map_or(0, Tensor::nnz);
-        let modified = report.outputs.get("M").map_or(0, Tensor::nnz);
+        let r = report.outputs.get("R").map_or(0, TensorData::nnz);
+        let modified = report.outputs.get("M").map_or(0, TensorData::nnz);
         let updates: Vec<(u64, f64)> = match design {
             GraphDesign::Graphicionado => {
                 let p1 = report.outputs.get("P1").expect("cascade produces P1");
@@ -316,6 +318,25 @@ mod tests {
             gi.metrics.total_seconds()
         );
         assert!(pr.metrics.total_dram_bytes() < gi.metrics.total_dram_bytes());
+    }
+
+    #[test]
+    fn supersteps_never_decompress_the_adjacency() {
+        // The driver borrows one compressed adjacency across every
+        // superstep and assembles outputs through run_data_compressed;
+        // nothing on that path may round-trip through an owned tree. The
+        // counter is process-wide and monotonic, so this holds even with
+        // the other tests running concurrently — none of them may
+        // decompress either.
+        let g = small_graph(false);
+        let before = teaal_fibertree::telemetry::decompress_count();
+        let run = run(GraphDesign::GraphDynS, Algorithm::Bfs, &g, g.hub()).unwrap();
+        assert!(!run.metrics.iterations.is_empty());
+        assert_eq!(
+            teaal_fibertree::telemetry::decompress_count(),
+            before,
+            "a graph superstep decompressed a tensor on the hot path"
+        );
     }
 
     #[test]

@@ -16,12 +16,13 @@
 use std::collections::BTreeMap;
 
 use teaal_core::einsum::Rhs;
-use teaal_core::ir::{Descent, EinsumPlan, PlanStep};
+use teaal_core::ir::{Descent, EinsumPlan, PlanStep, TensorPlan};
 use teaal_fibertree::iterate::{intersect_stream, union_stream, IntersectStream, UnionStream};
 use teaal_fibertree::partition::SplitKind;
 use teaal_fibertree::swizzle::from_coord_entries;
 use teaal_fibertree::{
-    Coord, Fiber, FiberView, IntersectPolicy, Payload, PayloadView, Shape, Tensor, TensorData,
+    CompressedBuilder, CompressedTensor, Coord, FiberView, IntersectPolicy, PayloadView, Shape,
+    Tensor, TensorData,
 };
 
 use crate::counters::{Instruments, MergeGroup};
@@ -84,29 +85,55 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// Executes the plan, assembling an owned output tensor.
+    ///
+    /// Convenience wrapper over [`Engine::execute_data`] with an owned
+    /// output.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::execute_data`].
+    pub fn execute(
+        &self,
+        inputs: &BTreeMap<String, &TensorData>,
+        instruments: &mut Instruments,
+        boundaries: &mut BoundaryCache,
+    ) -> Result<Tensor, SimError> {
+        self.execute_data(inputs, instruments, boundaries, false)
+            .map(TensorData::into_tensor)
+    }
+
     /// Executes the plan.
     ///
     /// `inputs` must contain every input tensor (cascade inputs and
     /// already-produced intermediates) in either representation;
     /// `instruments` receives the access stream; `boundaries` carries
-    /// leader partition boundaries across tensors.
+    /// leader partition boundaries across tensors. With
+    /// `compressed_output`, the accumulated output drains through a
+    /// [`CompressedBuilder`] into CSF storage instead of an owned tree —
+    /// `O(output nnz)` allocations, no tree build.
     ///
     /// # Errors
     ///
-    /// Returns [`SimError`] when inputs are missing, a transform fails, or
-    /// a dense loop rank has no known extent.
-    pub fn execute<'t>(
+    /// Returns [`SimError`] when inputs are missing, a transform fails, a
+    /// dense loop rank has no known extent, or the plan descends deeper
+    /// than a tensor's working order ([`SimError::PhantomRank`]).
+    pub fn execute_data<'t>(
         &self,
         inputs: &BTreeMap<String, &'t TensorData>,
         instruments: &mut Instruments,
         boundaries: &mut BoundaryCache,
-    ) -> Result<Tensor, SimError> {
+        compressed_output: bool,
+    ) -> Result<TensorData, SimError> {
         // 1. Transform inputs per plan (leaders first — plan order).
         // Untransformed inputs are borrowed rather than cloned — the graph
         // driver re-executes cascades every superstep against the same
-        // multi-million-entry compressed adjacency. Transform pipelines
-        // materialize an owned tree (decompressing if needed) and operate
-        // on that.
+        // multi-million-entry compressed adjacency. Compressed inputs run
+        // the transform pipeline compressed-natively whenever the result
+        // is representable (everything except flattening beyond pair
+        // coordinates); only then does the owned path serve as fallback,
+        // and the choice is decided *up front* so no instrument effects
+        // are ever half-applied.
         let mut tensors: Vec<std::borrow::Cow<'t, TensorData>> = Vec::new();
         let mut tensor_names: Vec<String> = Vec::new();
         for tp in &self.plan.tensor_plans {
@@ -119,15 +146,36 @@ impl<'p> Engine<'p> {
                     })?;
             let needs_swizzle = input.rank_ids() != tp.initial_order.as_slice();
             let t = if needs_swizzle || !tp.steps.is_empty() {
-                let mut t = input.to_tensor();
-                if needs_swizzle {
-                    let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
-                    t = t.swizzle(&want)?;
+                match input {
+                    TensorData::Compressed(c) if compressed_pipeline_supported(c, tp) => {
+                        let ct = self.transform_compressed(
+                            c,
+                            tp,
+                            needs_swizzle,
+                            instruments,
+                            boundaries,
+                        )?;
+                        std::borrow::Cow::Owned(TensorData::Compressed(ct))
+                    }
+                    _ => {
+                        let mut t = input.to_tensor();
+                        if needs_swizzle {
+                            let want: Vec<&str> =
+                                tp.initial_order.iter().map(String::as_str).collect();
+                            t = t.swizzle(&want)?;
+                        }
+                        for step in &tp.steps {
+                            t = self.apply_step(
+                                t,
+                                tp.online_swizzle,
+                                step,
+                                instruments,
+                                boundaries,
+                            )?;
+                        }
+                        std::borrow::Cow::Owned(TensorData::Owned(t))
+                    }
                 }
-                for step in &tp.steps {
-                    t = self.apply_step(t, tp.online_swizzle, step, instruments, boundaries)?;
-                }
-                std::borrow::Cow::Owned(TensorData::Owned(t))
             } else {
                 std::borrow::Cow::Borrowed(input)
             };
@@ -148,19 +196,23 @@ impl<'p> Engine<'p> {
                 })?;
             access_tensor.push(ti);
             // The working rank consumed by the access's k-th descent is the
-            // k-th rank of the tensor's working order.
+            // k-th rank of the tensor's working order. Descending past the
+            // working order means the plan is malformed: fail loudly
+            // instead of instrumenting phantom ranks.
             let wo = self.plan.tensor_plans[ti].working_order.clone();
             let mut per_level = Vec::new();
             let mut k = 0usize;
             for level in &self.plan.access_roles[ai].roles {
-                let names: Vec<String> = level
-                    .iter()
-                    .map(|_| {
-                        let name = wo.get(k).cloned().unwrap_or_else(|| format!("leaf{k}"));
-                        k += 1;
-                        name
-                    })
-                    .collect();
+                let mut names = Vec::with_capacity(level.len());
+                for _ in level {
+                    let name = wo.get(k).cloned().ok_or_else(|| SimError::PhantomRank {
+                        tensor: self.plan.tensor_plans[ti].tensor.clone(),
+                        depth: k,
+                        working_order: wo.clone(),
+                    })?;
+                    names.push(name);
+                    k += 1;
+                }
                 per_level.push(names.join("/"));
             }
             access_rank_names.push(per_level);
@@ -193,7 +245,84 @@ impl<'p> Engine<'p> {
         exec.level(0, &mut state, instruments)?;
 
         // 4. Assemble the output tensor.
-        self.build_output(state.out, instruments)
+        if compressed_output {
+            self.build_output_as::<CompressedTensor>(state.out, instruments)
+                .map(TensorData::Compressed)
+        } else {
+            self.build_output_as::<Tensor>(state.out, instruments)
+                .map(TensorData::Owned)
+        }
+    }
+
+    /// Applies a compressed input's transform pipeline entirely on CSF
+    /// arrays. [`compressed_pipeline_supported`] must have approved the
+    /// plan; failures here are real errors, never silent fallbacks.
+    fn transform_compressed(
+        &self,
+        input: &CompressedTensor,
+        tp: &TensorPlan,
+        needs_swizzle: bool,
+        instruments: &mut Instruments,
+        boundaries: &mut BoundaryCache,
+    ) -> Result<CompressedTensor, SimError> {
+        let mut cur: std::borrow::Cow<'_, CompressedTensor> = if needs_swizzle {
+            let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
+            std::borrow::Cow::Owned(input.swizzle(&want)?)
+        } else {
+            std::borrow::Cow::Borrowed(input)
+        };
+        for step in &tp.steps {
+            let next = match step {
+                PlanStep::Swizzle(order) => {
+                    if tp.online_swizzle {
+                        record_merge_groups_view(
+                            cur.name(),
+                            cur.rank_ids(),
+                            FiberView::of_compressed(&cur),
+                            order,
+                            instruments,
+                        );
+                    }
+                    let o: Vec<&str> = order.iter().map(String::as_str).collect();
+                    cur.swizzle(&o)?
+                }
+                PlanStep::Flatten { upper, new_name } => cur.flatten_rank(upper, new_name)?,
+                PlanStep::SplitShape {
+                    rank,
+                    size,
+                    upper,
+                    lower,
+                } => cur.partition_rank(rank, SplitKind::UniformShape(*size), upper, lower)?,
+                PlanStep::SplitOccLeader {
+                    rank,
+                    size,
+                    upper,
+                    lower,
+                } => {
+                    let bounds = cur.occupancy_boundaries_by_path(rank, *size)?;
+                    boundaries.insert((rank.clone(), cur.name().to_string()), bounds);
+                    cur.partition_rank(rank, SplitKind::UniformOccupancy(*size), upper, lower)?
+                }
+                PlanStep::SplitOccFollower {
+                    rank,
+                    leader,
+                    size: _,
+                    upper,
+                    lower,
+                } => {
+                    let bounds = boundaries
+                        .get(&(rank.clone(), leader.clone()))
+                        .cloned()
+                        .ok_or_else(|| SimError::MissingBoundaries {
+                            rank: rank.clone(),
+                            leader: leader.clone(),
+                        })?;
+                    cur.partition_rank(rank, SplitKind::BoundariesByPath(bounds), upper, lower)?
+                }
+            };
+            cur = std::borrow::Cow::Owned(next);
+        }
+        Ok(cur.into_owned())
     }
 
     fn apply_step(
@@ -248,11 +377,18 @@ impl<'p> Engine<'p> {
         })
     }
 
-    fn build_output(
+    /// Assembles the output through one drain shared by both
+    /// representations: filter semiring zeros, optionally permute to
+    /// production order, build via the sink, record online-swizzle merge
+    /// groups, and swizzle back to the target order. Owned and compressed
+    /// outputs therefore stay in lockstep by construction — the
+    /// bit-identical-instruments guarantee cannot drift between two
+    /// copies of this logic.
+    fn build_output_as<S: OutputSink>(
         &self,
         acc: BTreeMap<Vec<u64>, f64>,
         instruments: &mut Instruments,
-    ) -> Result<Tensor, SimError> {
+    ) -> Result<S, SimError> {
         let out_plan = &self.plan.output;
         let target: Vec<String> = out_plan.target_order.clone();
         let shapes: Vec<Shape> = target
@@ -260,12 +396,7 @@ impl<'p> Engine<'p> {
             .map(|r| Shape::Interval(self.rank_extents.get(r).copied().unwrap_or(u64::MAX / 2)))
             .collect();
         let zero = self.ops.semiring.zero();
-
-        let entries: Vec<(Vec<Coord>, f64)> = acc
-            .into_iter()
-            .filter(|(_, v)| *v != zero)
-            .map(|(k, v)| (k.into_iter().map(Coord::Point).collect(), v))
-            .collect();
+        let filtered = acc.into_iter().filter(|(_, v)| *v != zero);
 
         if out_plan.online_swizzle {
             // Build in production order first so the merge fan-in reflects
@@ -280,29 +411,166 @@ impl<'p> Engine<'p> {
                         .expect("produced ⊆ target")
                 })
                 .collect();
-            let prod_entries: Vec<(Vec<Coord>, f64)> = entries
-                .iter()
-                .map(|(k, v)| (perm.iter().map(|&i| k[i].clone()).collect(), *v))
+            let mut prod_entries: Vec<(Vec<u64>, f64)> = filtered
+                .map(|(k, v)| (perm.iter().map(|&i| k[i]).collect(), v))
                 .collect();
+            prod_entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
             let prod_shapes: Vec<Shape> = perm.iter().map(|&i| shapes[i].clone()).collect();
-            let prod_tensor = from_coord_entries(
+            let prod = S::build(
                 &out_plan.tensor,
                 produced.clone(),
                 prod_shapes,
                 prod_entries,
-            );
-            record_merge_groups(&prod_tensor, &target, instruments);
+            )?;
+            prod.record_merges(&target, instruments);
             let o: Vec<&str> = target.iter().map(String::as_str).collect();
-            return Ok(prod_tensor.swizzle(&o)?);
+            return prod.swizzled(&o);
         }
 
-        Ok(from_coord_entries(
-            &out_plan.tensor,
-            target,
-            shapes,
-            entries,
-        ))
+        S::build(&out_plan.tensor, target, shapes, filtered.collect())
     }
+}
+
+/// An output representation the engine can drain its accumulator into.
+/// The sink sees sorted, zero-filtered point entries; both
+/// implementations must stay content-equivalent (pinned by the
+/// `owned_vs_compressed` and `compressed_native` suites).
+trait OutputSink: Sized {
+    fn build(
+        name: &str,
+        rank_ids: Vec<String>,
+        rank_shapes: Vec<Shape>,
+        entries: Vec<(Vec<u64>, f64)>,
+    ) -> Result<Self, SimError>;
+    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments);
+    fn swizzled(&self, order: &[&str]) -> Result<Self, SimError>;
+}
+
+impl OutputSink for Tensor {
+    fn build(
+        name: &str,
+        rank_ids: Vec<String>,
+        rank_shapes: Vec<Shape>,
+        entries: Vec<(Vec<u64>, f64)>,
+    ) -> Result<Self, SimError> {
+        let coords: Vec<(Vec<Coord>, f64)> = entries
+            .into_iter()
+            .map(|(k, v)| (k.into_iter().map(Coord::Point).collect(), v))
+            .collect();
+        Ok(from_coord_entries(name, rank_ids, rank_shapes, coords))
+    }
+
+    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments) {
+        record_merge_groups(self, new_order, instruments);
+    }
+
+    fn swizzled(&self, order: &[&str]) -> Result<Self, SimError> {
+        Ok(self.swizzle(order)?)
+    }
+}
+
+impl OutputSink for CompressedTensor {
+    fn build(
+        name: &str,
+        rank_ids: Vec<String>,
+        rank_shapes: Vec<Shape>,
+        entries: Vec<(Vec<u64>, f64)>,
+    ) -> Result<Self, SimError> {
+        let mut b = CompressedBuilder::new(name, rank_ids, rank_shapes)?;
+        for (k, v) in entries {
+            b.push_point(&k, v)?;
+        }
+        Ok(b.finish())
+    }
+
+    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments) {
+        record_merge_groups_view(
+            self.name(),
+            self.rank_ids(),
+            FiberView::of_compressed(self),
+            new_order,
+            instruments,
+        );
+    }
+
+    fn swizzled(&self, order: &[&str]) -> Result<Self, SimError> {
+        Ok(self.swizzle(order)?)
+    }
+}
+
+/// Whether a compressed input's whole transform pipeline is representable
+/// in CSF storage, decided before any step runs. The only structural
+/// limit is coordinate depth: a flatten whose operands would fuse into
+/// more than a pair needs the owned path. Steps that would *error* the
+/// same way on both paths (unknown ranks, shape-splitting a pair rank)
+/// count as supported — the compressed path reports the identical
+/// failure instead of quietly decompressing.
+fn compressed_pipeline_supported(c: &CompressedTensor, tp: &TensorPlan) -> bool {
+    // Track (rank, coordinate arity) through the pipeline. Steps run
+    // *after* the offline swizzle to the plan's initial order, and
+    // flatten pairs adjacent ranks, so the simulation must lay ranks out
+    // in `tp.initial_order` — not storage order. A bad initial order
+    // errors identically on both paths, so it counts as supported.
+    if tp.initial_order.len() != c.rank_ids().len() {
+        return true;
+    }
+    let mut ranks: Vec<(String, usize)> = Vec::with_capacity(tp.initial_order.len());
+    for r in &tp.initial_order {
+        let Some(i) = c.rank_ids().iter().position(|n| n == r) else {
+            return true; // both paths reject the permutation
+        };
+        let arity = match &c.rank_shapes()[i] {
+            teaal_fibertree::Shape::Interval(_) => 1,
+            teaal_fibertree::Shape::Tuple(cs) => cs.len(),
+        };
+        ranks.push((r.clone(), arity));
+    }
+    if ranks.iter().any(|(_, a)| *a > 2) {
+        return false;
+    }
+    for step in &tp.steps {
+        match step {
+            PlanStep::Swizzle(order) => {
+                let mut next = Vec::with_capacity(ranks.len());
+                for r in order {
+                    match ranks.iter().find(|(n, _)| n == r) {
+                        Some(pair) => next.push(pair.clone()),
+                        None => return true, // both paths reject the permutation
+                    }
+                }
+                ranks = next;
+            }
+            PlanStep::Flatten { upper, new_name } => {
+                let Some(i) = ranks.iter().position(|(n, _)| n == upper) else {
+                    return true; // both paths report the unknown rank
+                };
+                if i + 1 >= ranks.len() {
+                    return true; // both paths reject flattening the bottom rank
+                }
+                let fused = ranks[i].1 + ranks[i + 1].1;
+                if fused > 2 {
+                    return false; // owned path required: deeper than pairs
+                }
+                ranks.splice(i..=i + 1, [(new_name.clone(), fused)]);
+            }
+            PlanStep::SplitShape {
+                rank, upper, lower, ..
+            }
+            | PlanStep::SplitOccLeader {
+                rank, upper, lower, ..
+            }
+            | PlanStep::SplitOccFollower {
+                rank, upper, lower, ..
+            } => {
+                let Some(i) = ranks.iter().position(|(n, _)| n == rank) else {
+                    return true; // both paths report the unknown rank
+                };
+                let arity = ranks[i].1;
+                ranks.splice(i..=i, [(upper.clone(), arity), (lower.clone(), arity)]);
+            }
+        }
+    }
+    true
 }
 
 /// FNV-1a over the output point's coordinate words.
@@ -324,21 +592,44 @@ fn fnv1a_hash(words: &[u64]) -> u64 {
     h
 }
 
-/// Records the merge work of reordering `t` into `new_order`: one group
-/// per fiber at the common-prefix depth, with fan-in equal to that fiber's
-/// occupancy (the number of sorted runs the merger combines).
+/// Records the merge work of reordering an owned tensor into `new_order`.
 fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instruments) {
-    let prefix = t
-        .rank_ids()
+    record_merge_groups_view(
+        t.name(),
+        t.rank_ids(),
+        t.root_fiber().map(FiberView::Owned),
+        new_order,
+        instruments,
+    );
+}
+
+/// Records the merge work of reordering a tensor (in either
+/// representation, via its root cursor) into `new_order`: one group per
+/// fiber at the common-prefix depth, with fan-in equal to that fiber's
+/// occupancy (the number of sorted runs the merger combines).
+fn record_merge_groups_view(
+    name: &str,
+    rank_ids: &[String],
+    root: Option<FiberView<'_>>,
+    new_order: &[String],
+    instruments: &mut Instruments,
+) {
+    let prefix = rank_ids
         .iter()
         .zip(new_order)
         .take_while(|(a, b)| a == b)
         .count();
-    if prefix >= t.order() {
+    if prefix >= rank_ids.len() {
         return;
     }
-    let Some(root) = t.root_fiber() else { return };
-    fn walk(f: &Fiber, depth: usize, target: usize, merges: &mut Vec<MergeGroup>, name: &str) {
+    let Some(root) = root else { return };
+    fn walk(
+        f: FiberView<'_>,
+        depth: usize,
+        target: usize,
+        merges: &mut Vec<MergeGroup>,
+        name: &str,
+    ) {
         if depth == target {
             let elems = f.leaf_count() as u64;
             let ways = f.occupancy() as u64;
@@ -351,13 +642,13 @@ fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instr
             }
             return;
         }
-        for e in f.iter() {
-            if let Payload::Fiber(child) = &e.payload {
+        for pos in 0..f.occupancy() {
+            if let PayloadView::Fiber(child) = f.payload_at(pos) {
                 walk(child, depth + 1, target, merges, name);
             }
         }
     }
-    walk(root, 0, prefix, &mut instruments.merges, t.name());
+    walk(root, 0, prefix, &mut instruments.merges, name);
 }
 
 impl<'e, 'p> Exec<'e, 'p> {
@@ -735,5 +1026,72 @@ mod tests {
     fn fnv1a_hash_distinguishes_order_and_length() {
         assert_ne!(fnv1a_hash(&[1, 2]), fnv1a_hash(&[2, 1]));
         assert_ne!(fnv1a_hash(&[1]), fnv1a_hash(&[1, 0]));
+    }
+
+    fn plan_for(initial_order: &[&str], steps: Vec<PlanStep>) -> TensorPlan {
+        TensorPlan {
+            tensor: "T".into(),
+            initial_order: initial_order.iter().map(|s| s.to_string()).collect(),
+            steps,
+            working_order: Vec::new(),
+            online_swizzle: false,
+        }
+    }
+
+    /// Regression: the support check must simulate the pipeline in the
+    /// plan's *initial* order (the offline swizzle runs before the
+    /// steps), not the input's storage order — flatten adjacency depends
+    /// on it.
+    #[test]
+    fn pipeline_support_simulates_in_initial_order() {
+        // T arrives as [A, CB] where CB is a pair rank.
+        let owned = teaal_fibertree::TensorBuilder::new("T", &["A", "C", "B"], &[4, 4, 4])
+            .entry(&[0, 1, 2], 1.0)
+            .entry(&[3, 0, 1], 2.0)
+            .build()
+            .unwrap()
+            .flatten_rank("C", "CB")
+            .unwrap();
+        let c = CompressedTensor::from_tensor(&owned).unwrap();
+
+        // Plan swizzles to [CB, A] and then flattens CB with A — arity 3,
+        // owned path required. In storage order [A, CB] the flatten
+        // target looks like the bottom rank, which used to fool the check
+        // into approving a pipeline the compressed path must reject.
+        let flatten = PlanStep::Flatten {
+            upper: "CB".into(),
+            new_name: "CBA".into(),
+        };
+        assert!(!compressed_pipeline_supported(
+            &c,
+            &plan_for(&["CB", "A"], vec![flatten.clone()])
+        ));
+        // Same flatten without a swizzle: fusing A with CB is equally
+        // unsupported.
+        let flatten_a = PlanStep::Flatten {
+            upper: "A".into(),
+            new_name: "ACB".into(),
+        };
+        assert!(!compressed_pipeline_supported(
+            &c,
+            &plan_for(&["A", "CB"], vec![flatten_a])
+        ));
+        // Point-only pipelines behind a swizzle stay supported, and a
+        // flatten of the true bottom rank is "supported" because both
+        // paths report the same error.
+        let split = PlanStep::SplitShape {
+            rank: "A".into(),
+            size: 2,
+            upper: "A1".into(),
+            lower: "A0".into(),
+        };
+        assert!(compressed_pipeline_supported(
+            &c,
+            &plan_for(&["CB", "A"], vec![split])
+        ));
+        assert!(compressed_pipeline_supported(
+            &c,
+            &plan_for(&["A", "CB"], vec![flatten])
+        ));
     }
 }

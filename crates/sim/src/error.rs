@@ -23,6 +23,17 @@ pub enum SimError {
         /// The leader tensor that never ran.
         leader: String,
     },
+    /// An access descends deeper than its tensor's working rank order —
+    /// the plan is malformed (previously the engine silently fabricated
+    /// `leaf<N>` rank names and instrumented phantom ranks).
+    PhantomRank {
+        /// The tensor whose working order ran out.
+        tensor: String,
+        /// The descent depth that has no working rank.
+        depth: usize,
+        /// The tensor's actual working rank order.
+        working_order: Vec<String>,
+    },
     /// The specification failed to lower.
     Spec(teaal_core::SpecError),
     /// A fibertree transform failed during execution.
@@ -44,6 +55,16 @@ impl fmt::Display for SimError {
                 f,
                 "follower partitioning of {rank} ran before leader {leader} published \
                  boundaries"
+            ),
+            SimError::PhantomRank {
+                tensor,
+                depth,
+                working_order,
+            } => write!(
+                f,
+                "access to tensor {tensor} descends to depth {depth} but its working \
+                 order {working_order:?} has only {} ranks — the plan is malformed",
+                working_order.len()
             ),
             SimError::Spec(e) => write!(f, "{e}"),
             SimError::Fibertree(m) => write!(f, "fibertree operation failed: {m}"),

@@ -56,10 +56,13 @@ impl Candidate {
 /// candidate on `inputs` and returning candidates sorted by `objective`
 /// (best first).
 ///
-/// All permutations of the Einsum's derived iteration ranks are tried, up
-/// to `max_candidates` (permutation count grows factorially; 720 covers
-/// six ranks exhaustively). Candidates whose loop order fails to lower —
-/// e.g. orders incompatible with the fixed partitioning — are skipped.
+/// All permutations of the Einsum's derived iteration ranks are tried,
+/// until `max_candidates` have been *successfully evaluated* (permutation
+/// count grows factorially; 720 covers six ranks exhaustively).
+/// Candidates whose loop order fails to lower — e.g. orders incompatible
+/// with the fixed partitioning — are skipped and do not consume the
+/// budget, so a small `max_candidates` still returns that many valid
+/// mappings when they exist later in permutation order.
 ///
 /// # Errors
 ///
@@ -84,14 +87,15 @@ pub fn explore_loop_orders(
         })?;
     let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
 
-    let mut results = Vec::new();
+    let mut results: Vec<Candidate> = Vec::new();
     let mut order = ranks.clone();
-    let mut tried = 0usize;
     permute(&mut order, 0, &mut |candidate| {
-        if tried >= max_candidates {
+        // Budget counts evaluated candidates only: a candidate that fails
+        // to lower is skipped, not charged (counting failures used to
+        // starve the budget and return fewer valid mappings than exist).
+        if results.len() >= max_candidates {
             return;
         }
-        tried += 1;
         let mut s = spec.clone();
         s.mapping
             .loop_order
@@ -235,6 +239,64 @@ mod tests {
         }
     }
 
+    /// SIGMA-shaped spec: flattening (M, K0) leaves B's K0 coverable only
+    /// when K1 precedes MK00 in the loop order, so 12 of the 24
+    /// permutations fail to lower — including a contiguous block right
+    /// after the first 8 successes in Heap order.
+    fn partitioning_constrained_spec() -> TeaalSpec {
+        TeaalSpec::parse(concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K, M]\n",
+            "    B: [K, N]\n",
+            "    Z: [M, N]\n",
+            "  expressions:\n",
+            "    - Z[m, n] = A[k, m] * B[k, n]\n",
+            "mapping:\n",
+            "  partitioning:\n",
+            "    Z:\n",
+            "      K: [uniform_shape(4)]\n",
+            "      (M, K0): [flatten()]\n",
+            "      MK0: [uniform_occupancy(A.4)]\n",
+            "  loop-order:\n",
+            "    Z: [K1, MK01, MK00, N]\n",
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn failed_candidates_do_not_consume_the_budget() {
+        // Heap order visits 8 lowerable candidates, then 3 that fail to
+        // lower, and more lowerable ones after. A budget of 10 must
+        // return 10 evaluated candidates — the buggy accounting charged
+        // the failures against the budget and returned only 8.
+        let results = explore_loop_orders(
+            &partitioning_constrained_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Time,
+            10,
+        )
+        .unwrap();
+        assert_eq!(
+            results.len(),
+            10,
+            "failing candidates must be skipped, not charged against max_candidates"
+        );
+        // Exhaustively, exactly the 12 valid permutations come back.
+        let all = explore_loop_orders(
+            &partitioning_constrained_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            Objective::Time,
+            720,
+        )
+        .unwrap();
+        assert_eq!(all.len(), 12);
+    }
+
     #[test]
     fn unknown_einsum_is_an_error() {
         let err = explore_loop_orders(
@@ -253,7 +315,7 @@ mod tests {
         // Mapping changes performance, never the answer (§2.3).
         let spec = base_spec();
         let ins = inputs();
-        let mut reference: Option<Tensor> = None;
+        let mut reference: Option<teaal_fibertree::TensorData> = None;
         let results = explore_loop_orders(
             &spec,
             "Z",

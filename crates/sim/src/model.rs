@@ -165,7 +165,8 @@ impl Simulator {
         self.run_data(&refs)
     }
 
-    /// Runs the cascade on borrowed inputs in either representation.
+    /// Runs the cascade on borrowed inputs in either representation,
+    /// assembling owned output tensors.
     ///
     /// Inputs are *borrowed*, not cloned: a large compressed tensor (a
     /// graph adjacency, a SuiteSparse-scale matrix) can be reused across
@@ -179,6 +180,31 @@ impl Simulator {
     ///
     /// Returns [`SimError`] when inputs are missing or execution fails.
     pub fn run_data(&self, inputs: &[&TensorData]) -> Result<SimReport, SimError> {
+        self.run_impl(inputs, false)
+    }
+
+    /// Runs the cascade end-to-end in compressed storage: outputs (and
+    /// therefore intermediates) are assembled through a streaming
+    /// [`CompressedBuilder`](teaal_fibertree::CompressedBuilder) instead
+    /// of owned trees, and compressed inputs run their transform
+    /// pipelines compressed-natively. The hot loop allocates
+    /// `O(output nnz)` flat arrays per Einsum — no intermediate trees —
+    /// which is what lets the graph driver re-run a cascade every
+    /// superstep without rebuilding owned storage.
+    ///
+    /// Reports are bit-identical to [`Simulator::run_data`] on the same
+    /// content: every instrument counter, traffic figure, and output
+    /// entry agrees; only the representation inside
+    /// [`SimReport::outputs`] differs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when inputs are missing or execution fails.
+    pub fn run_data_compressed(&self, inputs: &[&TensorData]) -> Result<SimReport, SimError> {
+        self.run_impl(inputs, true)
+    }
+
+    fn run_impl(&self, inputs: &[&TensorData], compressed: bool) -> Result<SimReport, SimError> {
         // Rank extents from input shapes plus overrides.
         let mut extents: BTreeMap<String, u64> = BTreeMap::new();
         for t in inputs {
@@ -208,7 +234,7 @@ impl Simulator {
                     .chain(produced.iter())
                     .map(|t| (t.name().to_string(), t))
                     .collect();
-                engine.execute(&env, &mut instruments, &mut boundaries)?
+                engine.execute_data(&env, &mut instruments, &mut boundaries, compressed)?
             };
 
             // Extents learned from the produced output.
@@ -223,7 +249,7 @@ impl Simulator {
             report
                 .outputs
                 .insert(output.name().to_string(), output.clone());
-            produced.push(TensorData::Owned(output));
+            produced.push(output);
         }
 
         self.analyze_time(&mut report)?;
@@ -389,7 +415,7 @@ impl Simulator {
         &self,
         plan: &EinsumPlan,
         instruments: &Instruments,
-        output: &Tensor,
+        output: &TensorData,
     ) -> EinsumStats {
         let name = plan.equation.name().to_string();
         let declared = plan.output.target_order.clone();
@@ -403,7 +429,7 @@ impl Simulator {
         let output_write_bytes = if self.on_chip.contains(&name) || output_pinned {
             0
         } else {
-            out_fmt.footprint_bytes(output)
+            out_fmt.footprint_bytes_data(output)
         };
 
         let mut traffic = Vec::new();

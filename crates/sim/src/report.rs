@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use teaal_fibertree::Tensor;
+use teaal_fibertree::TensorData;
 
 use crate::counters::MergeGroup;
 use crate::energy::ActionCounts;
@@ -121,8 +121,11 @@ pub struct SimReport {
     pub energy_joules: f64,
     /// Aggregated action counts.
     pub actions: ActionCounts,
-    /// Output tensors by name (every Einsum's output).
-    pub outputs: BTreeMap<String, Tensor>,
+    /// Output tensors by name (every Einsum's output): owned trees from
+    /// [`Simulator::run`](crate::Simulator::run) /
+    /// [`run_data`](crate::Simulator::run_data), compressed (CSF) storage
+    /// from [`run_data_compressed`](crate::Simulator::run_data_compressed).
+    pub outputs: BTreeMap<String, TensorData>,
 }
 
 impl SimReport {
@@ -137,8 +140,9 @@ impl SimReport {
         self.einsums.iter().map(|e| e.dram_bytes_of(tensor)).sum()
     }
 
-    /// The final Einsum's output tensor.
-    pub fn final_output(&self) -> Option<&Tensor> {
+    /// The final Einsum's output tensor, in whichever representation the
+    /// run produced.
+    pub fn final_output(&self) -> Option<&TensorData> {
         let last = self.einsums.last()?;
         self.outputs.get(&last.einsum)
     }

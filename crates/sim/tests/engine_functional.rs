@@ -4,7 +4,7 @@
 use std::collections::BTreeMap;
 
 use teaal_core::TeaalSpec;
-use teaal_fibertree::Tensor;
+use teaal_fibertree::{Tensor, TensorData};
 use teaal_sim::{OpTable, Simulator};
 
 /// Dense SpMSpM reference: `Z[m, n] = Σ_k A[k, m] · B[k, n]`.
@@ -22,7 +22,7 @@ fn dense_spmspm(a: &Tensor, b: &Tensor) -> BTreeMap<(u64, u64), f64> {
     out
 }
 
-fn check_matches_reference(z: &Tensor, reference: &BTreeMap<(u64, u64), f64>) {
+fn check_matches_reference(z: &TensorData, reference: &BTreeMap<(u64, u64), f64>) {
     let mut got = BTreeMap::new();
     for (p, v) in z.entries() {
         got.insert((p[0], p[1]), v);

@@ -86,6 +86,35 @@ fn assert_representation_independent(label: &str, yaml: &str, a: &Tensor, b: &Te
         owned.energy_joules, compressed.energy_joules,
         "{label}: energy model diverges"
     );
+
+    // Third leg: the fully compressed-native path (compressed transforms
+    // and compressed outputs) must agree with both.
+    let native = sim
+        .run_data_compressed(&[&ca, &cb])
+        .unwrap_or_else(|e| panic!("{label}: compressed-native run failed: {e}"));
+    assert_eq!(
+        owned.einsums, native.einsums,
+        "{label}: instrument counters diverge on the compressed-native path"
+    );
+    assert_eq!(
+        owned.seconds, native.seconds,
+        "{label}: native time diverges"
+    );
+    for (name, o) in &owned.outputs {
+        let c = native
+            .outputs
+            .get(name)
+            .unwrap_or_else(|| panic!("{label}: native run lost output {name}"));
+        assert!(
+            c.is_compressed(),
+            "{label}/{name}: native outputs must be compressed"
+        );
+        assert_eq!(
+            o.leaves(),
+            c.leaves(),
+            "{label}/{name}: native output content diverges"
+        );
+    }
 }
 
 #[test]

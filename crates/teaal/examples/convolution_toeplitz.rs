@@ -39,7 +39,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
     let q = 8; // output extent: W - S + 1
 
-    let run = |name: &str, spec: TeaalSpec| -> Result<Tensor, Box<dyn std::error::Error>> {
+    let run = |name: &str, spec: TeaalSpec| -> Result<TensorData, Box<dyn std::error::Error>> {
         let sim = Simulator::new(spec)?
             .with_rank_extent("Q", q)
             .with_rank_extent("S", 3);

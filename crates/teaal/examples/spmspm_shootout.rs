@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "{:<12}{:>10}{:>14}{:>14}{:>14}{:>10}",
         "accelerator", "nnz(Z)", "DRAM (B)", "time (s)", "energy (J)", "blocks"
     );
-    let mut reference: Option<Tensor> = None;
+    let mut reference: Option<TensorData> = None;
     for accel in SpmspmAccel::all() {
         let sim = accel.simulator()?;
         let report = sim.run(&[a.clone(), b.clone()])?;

@@ -135,7 +135,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "output" => {
             for (name, tensor) in &report.outputs {
                 println!("# --- {name} ---");
-                tio::write_tensor(std::io::stdout().lock(), tensor).map_err(|e| e.to_string())?;
+                tio::write_tensor_data(std::io::stdout().lock(), tensor)
+                    .map_err(|e| e.to_string())?;
             }
         }
         other => return Err(format!("unknown command {other}")),

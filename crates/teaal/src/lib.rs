@@ -67,8 +67,8 @@ pub mod prelude {
     pub use teaal_accel::{GraphDesign, SpmspmAccel};
     pub use teaal_core::{SpecError, TeaalSpec};
     pub use teaal_fibertree::{
-        CompressedTensor, Coord, Fiber, FiberView, Payload, PayloadView, Semiring, Shape, Tensor,
-        TensorBuilder, TensorData,
+        CompressedBuilder, CompressedTensor, Coord, Fiber, FiberView, Payload, PayloadView,
+        Semiring, Shape, Tensor, TensorBuilder, TensorData,
     };
     pub use teaal_sim::{OpTable, SimError, SimReport, Simulator};
 }

@@ -81,8 +81,8 @@ fn mttkrp_direct_and_factorized_agree() {
         }
     }
     expect.prune(0.0);
-    assert_eq!(c_direct.max_abs_diff(&expect), 0.0);
-    assert_eq!(c_factorized.max_abs_diff(&expect), 0.0);
+    assert_eq!(c_direct.max_abs_diff(&expect.clone().into()), 0.0);
+    assert_eq!(c_factorized.max_abs_diff(&expect.into()), 0.0);
 }
 
 #[test]

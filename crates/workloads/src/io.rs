@@ -15,7 +15,7 @@
 
 use std::io::{BufRead, Write};
 
-use teaal_fibertree::{CompressedTensor, Tensor};
+use teaal_fibertree::{CompressedTensor, Tensor, TensorData};
 
 /// An I/O or parse error with line context.
 #[derive(Debug)]
@@ -177,19 +177,46 @@ fn read_coo(reader: impl BufRead, default_name: &str) -> Result<CooFile, TensorI
 ///
 /// Returns [`TensorIoError::Io`] on write failure.
 pub fn write_tensor(mut writer: impl Write, t: &Tensor) -> Result<(), TensorIoError> {
-    let shape: Vec<String> = t
-        .rank_shapes()
-        .iter()
-        .map(|s| s.extent().to_string())
-        .collect();
+    write_parts(
+        &mut writer,
+        t.name(),
+        t.rank_ids(),
+        t.rank_shapes(),
+        t.entries(),
+    )
+}
+
+/// Writes a tensor in either representation, without decompressing.
+///
+/// # Errors
+///
+/// Returns [`TensorIoError::Io`] on write failure.
+pub fn write_tensor_data(mut writer: impl Write, t: &TensorData) -> Result<(), TensorIoError> {
+    write_parts(
+        &mut writer,
+        t.name(),
+        t.rank_ids(),
+        t.rank_shapes(),
+        t.entries(),
+    )
+}
+
+fn write_parts(
+    writer: &mut impl Write,
+    name: &str,
+    rank_ids: &[String],
+    rank_shapes: &[teaal_fibertree::Shape],
+    entries: Vec<(Vec<u64>, f64)>,
+) -> Result<(), TensorIoError> {
+    let shape: Vec<String> = rank_shapes.iter().map(|s| s.extent().to_string()).collect();
     writeln!(
         writer,
         "# tensor {} ranks {} shape {}",
-        t.name(),
-        t.rank_ids().join(","),
+        name,
+        rank_ids.join(","),
         shape.join(",")
     )?;
-    for (point, v) in t.entries() {
+    for (point, v) in entries {
         for c in &point {
             write!(writer, "{c} ")?;
         }
