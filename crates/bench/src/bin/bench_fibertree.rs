@@ -16,7 +16,15 @@
 //!    rebuilds vs compressed-native key re-sort + segment-array splits,
 //! 5. `transform_flatten_occupancy` — the Fig. 2 / SIGMA pipeline
 //!    (flatten two ranks, occupancy-partition the fused rank): owned
-//!    tuple-coordinate rebuild vs compressed segment fusion.
+//!    tuple-coordinate rebuild vs compressed segment fusion,
+//! 6. `intersect2_vectors_skewed` — galloping (skip-ahead) co-iteration
+//!    of a tiny vector against a huge one, the regime where adaptive
+//!    doubling search beats the two-finger merge.
+//!
+//! A second, `parallel_scaling` group times full `Simulator` SpMSpM runs
+//! at 1 worker vs the host's parallelism, pinning the wall-clock cost of
+//! the shard-parallel engine (which is bit-identical to sequential by
+//! construction, so only time may differ).
 //!
 //! Pass `--quick` for a CI-sized run. Timings are the minimum of several
 //! repetitions of a full pass (wall clock; the stub criterion offers no
@@ -26,9 +34,11 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use teaal_bench::leaf_sum;
+use teaal_core::TeaalSpec;
 use teaal_fibertree::iterate::{intersect2_stream, IntersectPolicy};
 use teaal_fibertree::partition::SplitKind;
 use teaal_fibertree::{CompressedTensor, FiberView, Tensor, TensorData};
+use teaal_sim::Simulator;
 use teaal_workloads::genmat;
 
 struct CaseResult {
@@ -245,6 +255,49 @@ fn main() {
         });
     }
 
+    // Case 6: skewed-size intersection under the galloping policy — the
+    // small operand leads, and skip-ahead doubling search hops over the
+    // large operand's runs instead of scanning them.
+    {
+        let small_nnz = if quick { 400 } else { 2_000usize };
+        let oa = TensorData::Owned(genmat::uniform("A", &["M", "K"], 1, vec_dim, small_nnz, 8));
+        let ob = TensorData::Owned(genmat::uniform("B", &["M", "K"], 1, vec_dim, vec_nnz, 9));
+        let ca = TensorData::Compressed(genmat::uniform_compressed(
+            "A",
+            &["M", "K"],
+            1,
+            vec_dim,
+            small_nnz,
+            8,
+        ));
+        let cb = TensorData::Compressed(genmat::uniform_compressed(
+            "B",
+            &["M", "K"],
+            1,
+            vec_dim,
+            vec_nnz,
+            9,
+        ));
+        fn fiber(d: &TensorData) -> FiberView<'_> {
+            d.root_fiber_view()
+                .unwrap()
+                .payload_at(0)
+                .as_fiber()
+                .unwrap()
+        }
+        let drain = |a: FiberView<'_>, b: FiberView<'_>| {
+            intersect2_stream(a, b, IntersectPolicy::SkipAhead).count()
+        };
+        let owned_ns = time_min(reps, || drain(fiber(&oa), fiber(&ob)));
+        let compressed_ns = time_min(reps, || drain(fiber(&ca), fiber(&cb)));
+        results.push(CaseResult {
+            case: "intersect2_vectors_skewed",
+            detail: format!("{small_nnz} vs {vec_nnz} of {vec_dim}, skip-ahead"),
+            owned_ns,
+            compressed_ns,
+        });
+    }
+
     println!(
         "{:<28}{:>16}{:>16}{:>10}",
         "case", "owned ns", "compressed ns", "speedup"
@@ -256,6 +309,78 @@ fn main() {
             r.owned_ns,
             r.compressed_ns,
             r.owned_ns as f64 / r.compressed_ns as f64,
+            r.detail
+        );
+    }
+
+    // Parallel-scaling group: full Simulator SpMSpM runs, 1 worker vs
+    // the host's parallelism. The shard-parallel engine is bit-identical
+    // to sequential by construction (pinned by the sim crate's
+    // integration tests), so only wall time may differ here. On a
+    // single-core host the two timings coincide up to noise — the caveat
+    // is recorded in the detail string rather than asserted away.
+    struct ParallelResult {
+        case: &'static str,
+        detail: String,
+        seq_ns: u128,
+        par_ns: u128,
+        threads: usize,
+    }
+    let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut parallel: Vec<ParallelResult> = Vec::new();
+    {
+        const SPMSPM_DISJOINT: &str = concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K, M]\n",
+            "    B: [K, N]\n",
+            "    Z: [M, N]\n",
+            "  expressions:\n",
+            "    - Z[m, n] = A[k, m] * B[k, n]\n",
+            "mapping:\n",
+            "  loop-order:\n",
+            "    Z: [M, N, K]\n",
+        );
+        let (sdim, snnz) = if quick {
+            (300u64, 9_000usize)
+        } else {
+            (1_200u64, 140_000usize)
+        };
+        let a = genmat::uniform("A", &["K", "M"], sdim, sdim, snnz, 10);
+        let b = genmat::uniform("B", &["K", "N"], sdim, sdim, snnz, 11);
+        let spec = TeaalSpec::parse(SPMSPM_DISJOINT).unwrap();
+        let time_sim = |threads: usize| {
+            let sim = Simulator::new(spec.clone()).unwrap().with_threads(threads);
+            time_min(reps, || sim.run(&[a.clone(), b.clone()]).unwrap().seconds)
+        };
+        let seq_ns = time_sim(1);
+        let par_ns = time_sim(host_threads.max(2));
+        parallel.push(ParallelResult {
+            case: "simulator_spmspm_sharded",
+            detail: format!(
+                "{sdim}x{sdim}, 2 x {snnz} nnz, disjoint-merge shards; \
+                 host has {host_threads} cpu(s) — speedup only meaningful \
+                 on multi-core hosts"
+            ),
+            seq_ns,
+            par_ns,
+            threads: host_threads.max(2),
+        });
+    }
+
+    println!();
+    println!(
+        "{:<28}{:>16}{:>16}{:>10}",
+        "parallel case", "1-thread ns", "n-thread ns", "speedup"
+    );
+    for r in &parallel {
+        println!(
+            "{:<28}{:>16}{:>16}{:>9.2}x  (threads={}, {})",
+            r.case,
+            r.seq_ns,
+            r.par_ns,
+            r.seq_ns as f64 / r.par_ns as f64,
+            r.threads,
             r.detail
         );
     }
@@ -273,6 +398,20 @@ fn main() {
             r.compressed_ns,
             r.owned_ns as f64 / r.compressed_ns as f64,
             if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"parallel_scaling\": [\n");
+    for (i, r) in parallel.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"detail\": \"{}\", \"threads\": {}, \
+             \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.4}}}{}\n",
+            r.case,
+            r.detail,
+            r.threads,
+            r.seq_ns,
+            r.par_ns,
+            r.seq_ns as f64 / r.par_ns as f64,
+            if i + 1 < parallel.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

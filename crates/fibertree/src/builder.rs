@@ -213,6 +213,69 @@ impl CompressedBuilder {
         Ok(())
     }
 
+    /// Appends every leaf of `t`, in order, as if pushed one by one.
+    ///
+    /// This is the k-way concatenation primitive behind the sharded
+    /// engine's output merge: each shard drains into its own builder,
+    /// and the shards' tensors — whose leading-rank key ranges are
+    /// disjoint and ordered — are replayed into one builder. Because
+    /// the builder is a deterministic function of its push sequence,
+    /// the merged tensor is bit-identical to a single sequential build
+    /// of the same leaves.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FibertreeError::ArityMismatch`] when `t`'s order differs
+    /// from the builder's, [`FibertreeError::NotCompressible`] when the
+    /// rank shapes differ, and [`FibertreeError::Unsorted`] when `t`'s
+    /// first leaf does not follow the last pushed leaf.
+    pub fn append_tensor(&mut self, t: &CompressedTensor) -> Result<(), FibertreeError> {
+        if t.order() != self.rank_ids.len() {
+            return Err(FibertreeError::ArityMismatch {
+                expected: self.rank_ids.len(),
+                got: t.order(),
+            });
+        }
+        if t.rank_shapes() != self.rank_shapes.as_slice() {
+            return Err(FibertreeError::NotCompressible {
+                reason: "appended tensor's rank shapes differ from the builder's".into(),
+            });
+        }
+        let n = self.rank_ids.len();
+        if n == 0 {
+            if t.nnz() > 0 {
+                self.push_raw(&[], t.value_at(0))?;
+            }
+            return Ok(());
+        }
+        let mut key = vec![(0u64, 0u64); n];
+        self.append_range(t, 0, 0, t.level_len(0), &mut key)
+    }
+
+    /// Replays the element range `[start, end)` of `t`'s `level` (and
+    /// everything beneath it) into this builder.
+    fn append_range(
+        &mut self,
+        t: &CompressedTensor,
+        level: usize,
+        start: usize,
+        end: usize,
+        key: &mut [(u64, u64)],
+    ) -> Result<(), FibertreeError> {
+        let leaf = level + 1 == key.len();
+        for p in start..end {
+            key[level] = t.raw_at(level, p);
+            if leaf {
+                let k = key.to_vec();
+                self.push_raw(&k, t.value_at(p))?;
+            } else {
+                let (cs, ce) = t.child_range(level, p);
+                self.append_range(t, level + 1, cs, ce, key)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Closes the trailing fiber of each rank and yields the tensor.
     pub fn finish(mut self) -> CompressedTensor {
         let n = self.levels.len();
@@ -365,6 +428,57 @@ mod tests {
         assert_eq!(s.len(), 1);
         let c = s.finish();
         assert_eq!(c.get(&[]), Some(3.5));
+    }
+
+    #[test]
+    fn append_tensor_concatenation_matches_single_build() {
+        let entries = vec![
+            (vec![0, 2], 3.0),
+            (vec![1, 0], 1.0),
+            (vec![2, 0], 9.0),
+            (vec![2, 1], 4.0),
+            (vec![5, 2], 5.0),
+        ];
+        let reference =
+            CompressedTensor::from_entries("Z", &["M", "K"], &[8, 3], entries.clone()).unwrap();
+        // Split the sorted leaves at every boundary, build each half as
+        // its own tensor, and replay both into one builder.
+        for split in 0..=entries.len() {
+            let halves = [&entries[..split], &entries[split..]];
+            let mut merged =
+                CompressedBuilder::new("Z", vec!["M".into(), "K".into()], shapes(&[8, 3])).unwrap();
+            for half in halves {
+                let t = CompressedTensor::from_entries("Z", &["M", "K"], &[8, 3], half.to_vec())
+                    .unwrap();
+                merged.append_tensor(&t).unwrap();
+            }
+            assert_eq!(merged.finish(), reference, "split={split}");
+        }
+    }
+
+    #[test]
+    fn append_tensor_rejects_mismatch_and_disorder() {
+        let mut b =
+            CompressedBuilder::new("Z", vec!["M".into(), "K".into()], shapes(&[8, 3])).unwrap();
+        let wrong_order = CompressedTensor::from_entries("X", &["I"], &[8], vec![]).unwrap();
+        assert!(matches!(
+            b.append_tensor(&wrong_order),
+            Err(FibertreeError::ArityMismatch { .. })
+        ));
+        let wrong_shape =
+            CompressedTensor::from_entries("X", &["M", "K"], &[4, 3], vec![]).unwrap();
+        assert!(matches!(
+            b.append_tensor(&wrong_shape),
+            Err(FibertreeError::NotCompressible { .. })
+        ));
+        b.push_point(&[5, 0], 1.0).unwrap();
+        let behind =
+            CompressedTensor::from_entries("X", &["M", "K"], &[8, 3], vec![(vec![2, 0], 1.0)])
+                .unwrap();
+        assert!(matches!(
+            b.append_tensor(&behind),
+            Err(FibertreeError::Unsorted { .. })
+        ));
     }
 
     #[test]

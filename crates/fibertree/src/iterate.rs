@@ -171,12 +171,14 @@ impl Intersect2Stream<'_> {
                     return Some(out);
                 }
                 std::cmp::Ordering::Less => {
-                    let (ni, probes) = gallop(&self.a, self.i, &kb);
+                    let hint = skew_step(self.a.occupancy() - self.i, self.b.occupancy() - self.j);
+                    let (ni, probes) = gallop(&self.a, self.i, &kb, hint);
                     self.stats.comparisons += probes;
                     self.i = ni;
                 }
                 std::cmp::Ordering::Greater => {
-                    let (nj, probes) = gallop(&self.b, self.j, &ka);
+                    let hint = skew_step(self.b.occupancy() - self.j, self.a.occupancy() - self.i);
+                    let (nj, probes) = gallop(&self.b, self.j, &ka, hint);
                     self.stats.comparisons += probes;
                     self.j = nj;
                 }
@@ -184,6 +186,14 @@ impl Intersect2Stream<'_> {
         }
         None
     }
+}
+
+/// The adaptive gallop seed: when the advancing side has `rem_self`
+/// elements left against `rem_other` on the other side, the expected
+/// skip distance is their ratio. Balanced inputs degrade to the classic
+/// step of 1.
+fn skew_step(rem_self: usize, rem_other: usize) -> usize {
+    (rem_self / rem_other.max(1)).max(1)
 }
 
 /// Intersects two fibers eagerly, returning the positions of each match.
@@ -202,10 +212,21 @@ pub fn intersect2(
 
 /// Gallops forward from `start` to the first position whose coordinate is
 /// `>= target`, returning `(position, probes spent)`.
-fn gallop(fiber: &FiberView<'_>, start: usize, target: &CoordKey<'_>) -> (usize, u64) {
+///
+/// `first_step` seeds the exponential probe. A skip-ahead unit facing a
+/// heavily skewed pair (a long fiber chasing a short one) expects jumps
+/// around `|long| / |short|`, so seeding with that ratio reaches the
+/// target in `O(log)` probes instead of warming up from 1 every time;
+/// `first_step = 1` reproduces the classic gallop.
+fn gallop(
+    fiber: &FiberView<'_>,
+    start: usize,
+    target: &CoordKey<'_>,
+    first_step: usize,
+) -> (usize, u64) {
     let len = fiber.occupancy();
     let mut probes = 0u64;
-    let mut step = 1usize;
+    let mut step = first_step.max(1);
     let mut lo = start;
     let mut hi = start;
     // Exponential probe.
@@ -254,7 +275,13 @@ pub struct IntersectStream<'a> {
 #[derive(Debug)]
 enum ManyNode<'a> {
     /// Fiber 0: emits every element with its position, charging nothing.
-    Source { fiber: FiberView<'a>, pos: usize },
+    /// With a `limit`, emission stops (uncharged) at the first coordinate
+    /// `>= Point(limit)` — the shard boundary of a bounded stream.
+    Source {
+        fiber: FiberView<'a>,
+        pos: usize,
+        limit: Option<u64>,
+    },
     /// One two-input unit merging the upstream match stream with a fiber.
     Stage(Box<ManyStage<'a>>),
 }
@@ -275,11 +302,17 @@ struct ManyStage<'a> {
 impl<'a> ManyNode<'a> {
     fn next(&mut self) -> Option<(Coord, Vec<usize>)> {
         match self {
-            ManyNode::Source { fiber, pos } => {
+            ManyNode::Source { fiber, pos, limit } => {
                 if *pos >= fiber.occupancy() {
                     return None;
                 }
-                let item = (fiber.coord_at(*pos), vec![*pos]);
+                let key = fiber.coord_key_at(*pos);
+                if let Some(h) = limit {
+                    if !key.cmp_key(&CoordKey::Point(*h)).is_lt() {
+                        return None;
+                    }
+                }
+                let item = (key.to_coord(), vec![*pos]);
                 *pos += 1;
                 Some(item)
             }
@@ -371,12 +404,93 @@ pub fn intersect_stream<'a>(
     let mut top = ManyNode::Source {
         fiber: fibers[0],
         pos: 0,
+        limit: None,
     };
     for &f in &fibers[1..] {
         top = ManyNode::Stage(Box::new(ManyStage {
             upstream: top,
             fiber: f,
             j: 0,
+            probe: matches!(policy, IntersectPolicy::LeaderFollower { .. }),
+            comparisons: 0,
+            left: None,
+            primed: false,
+            done: false,
+        }));
+    }
+    IntersectStream { top, matches: 0 }
+}
+
+/// Binary search for the first position in `fiber` whose coordinate is
+/// `>= Point(c)` (the whole fiber must hold point coordinates).
+fn lower_bound_point(fiber: &FiberView<'_>, c: u64) -> usize {
+    let target = CoordKey::Point(c);
+    let (mut lo, mut hi) = (0usize, fiber.occupancy());
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if fiber.coord_key_at(mid).cmp_key(&target).is_lt() {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Starts a *bounded* lazy intersection emitting only matches whose
+/// coordinate lies in `[lo, hi)` — one shard of a partitioned
+/// co-iteration.
+///
+/// Positions stay absolute (identical to the unbounded stream), and the
+/// comparison charging is **shard-exact**: running the same intersection
+/// over a partition of `[0, ∞)` into consecutive `[lo, hi)` windows and
+/// summing the per-shard [`CoIterStats`] reproduces the unbounded totals
+/// bit for bit. That holds because the leader starts at the first
+/// coordinate `>= lo` and stops uncharged at the first `>= hi`, while the
+/// follower cursor is pre-positioned exactly where the sequential merge
+/// would have left it after consuming every leader element below `lo`.
+///
+/// Fibers must hold point coordinates.
+///
+/// # Panics
+///
+/// Panics unless `fibers` holds one or two fibers: deeper cascades drain
+/// exhausted stages past the window boundary, which would break the
+/// charge-partition guarantee.
+pub fn intersect_stream_bounded<'a>(
+    fibers: &[FiberView<'a>],
+    policy: IntersectPolicy,
+    lo: u64,
+    hi: u64,
+) -> IntersectStream<'a> {
+    assert!(
+        (1..=2).contains(&fibers.len()),
+        "bounded intersection is shard-exact for one or two fibers only"
+    );
+    let start = lower_bound_point(&fibers[0], lo);
+    let mut top = ManyNode::Source {
+        fiber: fibers[0],
+        pos: start,
+        limit: Some(hi),
+    };
+    if let Some(&f) = fibers.get(1) {
+        // Where the sequential two-finger merge leaves the follower after
+        // consuming every leader element below `lo`: one past the last
+        // follower coordinate `<=` the previous leader coordinate.
+        let j = if start > 0 {
+            let prev = fibers[0]
+                .coord_key_at(start - 1)
+                .to_coord()
+                .as_point()
+                .expect("bounded intersection requires point coordinates");
+            lower_bound_point(&f, prev.saturating_add(1))
+        } else {
+            0
+        };
+        top = ManyNode::Stage(Box::new(ManyStage {
+            upstream: top,
+            fiber: f,
+            j,
             probe: matches!(policy, IntersectPolicy::LeaderFollower { .. }),
             comparisons: 0,
             left: None,
@@ -443,6 +557,7 @@ pub struct UnionStream<'a> {
     fibers: Vec<FiberView<'a>>,
     cursors: Vec<usize>,
     stats: CoIterStats,
+    limit: Option<u64>,
 }
 
 /// Starts a lazy union of `fibers`.
@@ -451,6 +566,23 @@ pub fn union_stream<'a>(fibers: &[FiberView<'a>]) -> UnionStream<'a> {
         cursors: vec![0; fibers.len()],
         fibers: fibers.to_vec(),
         stats: CoIterStats::default(),
+        limit: None,
+    }
+}
+
+/// Starts a *bounded* lazy union emitting only coordinates in `[lo, hi)`
+/// — one shard of a partitioned co-iteration. Positions stay absolute,
+/// and charging is **shard-exact** for any number of fibers: each
+/// cursor starts at its fiber's first coordinate `>= lo`, and the
+/// min-scan that would emit a coordinate `>= hi` charges nothing (the
+/// next shard performs — and pays for — that scan itself). Fibers must
+/// hold point coordinates.
+pub fn union_stream_bounded<'a>(fibers: &[FiberView<'a>], lo: u64, hi: u64) -> UnionStream<'a> {
+    UnionStream {
+        cursors: fibers.iter().map(|f| lower_bound_point(f, lo)).collect(),
+        fibers: fibers.to_vec(),
+        stats: CoIterStats::default(),
+        limit: Some(hi),
     }
 }
 
@@ -465,11 +597,17 @@ impl Iterator for UnionStream<'_> {
     type Item = UnionMatch;
 
     fn next(&mut self) -> Option<Self::Item> {
-        // Find the minimum current coordinate across all fibers.
+        // Find the minimum current coordinate across all fibers. Scan
+        // charges are tallied locally and only committed on emission:
+        // a bounded stream's final scan — the one that discovers the
+        // boundary coordinate — is performed again (and paid for) by
+        // the shard that owns that coordinate, so per-shard stats sum
+        // exactly to the sequential stream's.
         let mut min: Option<CoordKey<'_>> = None;
+        let mut scanned = 0u64;
         for (f, &cur) in self.fibers.iter().zip(&self.cursors) {
             if cur < f.occupancy() {
-                self.stats.comparisons += 1;
+                scanned += 1;
                 let key = f.coord_key_at(cur);
                 match &min {
                     None => min = Some(key),
@@ -478,7 +616,14 @@ impl Iterator for UnionStream<'_> {
                 }
             }
         }
-        let m = min?.to_coord();
+        let min = min?;
+        if let Some(h) = self.limit {
+            if !min.cmp_key(&CoordKey::Point(h)).is_lt() {
+                return None;
+            }
+        }
+        self.stats.comparisons += scanned;
+        let m = min.to_coord();
         let mut row: Vec<Option<usize>> = Vec::with_capacity(self.fibers.len());
         for (idx, f) in self.fibers.iter().enumerate() {
             let cur = self.cursors[idx];
@@ -691,6 +836,104 @@ mod tests {
         let b = Fiber::new(Shape::Interval(5));
         let (u, _) = union_many(&[&a, &b]);
         assert!(u.is_empty());
+    }
+
+    /// Shard-exactness: for every split of the coordinate space into
+    /// `[0,b)` and `[b,1000)`, the bounded streams' emissions concatenate
+    /// to the unbounded stream's and their stats sum to its stats exactly.
+    #[test]
+    fn bounded_intersect_shards_partition_sequential_exactly() {
+        let coords_a: Vec<u64> = vec![0, 2, 4, 6, 8, 10, 50, 51, 52, 400, 401, 700];
+        let coords_b: Vec<u64> = vec![4, 5, 6, 52, 99, 400, 700, 999];
+        // Both representations: the engine shards owned and compressed
+        // inputs alike, and their coordinate keys differ (Borrowed vs
+        // inline Point).
+        let (ca, cb) = (compressed(&coords_a), compressed(&coords_b));
+        let (da, db) = (TensorData::Compressed(ca), TensorData::Compressed(cb));
+        let (fa, fb) = (fib(&coords_a), fib(&coords_b));
+        let view_sets: [[FiberView<'_>; 2]; 2] = [
+            [da.root_fiber_view().unwrap(), db.root_fiber_view().unwrap()],
+            [FiberView::Owned(&fa), FiberView::Owned(&fb)],
+        ];
+        for pair in &view_sets {
+            for policy in [
+                IntersectPolicy::TwoFinger,
+                IntersectPolicy::LeaderFollower { leader: 0 },
+                IntersectPolicy::LeaderFollower { leader: 1 },
+                IntersectPolicy::SkipAhead,
+            ] {
+                for nf in [1usize, 2] {
+                    let views: Vec<FiberView<'_>> = pair[..nf].to_vec();
+                    let mut whole = intersect_stream(&views, policy);
+                    let seq: Vec<_> = whole.by_ref().collect();
+                    let seq_stats = whole.stats();
+                    for split in [0u64, 1, 5, 52, 53, 399, 500, 999, 1000] {
+                        let mut merged = Vec::new();
+                        let mut comparisons = 0;
+                        let mut matches = 0;
+                        for (lo, hi) in [(0, split), (split, 1000)] {
+                            let mut s = intersect_stream_bounded(&views, policy, lo, hi);
+                            merged.extend(s.by_ref());
+                            comparisons += s.stats().comparisons;
+                            matches += s.stats().matches;
+                        }
+                        assert_eq!(seq, merged, "{policy:?} nf={nf} split={split}");
+                        assert_eq!(
+                            (seq_stats.comparisons, seq_stats.matches),
+                            (comparisons, matches),
+                            "{policy:?} nf={nf} split={split}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_union_shards_partition_sequential_exactly() {
+        let coords_a: Vec<u64> = vec![1, 3, 40, 41, 800];
+        let coords_b: Vec<u64> = vec![2, 3, 5, 41, 999];
+        let coords_c: Vec<u64> = vec![0, 40, 900, 999];
+        let tensors: Vec<TensorData> = [&coords_a, &coords_b, &coords_c]
+            .iter()
+            .map(|c| TensorData::Compressed(compressed(c)))
+            .collect();
+        let fibers: Vec<Fiber> = [&coords_a, &coords_b, &coords_c]
+            .iter()
+            .map(|c| fib(c))
+            .collect();
+        let view_sets: [Vec<FiberView<'_>>; 2] = [
+            tensors
+                .iter()
+                .map(|t| t.root_fiber_view().unwrap())
+                .collect(),
+            fibers.iter().map(FiberView::Owned).collect(),
+        ];
+        for views in &view_sets {
+            let mut whole = union_stream(views);
+            let seq: Vec<_> = whole.by_ref().collect();
+            let seq_stats = whole.stats();
+            for splits in [vec![500], vec![0, 41], vec![3, 40, 900], vec![1000]] {
+                let mut bounds = vec![0u64];
+                bounds.extend(&splits);
+                bounds.push(1000);
+                let mut merged = Vec::new();
+                let mut comparisons = 0;
+                let mut matches = 0;
+                for w in bounds.windows(2) {
+                    let mut s = union_stream_bounded(views, w[0], w[1]);
+                    merged.extend(s.by_ref());
+                    comparisons += s.stats().comparisons;
+                    matches += s.stats().matches;
+                }
+                assert_eq!(seq, merged, "splits={splits:?}");
+                assert_eq!(
+                    (seq_stats.comparisons, seq_stats.matches),
+                    (comparisons, matches),
+                    "splits={splits:?}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -101,6 +101,18 @@ impl CompressedTensor {
     /// keys, and a [`CompressedBuilder`] appends the sorted stream — no
     /// owned tree is ever materialized.
     ///
+    /// Pure transposes that pull one rank to the front while keeping the
+    /// rest in order (CSR→CSC and its higher-rank analogues — every
+    /// permutation of the form `[j, 0, 1, …, ĵ, …, n-1]`) skip the
+    /// `O(nnz log nnz)` comparison sort: the gathered leaves are already
+    /// in the old lexicographic order, so a stable counting bucket-sort
+    /// keyed on the new leading coordinate alone fully sorts them (ties
+    /// on the leading coordinate compare by the remaining slots, whose
+    /// relative old order is exactly the new order — stability preserves
+    /// it). The counting array is only used when the leading coordinate
+    /// range is within `4·nnz + 4096`, so degenerate shapes fall back to
+    /// the comparison sort rather than allocating a huge histogram.
+    ///
     /// # Errors
     ///
     /// Returns [`FibertreeError::BadPermutation`] if `order` is not a
@@ -131,8 +143,7 @@ impl CompressedTensor {
             &mut keys,
             &mut vals,
         );
-        let mut idx: Vec<usize> = (0..vals.len()).collect();
-        idx.sort_unstable_by(|&a, &b| keys[a * n..(a + 1) * n].cmp(&keys[b * n..(b + 1) * n]));
+        let idx = sort_permuted_keys(&keys, vals.len(), n, &perm, &shapes);
         let mut b = CompressedBuilder::new(
             self.name(),
             order.iter().map(|s| s.to_string()).collect(),
@@ -170,6 +181,57 @@ impl CompressedTensor {
             }
         }
     }
+}
+
+/// Orders the gathered (already permuted) raw keys: returns the index
+/// permutation that sorts `keys` lexicographically.
+///
+/// `keys` holds `nnz` keys of `n` slots each, gathered in the *old*
+/// lexicographic order. When the permutation pulls one point rank to the
+/// front and keeps the rest in order, a stable counting bucket-sort on
+/// the new leading coordinate is a full sort in `O(nnz + max_coord)`;
+/// otherwise a comparison sort on the whole key runs.
+fn sort_permuted_keys(
+    keys: &[(u64, u64)],
+    nnz: usize,
+    n: usize,
+    perm: &[usize],
+    shapes: &[Shape],
+) -> Vec<usize> {
+    let pull_to_front = !perm.is_empty()
+        && perm[1..]
+            .iter()
+            .copied()
+            .eq((0..n).filter(|&i| i != perm[0]));
+    let leading_is_point = shapes
+        .first()
+        .is_some_and(|s| !matches!(s, Shape::Tuple(_)));
+    if pull_to_front && leading_is_point && nnz > 0 {
+        let max_lead = (0..nnz).map(|i| keys[i * n].0).max().unwrap_or(0);
+        if let Ok(buckets) = usize::try_from(max_lead) {
+            if buckets < 4 * nnz + 4096 {
+                // Counting sort: histogram, exclusive prefix sum, then a
+                // stable scatter of the old-order indices.
+                let mut count = vec![0usize; buckets + 2];
+                for i in 0..nnz {
+                    count[keys[i * n].0 as usize + 1] += 1;
+                }
+                for b in 1..count.len() {
+                    count[b] += count[b - 1];
+                }
+                let mut idx = vec![0usize; nnz];
+                for i in 0..nnz {
+                    let b = keys[i * n].0 as usize;
+                    idx[count[b]] = i;
+                    count[b] += 1;
+                }
+                return idx;
+            }
+        }
+    }
+    let mut idx: Vec<usize> = (0..nnz).collect();
+    idx.sort_unstable_by(|&a, &b| keys[a * n..(a + 1) * n].cmp(&keys[b * n..(b + 1) * n]));
+    idx
 }
 
 /// Rebuilds a tensor from per-leaf coordinate paths (one coordinate per

@@ -7,6 +7,18 @@
 //! prove the hot path stayed in the compressed representation — silent
 //! fallbacks to the owned path show up as a nonzero delta instead of as a
 //! quiet performance cliff.
+//!
+//! # Thread safety under shard parallelism
+//!
+//! The counter is a process-wide atomic bumped with `Relaxed` ordering:
+//! increments from concurrent shard workers never tear and never get
+//! lost, only their interleaving is unspecified. The sharded engine
+//! joins every scoped worker before the simulator returns, and a join
+//! is a synchronization point, so a snapshot taken *after* a run
+//! observes every decompression performed *during* it. The supported
+//! protocol is therefore: snapshot → run → snapshot, compare the delta.
+//! Resetting is deliberately not offered — a reset would race
+//! concurrently running tests, while monotonic deltas cannot.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -14,7 +26,8 @@ static DECOMPRESSIONS: AtomicU64 = AtomicU64::new(0);
 
 /// Number of `CompressedTensor::to_tensor` decompressions performed by
 /// this process so far. Monotonic; compare snapshots rather than
-/// resetting, so concurrent tests cannot race a reset.
+/// resetting, so concurrent tests cannot race a reset. Safe to read
+/// from any thread; see the module docs for the ordering guarantee.
 pub fn decompress_count() -> u64 {
     DECOMPRESSIONS.load(Ordering::Relaxed)
 }
@@ -35,5 +48,31 @@ mod tests {
         let _ = c.to_tensor();
         let _ = c.to_tensor();
         assert!(decompress_count() >= before + 2);
+    }
+
+    #[test]
+    fn counter_does_not_lose_increments_under_contention() {
+        // The sharded engine's workers may all decompress concurrently;
+        // after joining them, every increment must be visible — no lost
+        // updates, no tearing.
+        const THREADS: usize = 8;
+        const PER_THREAD: u64 = 50;
+        let c = CompressedTensor::from_entries("T", &["I"], &[4], vec![(vec![1], 1.0)]).unwrap();
+        let before = decompress_count();
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    for _ in 0..PER_THREAD {
+                        let _ = c.to_tensor();
+                    }
+                });
+            }
+        });
+        let delta = decompress_count() - before;
+        assert!(
+            delta >= THREADS as u64 * PER_THREAD,
+            "joined workers must account for all {} decompressions, saw {delta}",
+            THREADS as u64 * PER_THREAD
+        );
     }
 }

@@ -57,6 +57,17 @@ proptest! {
     }
 
     #[test]
+    fn transpose_matches_owned_oracle(t in arb_matrix()) {
+        // CSR→CSC: the pull-to-front bucket-sort fast path must stay
+        // bit-identical to the comparison-sorted owned oracle.
+        assert_oracle(
+            &t,
+            |t| t.swizzle(&["K", "M"]),
+            |c| c.swizzle(&["K", "M"]),
+        )?;
+    }
+
+    #[test]
     fn shape_partition_matches_owned_oracle(t in arb_matrix(), chunk in 1u64..20) {
         for rank in ["M", "K"] {
             assert_oracle(

@@ -118,10 +118,34 @@ pub fn run(
     graph: &Graph,
     root: u64,
 ) -> Result<VertexRun, SimError> {
+    run_with_threads(design, algorithm, graph, root, teaal_sim::default_threads())
+}
+
+/// [`run`] with an explicit worker cap for each superstep's simulation.
+///
+/// Every superstep executes its cascade through
+/// [`Simulator::with_threads`]: independent Einsums run concurrently and
+/// eligible Einsums shard their top loop rank over the shared compressed
+/// adjacency, which stays borrowed — never cloned — across workers.
+/// Distances and per-iteration statistics are bit-identical for every
+/// thread count.
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_with_threads(
+    design: GraphDesign,
+    algorithm: Algorithm,
+    graph: &Graph,
+    root: u64,
+    threads: usize,
+) -> Result<VertexRun, SimError> {
     let v = graph.vertices;
     let weighted = algorithm.weighted();
     let spec = vertex_centric::spec(design, v, weighted);
-    let sim = Simulator::new(spec)?.with_ops(OpTable::sssp());
+    let sim = Simulator::new(spec)?
+        .with_ops(OpTable::sssp())
+        .with_threads(threads);
 
     // One compressed adjacency, built once in the mapping's `[S, V]`
     // storage order (so the engine's offline swizzle is the identity) and
@@ -337,6 +361,34 @@ mod tests {
             before,
             "a graph superstep decompressed a tensor on the hot path"
         );
+    }
+
+    #[test]
+    fn threaded_supersteps_are_bit_identical_to_sequential() {
+        // The graph driver is where shard parallelism really bites: the
+        // min-plus reduction is exact, so overlap merges are eligible and
+        // supersteps genuinely shard. Distances and every per-iteration
+        // statistic must match the sequential run bit for bit.
+        let g = small_graph(true);
+        let root = g.hub();
+        for design in [
+            GraphDesign::Graphicionado,
+            GraphDesign::GraphDynS,
+            GraphDesign::Proposal,
+        ] {
+            let seq = run_with_threads(design, Algorithm::Sssp, &g, root, 1).unwrap();
+            for threads in [2usize, 4] {
+                let par = run_with_threads(design, Algorithm::Sssp, &g, root, threads).unwrap();
+                assert_eq!(
+                    seq.distances, par.distances,
+                    "{design:?} x{threads}: distances diverge"
+                );
+                assert_eq!(
+                    seq.metrics.iterations, par.metrics.iterations,
+                    "{design:?} x{threads}: iteration stats diverge"
+                );
+            }
+        }
     }
 
     #[test]

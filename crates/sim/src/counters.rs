@@ -114,6 +114,12 @@ pub struct TensorChannel {
     next_line: u64,
     line_of: HashMap<usize, u64>,
     line_fill: u64,
+    /// When this channel runs inside a shard whose fills must be
+    /// deduplicated against other shards (fully-buffered tensors, whose
+    /// single epoch spans all shards), every fill event is also logged
+    /// here so the merge can keep only each key's first fill in shard
+    /// order — exactly the fill the sequential run would charge.
+    shard_log: Option<Vec<(usize, u64)>>,
 }
 
 impl TensorChannel {
@@ -192,6 +198,52 @@ impl TensorChannel {
             };
             self.fill_bits += fill;
             self.line_fill += 1;
+            if let Some(log) = &mut self.shard_log {
+                log.push((key, fill));
+            }
+        }
+    }
+
+    /// Starts a fresh per-shard channel with the same configuration.
+    /// `log_fills` enables the fill log for merge-time deduplication
+    /// (required when the channel's buffet epoch spans shard boundaries,
+    /// i.e. the effective `evict_on` is no loop rank). Channels with a
+    /// cache cannot shard — the engine falls back to sequential first.
+    pub(crate) fn fork_shard(&self, log_fills: bool) -> TensorChannel {
+        debug_assert!(self.cache.is_none(), "cached channels are not shardable");
+        let mut ch = TensorChannel::new(self.cfg.clone());
+        if log_fills {
+            ch.shard_log = Some(Vec::new());
+        }
+        ch
+    }
+
+    /// Folds a drained shard channel into this one (shards absorbed in
+    /// shard order). Touch counters are purely additive; fills are
+    /// additive when the shard ran without a fill log (per-shard epochs
+    /// partition the sequential epochs) and first-fill-wins deduplicated
+    /// against `self.seen` otherwise. After absorbing, only the public
+    /// counters are meaningful — the internal dedup state is merge
+    /// bookkeeping, not a resumable simulation state.
+    pub(crate) fn absorb_shard(&mut self, shard: TensorChannel) {
+        for (r, n) in shard.reads_by_rank {
+            *self.reads_by_rank.entry(r).or_insert(0) += n;
+        }
+        self.buffer_read_bits += shard.buffer_read_bits;
+        match shard.shard_log {
+            Some(log) => {
+                for (key, bits) in log {
+                    if let std::collections::hash_map::Entry::Vacant(e) = self.seen.entry(key) {
+                        e.insert(0);
+                        self.fill_bits += bits;
+                        self.line_fill += 1;
+                    }
+                }
+            }
+            None => {
+                self.fill_bits += shard.fill_bits;
+                self.line_fill += shard.line_fill;
+            }
         }
     }
 
@@ -298,6 +350,25 @@ impl OutputChannel {
             self.last_epoch.insert(key, self.epoch);
         }
     }
+
+    /// Starts a fresh per-shard output channel with the same
+    /// configuration.
+    pub(crate) fn fork_shard(&self) -> OutputChannel {
+        OutputChannel::new(self.elem_bits, self.evict_on.clone())
+    }
+
+    /// Folds a drained shard output channel into this one, additively.
+    /// Exact when shards write disjoint output keys: every record of a
+    /// key stays within one shard, so first-write/update splits and
+    /// epoch-delta drain/refill events are preserved per key. When
+    /// shards overlap on keys, the engine instead reconstitutes `writes`
+    /// and `updates` from the merged accumulators before reporting.
+    pub(crate) fn absorb_shard(&mut self, shard: OutputChannel) {
+        self.writes += shard.writes;
+        self.updates += shard.updates;
+        self.drain_bits += shard.drain_bits;
+        self.refill_bits += shard.refill_bits;
+    }
 }
 
 /// One online merge/sort job (a costed rank swizzle).
@@ -382,6 +453,54 @@ impl Instruments {
             ch.rank_advanced(rank);
         }
         self.output.rank_advanced(rank);
+    }
+
+    /// Starts a fresh per-shard instrument set mirroring this one's
+    /// channel configurations. `log_fills(tensor, cfg)` decides, per
+    /// channel, whether fills must be logged for merge-time
+    /// deduplication (see [`TensorChannel::fork_shard`]).
+    pub(crate) fn fork_shard<F>(&self, log_fills: F) -> Instruments
+    where
+        F: Fn(&str, &ChannelCfg) -> bool,
+    {
+        Instruments {
+            tensors: self
+                .tensors
+                .iter()
+                .map(|(name, ch)| (name.clone(), ch.fork_shard(log_fills(name, ch.cfg()))))
+                .collect(),
+            output: self.output.fork_shard(),
+            ..Instruments::default()
+        }
+    }
+
+    /// Folds a drained shard's instruments into this one. Shards must be
+    /// absorbed in shard order — fill deduplication and the output
+    /// channel's merge semantics are first-wins. Per-rank counters merge
+    /// additively and preserve entry creation (a rank visited zero times
+    /// in a shard still materializes its entry, as in the sequential
+    /// run).
+    pub(crate) fn absorb_shard(&mut self, shard: Instruments) {
+        for (name, ch) in shard.tensors {
+            self.tensors
+                .get_mut(&name)
+                .expect("shard channels mirror the parent's")
+                .absorb_shard(ch);
+        }
+        self.output.absorb_shard(shard.output);
+        for (r, n) in shard.intersect_by_rank {
+            *self.intersect_by_rank.entry(r).or_insert(0) += n;
+        }
+        for (r, n) in shard.loop_visits {
+            *self.loop_visits.entry(r).or_insert(0) += n;
+        }
+        for (k, n) in shard.compute.muls {
+            *self.compute.muls.entry(k).or_insert(0) += n;
+        }
+        for (k, n) in shard.compute.adds {
+            *self.compute.adds.entry(k).or_insert(0) += n;
+        }
+        debug_assert!(shard.merges.is_empty(), "shards do not run online merges");
     }
 
     /// Total intersection comparisons.

@@ -13,11 +13,14 @@
 //! intersection/union stream instead of materializing a match list — the
 //! engine allocates per *level*, not per *step*.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use teaal_core::einsum::Rhs;
-use teaal_core::ir::{Descent, EinsumPlan, PlanStep, TensorPlan};
-use teaal_fibertree::iterate::{intersect_stream, union_stream, IntersectStream, UnionStream};
+use teaal_core::ir::{Descent, EinsumPlan, PlanStep, RankDef, TensorPlan};
+use teaal_fibertree::iterate::{
+    intersect_stream, intersect_stream_bounded, union_stream, union_stream_bounded,
+    IntersectStream, UnionStream,
+};
 use teaal_fibertree::partition::SplitKind;
 use teaal_fibertree::swizzle::from_coord_entries;
 use teaal_fibertree::{
@@ -40,8 +43,10 @@ pub struct Engine<'p> {
     ops: OpTable,
     policy: IntersectPolicy,
     rank_extents: BTreeMap<String, u64>,
+    threads: usize,
 }
 
+#[derive(Clone)]
 struct Exec<'e, 'p> {
     engine: &'e Engine<'p>,
     union_mode: bool,
@@ -51,13 +56,54 @@ struct Exec<'e, 'p> {
     /// Working rank consumed by each access at each descent (parallel to
     /// roles): resolved lazily from tensor plans.
     access_rank_names: Vec<Vec<String>>,
+    /// When executing one shard of a partitioned top rank, the top-level
+    /// stream only emits coordinates in `[lo, hi)` (absolute positions,
+    /// shard-exact charging).
+    top_bounds: Option<(u64, u64)>,
+    /// Whether leaf() must remember the space id of each output key's
+    /// first write — needed to reconstitute the sequential reduction
+    /// counts when shards overlap on output keys.
+    record_first_space: bool,
+}
+
+/// The engine's output accumulator. `Map` buffers every point (the
+/// general path); `Stream` drains straight into a [`CompressedBuilder`]
+/// when the loop order is concordant with the output rank order, so
+/// leaf visits arrive key-sorted with equal keys adjacent and only one
+/// pending entry ever needs buffering.
+enum OutAcc {
+    Map(BTreeMap<Vec<u64>, f64>),
+    Stream {
+        builder: CompressedBuilder,
+        pending: Option<(Vec<u64>, f64)>,
+    },
 }
 
 struct State<'t> {
     nodes: Vec<Option<PayloadView<'t>>>,
     binds: Vec<(String, u64)>,
     space: Vec<u64>,
-    out: BTreeMap<Vec<u64>, f64>,
+    out: OutAcc,
+    /// Space id at each output key's first write (shard-overlap merges
+    /// only; see [`Exec::record_first_space`]).
+    first_space: BTreeMap<Vec<u64>, Vec<u64>>,
+}
+
+/// How a shard-parallel execution was planned: the top-rank coordinate
+/// ranges, per-channel fill-merge modes, and the output merge strategy.
+struct ShardPlan {
+    /// Half-open top-coordinate ranges, one per worker, in coordinate
+    /// order; together they cover every top coordinate.
+    ranges: Vec<(u64, u64)>,
+    /// Per-tensor: whether the shard channel logs fills for merge-time
+    /// first-wins deduplication (single buffet epoch spanning shards).
+    log_fills: BTreeMap<String, bool>,
+    /// Whether shards write disjoint output key sets (the top coordinate
+    /// is an output coordinate), making all output counters additive.
+    disjoint: bool,
+    /// Whether shards stream their outputs into per-shard
+    /// [`CompressedBuilder`]s merged by k-way concatenation.
+    stream_out: bool,
 }
 
 /// The per-level coordinate source: a dense counter for affine kernels, a
@@ -82,7 +128,21 @@ impl<'p> Engine<'p> {
             ops,
             policy,
             rank_extents,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker count for shard-parallel execution (default 1).
+    ///
+    /// With `n > 1`, eligible plans partition their top loop rank into up
+    /// to `n` coordinate ranges executed on scoped threads and merged
+    /// deterministically — instruments and outputs are bit-identical to
+    /// the sequential run (pinned by the `parallel_sharding` suite).
+    /// Plans the shard-exactness analysis cannot prove simply run
+    /// sequentially; `n` is a cap, never a requirement.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
+        self
     }
 
     /// Executes the plan, assembling an owned output tensor.
@@ -229,9 +289,23 @@ impl<'p> Engine<'p> {
             take_which,
             access_tensor,
             access_rank_names,
+            top_bounds: None,
+            record_first_space: false,
         };
 
-        // 3. Walk the nest.
+        // 3. Walk the nest — shard-parallel when the exactness analysis
+        // allows it, sequentially otherwise.
+        let concordant = self.output_concordant();
+        if let Some(shard_plan) = self.plan_shards(&exec, &tensors, instruments, compressed_output)
+        {
+            return self.execute_sharded(
+                &exec,
+                &tensors,
+                instruments,
+                &shard_plan,
+                compressed_output,
+            );
+        }
         let mut state = State {
             nodes: exec
                 .access_tensor
@@ -240,16 +314,404 @@ impl<'p> Engine<'p> {
                 .collect(),
             binds: Vec::new(),
             space: Vec::new(),
-            out: BTreeMap::new(),
+            out: if compressed_output && concordant {
+                OutAcc::Stream {
+                    builder: self.output_builder()?,
+                    pending: None,
+                }
+            } else {
+                OutAcc::Map(BTreeMap::new())
+            },
+            first_space: BTreeMap::new(),
         };
         exec.level(0, &mut state, instruments)?;
 
         // 4. Assemble the output tensor.
+        match state.out {
+            OutAcc::Stream { builder, pending } => self
+                .finish_stream(builder, pending)
+                .map(TensorData::Compressed),
+            OutAcc::Map(map) => {
+                if compressed_output {
+                    self.build_output_as::<CompressedTensor>(map, instruments)
+                        .map(TensorData::Compressed)
+                } else {
+                    self.build_output_as::<Tensor>(map, instruments)
+                        .map(TensorData::Owned)
+                }
+            }
+        }
+    }
+
+    /// Whether the loop order is concordant with the output rank order:
+    /// the first `target_order.len()` loop ranks each bind exactly their
+    /// corresponding target root (component 0, a root rank's point
+    /// coordinates) and no deeper loop rank rebinds any target root. Leaf
+    /// visits then produce nondecreasing output keys with equal keys
+    /// adjacent, so the accumulator can stream into a
+    /// [`CompressedBuilder`] instead of buffering every point.
+    fn output_concordant(&self) -> bool {
+        let out = &self.plan.output;
+        if out.online_swizzle {
+            return false;
+        }
+        let t = out.target_order.len();
+        if self.plan.loop_ranks.len() < t {
+            return false;
+        }
+        for (i, r) in out.target_order.iter().enumerate() {
+            let lr = &self.plan.loop_ranks[i];
+            if lr.binds.len() != 1 || lr.binds[0].0 != *r || lr.binds[0].1 != 0 {
+                return false;
+            }
+            if !matches!(self.plan.rank_space.def(&lr.name), Some(RankDef::Root)) {
+                return false;
+            }
+        }
+        self.plan.loop_ranks[t..].iter().all(|lr| {
+            lr.binds
+                .iter()
+                .all(|(root, _)| !out.target_order.contains(root))
+        })
+    }
+
+    /// A streaming output builder shaped exactly like
+    /// [`Engine::build_output_as`]'s target-order sink, so streamed and
+    /// buffered outputs are bit-identical.
+    fn output_builder(&self) -> Result<CompressedBuilder, SimError> {
+        let target = self.plan.output.target_order.clone();
+        let shapes: Vec<Shape> = target
+            .iter()
+            .map(|r| Shape::Interval(self.rank_extents.get(r).copied().unwrap_or(u64::MAX / 2)))
+            .collect();
+        Ok(CompressedBuilder::new(
+            &self.plan.output.tensor,
+            target,
+            shapes,
+        )?)
+    }
+
+    /// Flushes a streaming accumulator's pending entry (dropping semiring
+    /// zeros, like the buffered drain) and closes the builder.
+    fn finish_stream(
+        &self,
+        mut builder: CompressedBuilder,
+        pending: Option<(Vec<u64>, f64)>,
+    ) -> Result<CompressedTensor, SimError> {
+        let zero = self.ops.semiring.zero();
+        if let Some((k, v)) = pending {
+            if v != zero {
+                builder.push_point(&k, v)?;
+            }
+        }
+        Ok(builder.finish())
+    }
+
+    /// Decides whether this execution can shard its top loop rank across
+    /// `self.threads` workers while staying bit-identical to the
+    /// sequential run, and plans the shard ranges if so. Every `None`
+    /// is a proof obligation the analysis could not discharge — the
+    /// caller then runs sequentially, which is always correct.
+    fn plan_shards(
+        &self,
+        exec: &Exec<'_, 'p>,
+        tensors: &[std::borrow::Cow<'_, TensorData>],
+        instruments: &Instruments,
+        compressed_output: bool,
+    ) -> Option<ShardPlan> {
+        if self.threads < 2 {
+            return None;
+        }
+        let top = self.plan.loop_ranks.first()?;
+
+        // Top-level drivers and live fibers, exactly as level(0) sees
+        // them.
+        let driver_idx: Vec<usize> = self
+            .plan
+            .access_roles
+            .iter()
+            .enumerate()
+            .filter(|(_, roles)| roles.roles[0].contains(&Descent::CoIterate))
+            .map(|(ai, _)| ai)
+            .collect();
+        let live: Vec<FiberView<'_>> = driver_idx
+            .iter()
+            .filter_map(|&ai| match tensors[exec.access_tensor[ai]].root_view() {
+                PayloadView::Fiber(f) => Some(f),
+                _ => None,
+            })
+            .collect();
+
+        // Shard boundaries on the top coordinate axis, plus the exclusive
+        // upper limit of the final range.
+        let (boundaries, upper) = if driver_idx.is_empty() {
+            // Dense top: split the extent evenly. A missing extent errors
+            // identically on the sequential path, so fall back to it.
+            let root = top
+                .binds
+                .first()
+                .map(|(r, _)| r.clone())
+                .unwrap_or_else(|| top.name.clone());
+            let extent = self.rank_extents.get(&root).copied()?;
+            if extent == 0 {
+                return None;
+            }
+            let n = self.threads as u64;
+            ((1..n).map(|i| i * extent / n).collect::<Vec<u64>>(), extent)
+        } else {
+            // Sparse top: bounded co-iteration is only shard-exact for
+            // the stream shapes it was proved for.
+            if exec.union_mode {
+                if live.is_empty() {
+                    return None;
+                }
+            } else if live.len() != driver_idx.len() || live.len() > 2 {
+                return None;
+            }
+            // Bounded streams compare point coordinates; tuple-coordinate
+            // roots (flattened ranks) fall back.
+            if live
+                .iter()
+                .any(|f| f.occupancy() > 0 && f.coord_at(0).as_point().is_none())
+            {
+                return None;
+            }
+            let widest = live.iter().max_by_key(|f| f.occupancy())?;
+            let occ = widest.occupancy();
+            if occ == 0 {
+                return None;
+            }
+            let bs: Vec<u64> = (1..self.threads)
+                .map(|i| widest.coord_at(i * occ / self.threads).as_point())
+                .collect::<Option<Vec<u64>>>()?;
+            (bs, u64::MAX)
+        };
+        let mut ranges: Vec<(u64, u64)> = Vec::with_capacity(boundaries.len() + 1);
+        let mut lo = 0u64;
+        for b in boundaries {
+            if b > lo && b < upper {
+                ranges.push((lo, b));
+                lo = b;
+            }
+        }
+        ranges.push((lo, upper));
+        if ranges.len() < 2 {
+            return None;
+        }
+
+        // Channel mergeability: caches replay an access order, which
+        // sharding reorders; buffet epochs must either stay within one
+        // shard (evict-on the top rank) or span the whole run (no
+        // effective evict rank, merged by first-fill-wins deduplication).
+        let loop_names: BTreeSet<&str> = self
+            .plan
+            .loop_ranks
+            .iter()
+            .map(|l| l.name.as_str())
+            .collect();
+        let mut log_fills = BTreeMap::new();
+        for (name, ch) in &instruments.tensors {
+            let cfg = ch.cfg();
+            if cfg.cache_lines.is_some() {
+                return None;
+            }
+            let log = if !cfg.dram_backed {
+                false
+            } else {
+                match cfg.evict_on.as_deref() {
+                    Some(r) if r == top.name => false,
+                    Some(r) if loop_names.contains(r) => return None,
+                    _ => true,
+                }
+            };
+            log_fills.insert(name.clone(), log);
+        }
+
+        // Output merge strategy. Disjoint: the top coordinate is an
+        // output coordinate, so shards write disjoint keys and every
+        // output counter is additive. Overlap: shards reduce into the
+        // same keys, which is only reconstitutable without partial-output
+        // epochs and with an exact (order-insensitive) reduction — or a
+        // take, where the first shard's value wins as it would
+        // sequentially.
+        let out = &self.plan.output;
+        let disjoint = top.binds.len() == 1
+            && top.binds[0].1 == 0
+            && out.target_order.contains(&top.binds[0].0)
+            && !self.plan.loop_ranks[1..]
+                .iter()
+                .any(|lr| lr.binds.iter().any(|(r, _)| *r == top.binds[0].0));
+        if !disjoint {
+            let overlap_ok = instruments.output.evict_on.is_none()
+                && (exec.take_which.is_some() || self.ops.exact_add);
+            if !overlap_ok {
+                return None;
+            }
+        }
+        let stream_out = disjoint && compressed_output && self.output_concordant();
+
+        Some(ShardPlan {
+            ranges,
+            log_fills,
+            disjoint,
+            stream_out,
+        })
+    }
+
+    /// Runs the planned shards on scoped threads and merges their
+    /// instruments and outputs deterministically, in shard (coordinate)
+    /// order.
+    fn execute_sharded<'t>(
+        &self,
+        exec: &Exec<'_, 'p>,
+        tensors: &[std::borrow::Cow<'t, TensorData>],
+        instruments: &mut Instruments,
+        shard_plan: &ShardPlan,
+        compressed_output: bool,
+    ) -> Result<TensorData, SimError> {
+        let stream_out = shard_plan.stream_out;
+        let is_take = exec.take_which.is_some();
+        let record_first_space = !shard_plan.disjoint && !is_take;
+        let forks: Vec<Instruments> = shard_plan
+            .ranges
+            .iter()
+            .map(|_| {
+                instruments
+                    .fork_shard(|name, _| shard_plan.log_fills.get(name).copied().unwrap_or(false))
+            })
+            .collect();
+
+        type ShardOut = (OutAcc, BTreeMap<Vec<u64>, Vec<u64>>, Instruments);
+        let worker_out: Vec<Result<ShardOut, SimError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = shard_plan
+                .ranges
+                .iter()
+                .zip(forks)
+                .map(|(&(lo, hi), mut si)| {
+                    scope.spawn(move || {
+                        let shard_exec = Exec {
+                            top_bounds: Some((lo, hi)),
+                            record_first_space,
+                            ..exec.clone()
+                        };
+                        let mut st = State {
+                            nodes: shard_exec
+                                .access_tensor
+                                .iter()
+                                .map(|&ti| Some(tensors[ti].root_view()))
+                                .collect(),
+                            binds: Vec::new(),
+                            space: Vec::new(),
+                            out: if stream_out {
+                                OutAcc::Stream {
+                                    builder: self.output_builder()?,
+                                    pending: None,
+                                }
+                            } else {
+                                OutAcc::Map(BTreeMap::new())
+                            },
+                            first_space: BTreeMap::new(),
+                        };
+                        shard_exec.level(0, &mut st, &mut si)?;
+                        Ok((st.out, st.first_space, si))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        // Merge, strictly in shard order.
+        let top = &self.plan.loop_ranks[0];
+        let top_is_space = top.is_space;
+        let base_writes = instruments.output.writes;
+        let base_updates = instruments.output.updates;
+        let mut merged_out: BTreeMap<Vec<u64>, f64> = BTreeMap::new();
+        let mut merged_builder = if stream_out {
+            Some(self.output_builder()?)
+        } else {
+            None
+        };
+        let mut seen_keys: BTreeSet<Vec<u64>> = BTreeSet::new();
+        let mut top_offset = 0u64;
+        for res in worker_out {
+            let (out, first_space, mut si) = res?;
+            // Space ids carry the top rank's position index, which
+            // restarts at zero in every shard: shift by the positions
+            // consumed so far.
+            if top_is_space && top_offset > 0 {
+                si.compute.muls = shift_space_keys(si.compute.muls, top_offset);
+                si.compute.adds = shift_space_keys(si.compute.adds, top_offset);
+            }
+            let shard_visits = si.loop_visits.get(&top.name).copied().unwrap_or(0);
+            instruments.absorb_shard(si);
+            match out {
+                OutAcc::Stream { builder, pending } => {
+                    let t = self.finish_stream(builder, pending)?;
+                    merged_builder
+                        .as_mut()
+                        .expect("stream shards merge into a builder")
+                        .append_tensor(&t)?;
+                }
+                OutAcc::Map(map) => {
+                    for (k, v) in map {
+                        match merged_out.entry(k) {
+                            std::collections::btree_map::Entry::Vacant(e) => {
+                                e.insert(v);
+                            }
+                            std::collections::btree_map::Entry::Occupied(mut e) => {
+                                // Take keeps the first (sequentially
+                                // earliest) shard's value; reductions fold
+                                // shard partials with the exact ⊕.
+                                if !is_take {
+                                    let folded = self.ops.semiring.add(*e.get(), v);
+                                    e.insert(folded);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Overlap fixup: a key first written in an earlier shard
+            // makes this shard's local first write a reduction update
+            // sequentially — one extra add at the space where it
+            // happened.
+            for (k, mut space) in first_space {
+                if seen_keys.contains(&k) {
+                    if top_is_space && top_offset > 0 {
+                        if let Some(c0) = space.first_mut() {
+                            *c0 += top_offset;
+                        }
+                    }
+                    *instruments.compute.adds.entry(space).or_insert(0) += 1;
+                } else {
+                    seen_keys.insert(k);
+                }
+            }
+            top_offset += shard_visits;
+        }
+        if !shard_plan.disjoint {
+            // Reconstitute first-write/update splits from the merged key
+            // set: sequentially, only one record per key is a write.
+            let total_w = instruments.output.writes - base_writes;
+            let total_u = instruments.output.updates - base_updates;
+            let writes = merged_out.len() as u64;
+            instruments.output.writes = base_writes + writes;
+            instruments.output.updates = base_updates + (total_w + total_u - writes);
+        }
+
+        if let Some(builder) = merged_builder {
+            return Ok(TensorData::Compressed(builder.finish()));
+        }
+        // Buffered shards assemble through the shared drain, exactly like
+        // a sequential run over the merged accumulator.
         if compressed_output {
-            self.build_output_as::<CompressedTensor>(state.out, instruments)
+            self.build_output_as::<CompressedTensor>(merged_out, instruments)
                 .map(TensorData::Compressed)
         } else {
-            self.build_output_as::<Tensor>(state.out, instruments)
+            self.build_output_as::<Tensor>(merged_out, instruments)
                 .map(TensorData::Owned)
         }
     }
@@ -592,6 +1054,20 @@ fn fnv1a_hash(words: &[u64]) -> u64 {
     h
 }
 
+/// Shifts the leading (top space rank) component of every space id by
+/// `offset`: shard-local top positions restart at zero, and the merge
+/// renumbers them into the sequential run's global position space.
+fn shift_space_keys(m: BTreeMap<Vec<u64>, u64>, offset: u64) -> BTreeMap<Vec<u64>, u64> {
+    m.into_iter()
+        .map(|(mut k, v)| {
+            if let Some(c0) = k.first_mut() {
+                *c0 += offset;
+            }
+            (k, v)
+        })
+        .collect()
+}
+
 /// Records the merge work of reordering an owned tensor into `new_order`.
 fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instruments) {
     record_merge_groups_view(
@@ -660,10 +1136,14 @@ impl<'e, 'p> Exec<'e, 'p> {
     ) -> Result<(), SimError> {
         let plan = self.engine.plan;
         if li == plan.loop_ranks.len() {
-            self.leaf(state, inst);
-            return Ok(());
+            return self.leaf(state, inst);
         }
         let lr = &plan.loop_ranks[li];
+        // Shard bounds apply to the top level only: streams start at the
+        // first in-range coordinate (absolute positions, so charge
+        // accounting partitions the sequential run's) and stop, uncharged,
+        // at the first coordinate past the range.
+        let bound = if li == 0 { self.top_bounds } else { None };
 
         // Identify drivers (accesses co-iterating here with live fibers).
         let mut driver_idx: Vec<usize> = Vec::new();
@@ -694,13 +1174,22 @@ impl<'e, 'p> Exec<'e, 'p> {
                 .get(&root)
                 .copied()
                 .ok_or(SimError::MissingExtent { rank: root })?;
-            LevelStream::Dense { next: 0, extent }
+            match bound {
+                Some((lo, hi)) => LevelStream::Dense {
+                    next: lo.min(extent),
+                    extent: hi.min(extent),
+                },
+                None => LevelStream::Dense { next: 0, extent },
+            }
         } else if self.union_mode {
             if live.is_empty() {
                 LevelStream::Empty
             } else {
                 let fibers: Vec<FiberView<'_>> = live.iter().map(|(_, f)| *f).collect();
-                LevelStream::Union(union_stream(&fibers))
+                LevelStream::Union(match bound {
+                    Some((lo, hi)) => union_stream_bounded(&fibers, lo, hi),
+                    None => union_stream(&fibers),
+                })
             }
         } else {
             // Intersection mode: a dead driver kills the whole subtree.
@@ -708,7 +1197,10 @@ impl<'e, 'p> Exec<'e, 'p> {
                 return Ok(());
             }
             let fibers: Vec<FiberView<'_>> = live.iter().map(|(_, f)| *f).collect();
-            LevelStream::Intersect(intersect_stream(&fibers, self.engine.policy))
+            LevelStream::Intersect(match bound {
+                Some((lo, hi)) => intersect_stream_bounded(&fibers, self.engine.policy, lo, hi),
+                None => intersect_stream(&fibers, self.engine.policy),
+            })
         };
 
         let binds_depth = state.binds.len();
@@ -906,7 +1398,7 @@ impl<'e, 'p> Exec<'e, 'p> {
         }
     }
 
-    fn leaf(&self, state: &mut State<'_>, inst: &mut Instruments) {
+    fn leaf(&self, state: &mut State<'_>, inst: &mut Instruments) -> Result<(), SimError> {
         let plan = self.engine.plan;
         let ops = &self.engine.ops;
         let zero = ops.semiring.zero();
@@ -921,12 +1413,12 @@ impl<'e, 'p> Exec<'e, 'p> {
         let (value, muls, term_adds) = match &plan.equation.rhs {
             Rhs::Take { args: _, which } => {
                 if state.nodes.iter().any(Option::is_none) {
-                    return;
+                    return Ok(());
                 }
                 let w = self.take_which.unwrap_or(*which);
                 match scalar(&state.nodes[w]) {
                     Some(v) => (v, 0u64, 0u64),
-                    None => return,
+                    None => return Ok(()),
                 }
             }
             Rhs::SumOfProducts(terms) => {
@@ -956,11 +1448,11 @@ impl<'e, 'p> Exec<'e, 'p> {
                             teaal_core::einsum::Sign::Minus => (ops.sub)(acc, tv),
                         };
                     } else if matches!(sign, teaal_core::einsum::Sign::Minus) && !self.union_mode {
-                        return;
+                        return Ok(());
                     }
                 }
                 if present_terms == 0 || ops.is_zero(acc) {
-                    return;
+                    return Ok(());
                 }
                 // Combining k present terms costs k−1 additions (the apply
                 // operations of vertex-centric cascades).
@@ -973,7 +1465,7 @@ impl<'e, 'p> Exec<'e, 'p> {
         for r in &plan.output.target_order {
             match state.binds.iter().rev().find(|(b, _)| b == r) {
                 Some((_, v)) => key.push(*v),
-                None => return, // unbound output rank: outside iteration
+                None => return Ok(()), // unbound output rank: outside iteration
             }
         }
 
@@ -981,18 +1473,44 @@ impl<'e, 'p> Exec<'e, 'p> {
 
         let is_take = self.take_which.is_some();
         let mut adds = term_adds;
-        match state.out.get_mut(&key) {
-            Some(existing) => {
-                if !is_take {
-                    *existing = ops.semiring.add(*existing, value);
-                    adds += 1;
+        match &mut state.out {
+            OutAcc::Map(map) => match map.get_mut(&key) {
+                Some(existing) => {
+                    if !is_take {
+                        *existing = ops.semiring.add(*existing, value);
+                        adds += 1;
+                    }
+                    inst.output.record(key_hash, false);
                 }
-                inst.output.record(key_hash, false);
-            }
-            None => {
-                state.out.insert(key, value);
-                inst.output.record(key_hash, true);
-            }
+                None => {
+                    if self.record_first_space {
+                        state.first_space.insert(key.clone(), state.space.clone());
+                    }
+                    map.insert(key, value);
+                    inst.output.record(key_hash, true);
+                }
+            },
+            OutAcc::Stream { builder, pending } => match pending {
+                // Concordance makes equal keys adjacent: reduce in place
+                // while the key repeats, push the finished entry when it
+                // changes.
+                Some((pk, pv)) if *pk == key => {
+                    if !is_take {
+                        *pv = ops.semiring.add(*pv, value);
+                        adds += 1;
+                    }
+                    inst.output.record(key_hash, false);
+                }
+                _ => {
+                    if let Some((pk, pv)) = pending.take() {
+                        if pv != zero {
+                            builder.push_point(&pk, pv)?;
+                        }
+                    }
+                    *pending = Some((key, value));
+                    inst.output.record(key_hash, true);
+                }
+            },
         }
 
         let space_id = state.space.clone();
@@ -1002,6 +1520,7 @@ impl<'e, 'p> Exec<'e, 'p> {
         if adds > 0 {
             *inst.compute.adds.entry(space_id).or_insert(0) += adds;
         }
+        Ok(())
     }
 }
 

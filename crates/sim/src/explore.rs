@@ -76,6 +76,30 @@ pub fn explore_loop_orders(
     objective: Objective,
     max_candidates: usize,
 ) -> Result<Vec<Candidate>, SimError> {
+    explore_loop_orders_with_threads(spec, einsum, inputs, ops, objective, max_candidates, 1)
+}
+
+/// [`explore_loop_orders`] with candidate evaluation fanned out across up
+/// to `threads` scoped workers.
+///
+/// Candidates are evaluated in permutation-order chunks and successes are
+/// appended in permutation order until the budget fills, so the returned
+/// set — and its ranking — is identical to the sequential exploration for
+/// any thread count. Each candidate simulation itself runs sequentially
+/// (the fan-out is across mappings, not within one).
+///
+/// # Errors
+///
+/// As [`explore_loop_orders`].
+pub fn explore_loop_orders_with_threads(
+    spec: &TeaalSpec,
+    einsum: &str,
+    inputs: &[Tensor],
+    ops: OpTable,
+    objective: Objective,
+    max_candidates: usize,
+    threads: usize,
+) -> Result<Vec<Candidate>, SimError> {
     // Discover the derived iteration ranks from the baseline plan.
     let base = Simulator::new(spec.clone())?;
     let plan = base
@@ -87,32 +111,55 @@ pub fn explore_loop_orders(
         })?;
     let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
 
-    let mut results: Vec<Candidate> = Vec::new();
+    let mut orders: Vec<Vec<String>> = Vec::new();
     let mut order = ranks.clone();
     permute(&mut order, 0, &mut |candidate| {
-        // Budget counts evaluated candidates only: a candidate that fails
-        // to lower is skipped, not charged (counting failures used to
-        // starve the budget and return fewer valid mappings than exist).
-        if results.len() >= max_candidates {
-            return;
-        }
+        orders.push(candidate.to_vec());
+    });
+
+    // A candidate that fails to lower is skipped, not charged against the
+    // budget (counting failures used to starve the budget and return
+    // fewer valid mappings than exist). Spacetime entries may reference
+    // ranks by name; they stay valid because the rank *set* is unchanged.
+    let eval = |candidate: &[String]| -> Option<Candidate> {
         let mut s = spec.clone();
         s.mapping
             .loop_order
             .insert(einsum.to_string(), candidate.to_vec());
-        // Spacetime entries may reference ranks by name; they stay valid
-        // because the rank *set* is unchanged.
-        let Ok(sim) = Simulator::new(s) else { return };
-        let Ok(report) = sim.with_ops(ops).run(inputs) else {
-            return;
-        };
-        results.push(Candidate {
+        let sim = Simulator::new(s).ok()?;
+        let report = sim.with_ops(ops).with_threads(1).run(inputs).ok()?;
+        Some(Candidate {
             loop_order: candidate.to_vec(),
             seconds: report.seconds,
             energy_joules: report.energy_joules,
             dram_bytes: report.dram_bytes(),
-        });
-    });
+        })
+    };
+
+    let threads = threads.max(1);
+    let mut results: Vec<Candidate> = Vec::new();
+    let mut next = 0usize;
+    while next < orders.len() && results.len() < max_candidates {
+        let chunk = &orders[next..(next + threads).min(orders.len())];
+        let evaluated: Vec<Option<Candidate>> = if threads > 1 && chunk.len() > 1 {
+            std::thread::scope(|s| {
+                let eval = &eval;
+                let handles: Vec<_> = chunk.iter().map(|c| s.spawn(move || eval(c))).collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("explore worker panicked"))
+                    .collect()
+            })
+        } else {
+            chunk.iter().map(|c| eval(c)).collect()
+        };
+        for cand in evaluated.into_iter().flatten() {
+            if results.len() < max_candidates {
+                results.push(cand);
+            }
+        }
+        next += chunk.len();
+    }
 
     if results.is_empty() {
         return Err(SimError::Spec(teaal_core::SpecError::Validation {
@@ -295,6 +342,43 @@ mod tests {
         )
         .unwrap();
         assert_eq!(all.len(), 12);
+    }
+
+    #[test]
+    fn threaded_exploration_matches_sequential() {
+        // Fanning candidate evaluation across workers must not change the
+        // candidate set, scores, or ranking — including when the budget
+        // cuts off mid-chunk.
+        for budget in [2usize, 10, 720] {
+            let seq = explore_loop_orders(
+                &partitioning_constrained_spec(),
+                "Z",
+                &inputs(),
+                OpTable::arithmetic(),
+                Objective::Time,
+                budget,
+            )
+            .unwrap();
+            for threads in [2usize, 4] {
+                let par = explore_loop_orders_with_threads(
+                    &partitioning_constrained_spec(),
+                    "Z",
+                    &inputs(),
+                    OpTable::arithmetic(),
+                    Objective::Time,
+                    budget,
+                    threads,
+                )
+                .unwrap();
+                assert_eq!(seq.len(), par.len());
+                for (a, b) in seq.iter().zip(&par) {
+                    assert_eq!(a.loop_order, b.loop_order);
+                    assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
+                    assert_eq!(a.energy_joules.to_bits(), b.energy_joules.to_bits());
+                    assert_eq!(a.dram_bytes, b.dram_bytes);
+                }
+            }
+        }
     }
 
     #[test]

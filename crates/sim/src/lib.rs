@@ -23,7 +23,7 @@ pub use counters::{ChannelCfg, Instruments, Lru, MergeGroup, OutputChannel, Tens
 pub use energy::{ActionCounts, EnergyTable};
 pub use engine::Engine;
 pub use error::SimError;
-pub use explore::{explore_loop_orders, Candidate, Objective};
-pub use model::Simulator;
+pub use explore::{explore_loop_orders, explore_loop_orders_with_threads, Candidate, Objective};
+pub use model::{default_threads, Simulator};
 pub use ops::OpTable;
 pub use report::{BlockStats, EinsumStats, SimReport, TensorTraffic};

@@ -60,6 +60,19 @@ pub struct Simulator {
     /// Intermediates whose producer and all consumers share a fused block:
     /// they live on-chip and never generate DRAM traffic (Gamma's `T`).
     on_chip: std::collections::BTreeSet<String>,
+    /// Worker cap for shard- and cascade-parallel execution.
+    threads: usize,
+}
+
+/// The default worker count for parallel execution: the `TEAAL_THREADS`
+/// environment variable when set to a positive integer, otherwise 1
+/// (sequential). The CLI's `--threads` flag overrides it.
+pub fn default_threads() -> usize {
+    std::env::var("TEAAL_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
 }
 
 impl Simulator {
@@ -110,6 +123,7 @@ impl Simulator {
             extent_overrides: BTreeMap::new(),
             energy: EnergyTable::default(),
             on_chip,
+            threads: default_threads(),
         })
     }
 
@@ -117,6 +131,20 @@ impl Simulator {
     /// kernels).
     pub fn with_ops(mut self, ops: OpTable) -> Self {
         self.ops = ops;
+        self
+    }
+
+    /// Sets the worker cap for parallel execution (default:
+    /// [`default_threads`]).
+    ///
+    /// With `n > 1`, independent Einsums of a cascade run concurrently
+    /// and each eligible Einsum shards its top loop rank across up to `n`
+    /// scoped threads ([`Engine::with_threads`]). Reports stay
+    /// bit-identical to `n = 1` — the merge is deterministic and the
+    /// shard-exactness analysis falls back to sequential execution
+    /// whenever it cannot prove equality.
+    pub fn with_threads(mut self, n: usize) -> Self {
+        self.threads = n.max(1);
         self
     }
 
@@ -206,55 +234,139 @@ impl Simulator {
 
     fn run_impl(&self, inputs: &[&TensorData], compressed: bool) -> Result<SimReport, SimError> {
         // Rank extents from input shapes plus overrides.
-        let mut extents: BTreeMap<String, u64> = BTreeMap::new();
+        let mut base_extents: BTreeMap<String, u64> = BTreeMap::new();
         for t in inputs {
             for (i, r) in t.rank_ids().iter().enumerate() {
                 let e = t.rank_shapes()[i].extent();
-                let entry = extents.entry(r.clone()).or_insert(e);
+                let entry = base_extents.entry(r.clone()).or_insert(e);
                 *entry = (*entry).max(e);
             }
         }
-        extents.extend(self.extent_overrides.clone());
+        base_extents.extend(self.extent_overrides.clone());
 
-        let mut report = SimReport::default();
-        // Intermediates produced so far; later Einsums read them by name.
-        let mut produced: Vec<TensorData> = Vec::new();
+        // Execute the cascade in dependency waves: every Einsum whose
+        // producers (data, write-after-write, and learned-extent
+        // dependencies) have completed runs concurrently with the rest of
+        // its wave. Each Einsum sees exactly the environment and extents
+        // its sequential position would — outputs and learned extents of
+        // plans *before* it, in plan order — so reports are bit-identical
+        // to the sequential schedule.
+        let n = self.plans.len();
+        let deps = self.plan_dependencies(&base_extents);
+        let mut outputs: Vec<Option<TensorData>> = (0..n).map(|_| None).collect();
+        let mut stats: Vec<Option<EinsumStats>> = (0..n).map(|_| None).collect();
+        let mut remaining = n;
+        while remaining > 0 {
+            let wave: Vec<usize> = (0..n)
+                .filter(|&i| outputs[i].is_none() && deps[i].iter().all(|&d| outputs[d].is_some()))
+                .collect();
+            debug_assert!(!wave.is_empty(), "intra-cascade dependencies are acyclic");
 
-        for plan in &self.plans {
-            let mut instruments = self.build_instruments(plan);
-            let policy = self.intersect_policy(plan);
-            let engine = Engine::new(plan, self.ops, policy, extents.clone());
-            let mut boundaries = BoundaryCache::new();
-            let output = {
+            let run_one = |i: usize| -> Result<(Instruments, TensorData), SimError> {
+                let plan = &self.plans[i];
+                // Extents as the sequential run would know them here:
+                // base extents plus those learned from earlier outputs,
+                // first introduction winning in plan order.
+                let mut extents = base_extents.clone();
+                for o in outputs[..i].iter().flatten() {
+                    for (ri, r) in o.rank_ids().iter().enumerate() {
+                        extents
+                            .entry(r.clone())
+                            .or_insert_with(|| o.rank_shapes()[ri].extent());
+                    }
+                }
+                let mut instruments = self.build_instruments(plan);
+                let policy = self.intersect_policy(plan);
+                let engine =
+                    Engine::new(plan, self.ops, policy, extents).with_threads(self.threads);
+                let mut boundaries = BoundaryCache::new();
                 // Later entries shadow earlier ones, so intermediates win
                 // over same-named inputs (as the cascade requires).
                 let env: BTreeMap<String, &TensorData> = inputs
                     .iter()
                     .copied()
-                    .chain(produced.iter())
+                    .chain(outputs[..i].iter().flatten())
                     .map(|t| (t.name().to_string(), t))
                     .collect();
-                engine.execute_data(&env, &mut instruments, &mut boundaries, compressed)?
+                let out =
+                    engine.execute_data(&env, &mut instruments, &mut boundaries, compressed)?;
+                Ok((instruments, out))
             };
 
-            // Extents learned from the produced output.
-            for (i, r) in output.rank_ids().iter().enumerate() {
-                extents
-                    .entry(r.clone())
-                    .or_insert_with(|| output.rank_shapes()[i].extent());
-            }
+            let results: Vec<Result<(Instruments, TensorData), SimError>> =
+                if self.threads > 1 && wave.len() > 1 {
+                    std::thread::scope(|s| {
+                        let run_one = &run_one;
+                        let handles: Vec<_> =
+                            wave.iter().map(|&i| s.spawn(move || run_one(i))).collect();
+                        handles
+                            .into_iter()
+                            .map(|h| h.join().expect("einsum worker panicked"))
+                            .collect()
+                    })
+                } else {
+                    wave.iter().map(|&i| run_one(i)).collect()
+                };
 
-            let stats = self.collect_stats(plan, &instruments, &output);
-            report.einsums.push(stats);
+            for (&i, res) in wave.iter().zip(results) {
+                let (instruments, output) = res?;
+                stats[i] = Some(self.collect_stats(&self.plans[i], &instruments, &output));
+                outputs[i] = Some(output);
+                remaining -= 1;
+            }
+        }
+
+        let mut report = SimReport::default();
+        for i in 0..n {
+            let output = outputs[i].take().expect("every plan completed");
             report
-                .outputs
-                .insert(output.name().to_string(), output.clone());
-            produced.push(output);
+                .einsums
+                .push(stats[i].take().expect("stats follow outputs"));
+            report.outputs.insert(output.name().to_string(), output);
         }
 
         self.analyze_time(&mut report)?;
         self.analyze_energy(&mut report);
         Ok(report)
+    }
+
+    /// Per-plan dependency sets over earlier plans: data (reads an
+    /// earlier output), write-after-write (same output name), and
+    /// learned-extent (an earlier output introduces an extent for a rank
+    /// this plan references that no input tensor declares).
+    fn plan_dependencies(&self, known_extents: &BTreeMap<String, u64>) -> Vec<Vec<usize>> {
+        let n = self.plans.len();
+        let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for (j, dj) in deps.iter_mut().enumerate().take(n) {
+            let pj = &self.plans[j];
+            let reads: std::collections::BTreeSet<&str> = pj
+                .tensor_plans
+                .iter()
+                .map(|tp| tp.tensor.as_str())
+                .collect();
+            let mut refs: std::collections::BTreeSet<&str> =
+                pj.output.target_order.iter().map(String::as_str).collect();
+            for lr in &pj.loop_ranks {
+                refs.insert(lr.name.as_str());
+                for (r, _) in &lr.binds {
+                    refs.insert(r.as_str());
+                }
+            }
+            for i in 0..j {
+                let pi = &self.plans[i];
+                let data = reads.contains(pi.output.tensor.as_str());
+                let waw = pi.output.tensor == pj.output.tensor;
+                let extent = pi.output.target_order.iter().any(|r| {
+                    !known_extents.contains_key(r)
+                        && !self.extent_overrides.contains_key(r)
+                        && refs.contains(r.as_str())
+                });
+                if data || waw || extent {
+                    dj.push(i);
+                }
+            }
+        }
+        deps
     }
 
     /// Whether `component` is an explicitly-managed (buffet-class) buffer

@@ -15,6 +15,11 @@ pub struct OpTable {
     pub semiring: Semiring,
     /// Interpretation of the syntactic `-` operator.
     pub sub: fn(f64, f64) -> f64,
+    /// Whether the reduction `⊕` is exact (associative and commutative)
+    /// on `f64`, so a cross-shard fold in any grouping yields the same
+    /// bits as the sequential reduction. True for `min`, false for
+    /// floating-point `+`, whose rounding depends on association order.
+    pub exact_add: bool,
 }
 
 impl OpTable {
@@ -23,6 +28,7 @@ impl OpTable {
         OpTable {
             semiring: Semiring::arithmetic(),
             sub: |a, b| a - b,
+            exact_add: false,
         }
     }
 
@@ -32,6 +38,7 @@ impl OpTable {
         OpTable {
             semiring: Semiring::min_plus(),
             sub: |a, b| if a == b { f64::INFINITY } else { a },
+            exact_add: true,
         }
     }
 

@@ -11,6 +11,9 @@
 //!   --extent RANK=N        declare a rank extent (affine/dense ranks)
 //!   --ops sssp|arithmetic  operator table (default arithmetic)
 //!   --seed N               RNG seed for --random (default 0)
+//!   --threads N            worker cap for parallel simulation (default:
+//!                          TEAAL_THREADS or 1); results are bit-identical
+//!                          for every N
 //! ```
 
 use std::fs::File;
@@ -29,7 +32,7 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!("usage: teaal <check|run|output> <spec.yaml> [--tensor NAME=FILE]");
             eprintln!("             [--random NAME=RxC:NNZ] [--extent RANK=N]");
-            eprintln!("             [--ops sssp|arithmetic] [--seed N]");
+            eprintln!("             [--ops sssp|arithmetic] [--seed N] [--threads N]");
             ExitCode::FAILURE
         }
     }
@@ -64,6 +67,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut extents: Vec<(String, u64)> = Vec::new();
     let mut ops = OpTable::arithmetic();
     let mut seed = 0u64;
+    let mut threads = teaal::sim::default_threads();
     let mut i = 3usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -118,13 +122,22 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or("--seed needs an integer")?;
                 i += 2;
             }
+            "--threads" => {
+                threads = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--threads needs a positive integer")?;
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
 
     let mut sim = Simulator::new(spec)
         .map_err(|e| e.to_string())?
-        .with_ops(ops);
+        .with_ops(ops)
+        .with_threads(threads);
     for (rank, n) in extents {
         sim = sim.with_rank_extent(&rank, n);
     }
