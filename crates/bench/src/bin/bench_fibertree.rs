@@ -325,6 +325,9 @@ fn main() {
         seq_ns: u128,
         par_ns: u128,
         threads: usize,
+        /// Host CPU count, recorded structurally so scaling results can be
+        /// normalized per host without parsing prose.
+        cpus: usize,
     }
     let host_threads = std::thread::available_parallelism().map_or(1, usize::from);
     let mut parallel: Vec<ParallelResult> = Vec::new();
@@ -359,12 +362,12 @@ fn main() {
             case: "simulator_spmspm_sharded",
             detail: format!(
                 "{sdim}x{sdim}, 2 x {snnz} nnz, disjoint-merge shards; \
-                 host has {host_threads} cpu(s) — speedup only meaningful \
-                 on multi-core hosts"
+                 speedup only meaningful on multi-core hosts"
             ),
             seq_ns,
             par_ns,
             threads: host_threads.max(2),
+            cpus: host_threads,
         });
     }
 
@@ -382,6 +385,112 @@ fn main() {
             r.seq_ns as f64 / r.par_ns as f64,
             r.threads,
             r.detail
+        );
+    }
+
+    // Mapper-search group: exhaustive engine sweep vs the two-phase
+    // prune-then-verify search on a catalog spec — wall-clock speedup,
+    // per-candidate estimator-vs-engine cost, and winner agreement.
+    struct MapperResult {
+        case: &'static str,
+        detail: String,
+        candidates: usize,
+        engine_evals: usize,
+        estimator_evals: usize,
+        exhaustive_ns: u128,
+        fast_ns: u128,
+        estimate_ns: u128,
+        engine_ns: u128,
+        top1_agrees: bool,
+    }
+    let mut mapper: Vec<MapperResult> = Vec::new();
+    {
+        use teaal_fibertree::StatsCache;
+        use teaal_sim::{
+            estimate_data, explore_fast, explore_loop_orders, ExploreConfig, Objective, OpTable,
+        };
+        let spec = TeaalSpec::parse(teaal_fixtures::GAMMA_EM).unwrap();
+        let (mdim, mnnz) = if quick {
+            (48u64, 320usize)
+        } else {
+            (96u64, 1_500usize)
+        };
+        let a = genmat::uniform("A", &["K", "M"], mdim, mdim, mnnz, 12);
+        let b = genmat::uniform("B", &["K", "N"], mdim, mdim, mnnz, 13);
+        let ins = vec![a.clone(), b.clone()];
+        let search_reps = if quick { 1 } else { 3 };
+        let cfg = ExploreConfig::default();
+        let exhaustive_ns = time_min(search_reps, || {
+            explore_loop_orders(
+                &spec,
+                "Z",
+                &ins,
+                OpTable::arithmetic(),
+                Objective::Time,
+                cfg.budget,
+            )
+            .unwrap()
+        });
+        let fast_ns = time_min(search_reps, || {
+            explore_fast(&spec, "Z", &ins, OpTable::arithmetic(), &cfg).unwrap()
+        });
+        let exhaustive = explore_loop_orders(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            Objective::Time,
+            cfg.budget,
+        )
+        .unwrap();
+        let fast = explore_fast(&spec, "Z", &ins, OpTable::arithmetic(), &cfg).unwrap();
+        // Per-candidate costs on the spec's own (default) mapping. The
+        // estimator is timed against a warm `StatsCache` — the O(nnz)
+        // stats pass is paid once per tensor across the whole search, as
+        // in `explore_fast`, so the marginal per-candidate cost is what
+        // matters.
+        let sim = Simulator::new(spec.clone()).unwrap();
+        let datas: Vec<TensorData> = ins.iter().map(|t| TensorData::Owned(t.clone())).collect();
+        let drefs: Vec<&TensorData> = datas.iter().collect();
+        let stats_cache = StatsCache::new();
+        estimate_data(&sim, &drefs, &stats_cache).unwrap();
+        let estimate_ns = time_min(reps, || estimate_data(&sim, &drefs, &stats_cache).unwrap());
+        let engine_ns = time_min(reps, || sim.run(&ins).unwrap().seconds);
+        mapper.push(MapperResult {
+            case: "gamma_z_loop_orders",
+            detail: format!(
+                "{mdim}x{mdim}, 2 x {mnnz} nnz, top_k={} margin={}",
+                cfg.top_k, cfg.margin
+            ),
+            candidates: exhaustive.len(),
+            engine_evals: fast.engine_evals,
+            estimator_evals: fast.estimator_evals,
+            exhaustive_ns,
+            fast_ns,
+            estimate_ns,
+            engine_ns,
+            top1_agrees: fast.candidates[0].loop_order == exhaustive[0].loop_order,
+        });
+    }
+
+    println!();
+    println!(
+        "{:<28}{:>16}{:>16}{:>10}",
+        "mapper search", "exhaustive ns", "pruned ns", "speedup"
+    );
+    for r in &mapper {
+        println!(
+            "{:<28}{:>16}{:>16}{:>9.2}x  (engine evals {}/{}, est/engine per-candidate \
+             {}/{} ns, top1 agrees: {})",
+            r.case,
+            r.exhaustive_ns,
+            r.fast_ns,
+            r.exhaustive_ns as f64 / r.fast_ns as f64,
+            r.engine_evals,
+            r.candidates,
+            r.estimate_ns,
+            r.engine_ns,
+            r.top1_agrees,
         );
     }
 
@@ -404,14 +513,38 @@ fn main() {
     for (i, r) in parallel.iter().enumerate() {
         json.push_str(&format!(
             "    {{\"case\": \"{}\", \"detail\": \"{}\", \"threads\": {}, \
-             \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.4}}}{}\n",
+             \"cpus\": {}, \"seq_ns\": {}, \"par_ns\": {}, \"speedup\": {:.4}}}{}\n",
             r.case,
             r.detail,
             r.threads,
+            r.cpus,
             r.seq_ns,
             r.par_ns,
             r.seq_ns as f64 / r.par_ns as f64,
             if i + 1 < parallel.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"mapper_search\": [\n");
+    for (i, r) in mapper.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"detail\": \"{}\", \"candidates\": {}, \
+             \"engine_evals\": {}, \"estimator_evals\": {}, \
+             \"exhaustive_ns\": {}, \"fast_ns\": {}, \"search_speedup\": {:.4}, \
+             \"estimate_ns_per_candidate\": {}, \"engine_ns_per_candidate\": {}, \
+             \"estimator_speedup_per_candidate\": {:.1}, \"top1_agrees\": {}}}{}\n",
+            r.case,
+            r.detail,
+            r.candidates,
+            r.engine_evals,
+            r.estimator_evals,
+            r.exhaustive_ns,
+            r.fast_ns,
+            r.exhaustive_ns as f64 / r.fast_ns as f64,
+            r.estimate_ns,
+            r.engine_ns,
+            r.engine_ns as f64 / r.estimate_ns as f64,
+            r.top1_agrees,
+            if i + 1 < mapper.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

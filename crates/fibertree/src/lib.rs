@@ -112,6 +112,7 @@ pub mod flatten;
 pub mod iterate;
 pub mod partition;
 pub mod semiring;
+pub mod stats;
 pub mod swizzle;
 pub mod telemetry;
 pub mod tensor;
@@ -124,5 +125,6 @@ pub use error::FibertreeError;
 pub use fiber::{Element, Fiber, Payload};
 pub use iterate::{CoIterStats, IntersectPolicy};
 pub use semiring::Semiring;
+pub use stats::{RankStats, StatsCache, TensorStats};
 pub use tensor::{Tensor, TensorBuilder};
 pub use view::{CoordKey, FiberView, PayloadView, TensorData};

@@ -84,7 +84,7 @@ impl ChannelCfg {
         }
     }
 
-    fn bits_of(&self, rank: &str) -> u64 {
+    pub(crate) fn bits_of(&self, rank: &str) -> u64 {
         self.rank_bits
             .iter()
             .find(|(r, _)| r == rank)
@@ -514,6 +514,115 @@ impl Instruments {
     pub fn input_fill_bytes(&self) -> u64 {
         let bits: u64 = self.tensors.values().map(|c| c.fill_bits).sum();
         bits.div_ceil(8)
+    }
+}
+
+/// Analytical (expected-value) counterpart of one [`TensorChannel`]: the
+/// same traffic quantities the instrumented channel counts, carried as
+/// real numbers because a statistical model produces fractional expected
+/// counts.
+#[derive(Clone, Debug, Default)]
+pub struct EstimatedChannel {
+    /// Expected element touches (counterpart of `reads_by_rank` summed).
+    pub reads: f64,
+    /// Expected on-chip bits read (counterpart of `buffer_read_bits`).
+    pub buffer_read_bits: f64,
+    /// Expected bits filled from DRAM (counterpart of `fill_bits`).
+    pub fill_bits: f64,
+}
+
+/// Analytical counterparts of one Einsum's [`Instruments`]: everything
+/// [`crate::report::EinsumStats`] carries, as expected values. Built by
+/// `sim::estimate` from per-tensor rank statistics instead of execution;
+/// [`EstimatedCounts::into_einsum_stats`] rounds it into the exact report
+/// shape so the measured and modeled paths share one time/energy
+/// analysis.
+#[derive(Clone, Debug, Default)]
+pub struct EstimatedCounts {
+    /// Per-tensor expected traffic, keyed by tensor name.
+    pub tensors: BTreeMap<String, EstimatedChannel>,
+    /// Expected visits per loop rank (counterpart of `loop_visits`).
+    pub loop_visits: BTreeMap<String, f64>,
+    /// Expected intersection-unit comparisons per loop rank.
+    pub intersect_by_rank: BTreeMap<String, f64>,
+    /// Expected multiplications.
+    pub muls: f64,
+    /// Expected additions (term combines plus reduction updates).
+    pub adds: f64,
+    /// Expected ops on the busiest PE (counterpart of `max_per_pe`).
+    pub max_pe_ops: f64,
+    /// Expected distinct spatial positions (counterpart of `spaces`).
+    pub spaces: f64,
+    /// Expected first writes of output elements.
+    pub output_writes: f64,
+    /// Expected in-place reduction updates.
+    pub output_updates: f64,
+    /// Expected partial-output drain+refill bits across epochs.
+    pub output_partial_bits: f64,
+    /// Expected output footprint bits written to DRAM.
+    pub output_write_bits: f64,
+    /// Expected merge work as `(tensor, elements, ways)` groups
+    /// (counterpart of [`MergeGroup`], fractional fan-in allowed).
+    pub merges: Vec<(String, f64, f64)>,
+}
+
+impl EstimatedCounts {
+    /// Rounds the expected values into an [`crate::report::EinsumStats`],
+    /// listing tensors in `tensor_order` (the plan's tensor-plan order,
+    /// matching the instrumented path).
+    pub fn into_einsum_stats(
+        self,
+        einsum: &str,
+        tensor_order: &[String],
+    ) -> crate::report::EinsumStats {
+        let r = |v: f64| -> u64 {
+            if v.is_finite() && v > 0.0 {
+                v.round() as u64
+            } else {
+                0
+            }
+        };
+        let traffic = tensor_order
+            .iter()
+            .map(|t| {
+                let ch = self.tensors.get(t).cloned().unwrap_or_default();
+                crate::report::TensorTraffic {
+                    tensor: t.clone(),
+                    fill_bytes: r(ch.fill_bits / 8.0),
+                    buffer_read_bytes: r(ch.buffer_read_bits / 8.0),
+                    reads: r(ch.reads),
+                }
+            })
+            .collect();
+        let merges = self
+            .merges
+            .iter()
+            .filter(|(_, e, w)| *e >= 0.5 && *w > 1.0)
+            .map(|(t, e, w)| MergeGroup {
+                tensor: t.clone(),
+                elems: r(*e),
+                ways: r(w.max(2.0)),
+            })
+            .collect();
+        crate::report::EinsumStats {
+            einsum: einsum.to_string(),
+            traffic,
+            output_write_bytes: r(self.output_write_bits / 8.0),
+            output_partial_bytes: r(self.output_partial_bits / 8.0),
+            output_writes: r(self.output_writes),
+            output_updates: r(self.output_updates),
+            muls: r(self.muls),
+            adds: r(self.adds),
+            max_pe_ops: r(self.max_pe_ops),
+            spaces: r(self.spaces) as usize,
+            intersections: r(self.intersect_by_rank.values().sum()),
+            merges,
+            loop_visits: self
+                .loop_visits
+                .iter()
+                .map(|(k, v)| (k.clone(), r(*v)))
+                .collect(),
+        }
     }
 }
 

@@ -3,16 +3,33 @@
 //! The paper positions TeAAL as the middle level of a hierarchical
 //! design-space-exploration flow: faster than RTL, higher fidelity than
 //! analytical models. This module provides the inner loop of such a flow:
-//! enumerate candidate loop orders for one Einsum of a specification, run
-//! each candidate on real tensors, and rank the mappings by the modeled
+//! enumerate candidate loop orders for one Einsum of a specification,
+//! evaluate the candidates, and rank the mappings by the modeled
 //! objective. Everything else in the specification (partitioning, formats,
 //! architecture, bindings) stays fixed, demonstrating the separation of
 //! concerns of Fig. 7.
+//!
+//! Two search modes share one candidate universe (permutations in Heap
+//! order, skipping orders that fail to lower):
+//!
+//! - [`explore_loop_orders`] — the oracle: run every candidate through
+//!   the executable engine on real tensors.
+//! - [`explore_fast`] — the two-phase fast path: score every candidate
+//!   with the analytical estimator ([`crate::estimate()`]), keep the top-K
+//!   within a safety margin of the estimated best, and run only those
+//!   survivors through the engine, re-ranked by exact results. Per
+//!   candidate the estimator is O(plan size) instead of O(nnz), so large
+//!   search spaces cost a handful of engine runs instead of hundreds.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
 use teaal_core::TeaalSpec;
-use teaal_fibertree::Tensor;
+use teaal_fibertree::stats::StatsCache;
+use teaal_fibertree::{Tensor, TensorData};
 
 use crate::error::SimError;
+use crate::estimate::estimate_data;
 use crate::model::Simulator;
 use crate::ops::OpTable;
 
@@ -52,6 +69,57 @@ impl Candidate {
     }
 }
 
+/// Configuration for the two-phase [`explore_fast`] search.
+#[derive(Clone, Debug)]
+pub struct ExploreConfig {
+    /// What to optimize (both phases rank by this).
+    pub objective: Objective,
+    /// Maximum number of candidates admitted to the estimated universe
+    /// (candidates that fail to lower are skipped, not charged).
+    pub budget: usize,
+    /// Maximum number of estimated candidates verified by the engine.
+    /// The default (12) is sized for flat cost landscapes: when many
+    /// mappings measure within a few percent of each other, estimator
+    /// error exceeds the spread between candidates and the true winner
+    /// can sit a handful of ranks down the estimated order.
+    pub top_k: usize,
+    /// Safety margin on the estimated best score: only candidates with
+    /// `estimate ≤ best_estimate · margin` survive to verification (and
+    /// at most `top_k` of them). Raise it when the estimator is expected
+    /// to be less faithful (heavy value cancellation, skewed data).
+    pub margin: f64,
+    /// Worker threads for the engine-verification phase (the estimation
+    /// sweep is sequential — it is orders of magnitude cheaper).
+    pub threads: usize,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> Self {
+        ExploreConfig {
+            objective: Objective::Time,
+            budget: 720,
+            top_k: 12,
+            margin: 1.5,
+            threads: 1,
+        }
+    }
+}
+
+/// Result of a two-phase [`explore_fast`] search.
+#[derive(Clone, Debug)]
+pub struct ExploreOutcome {
+    /// Engine-verified survivors, re-ranked by *measured* objective
+    /// (best first). `candidates[0]` is the search's answer.
+    pub candidates: Vec<Candidate>,
+    /// Every estimated candidate, ranked by *estimated* objective (best
+    /// first) — the full pre-pruning picture, for margin diagnostics.
+    pub estimated: Vec<Candidate>,
+    /// Executable-engine evaluations performed (the expensive count).
+    pub engine_evals: usize,
+    /// Analytical estimator evaluations performed.
+    pub estimator_evals: usize,
+}
+
 /// Explores loop orders for `einsum` within `spec`, evaluating each
 /// candidate on `inputs` and returning candidates sorted by `objective`
 /// (best first).
@@ -82,11 +150,13 @@ pub fn explore_loop_orders(
 /// [`explore_loop_orders`] with candidate evaluation fanned out across up
 /// to `threads` scoped workers.
 ///
-/// Candidates are evaluated in permutation-order chunks and successes are
-/// appended in permutation order until the budget fills, so the returned
-/// set — and its ranking — is identical to the sequential exploration for
-/// any thread count. Each candidate simulation itself runs sequentially
-/// (the fan-out is across mappings, not within one).
+/// Workers pull candidates from a shared work-stealing queue (an atomic
+/// next-candidate index), so a slow mapping no longer stalls a whole
+/// chunk of fast ones. Successes still count in permutation order until
+/// the budget fills, so the returned set — and its ranking — is identical
+/// to the sequential exploration for any thread count. Each candidate
+/// simulation itself runs sequentially (the fan-out is across mappings,
+/// not within one).
 ///
 /// # Errors
 ///
@@ -100,22 +170,7 @@ pub fn explore_loop_orders_with_threads(
     max_candidates: usize,
     threads: usize,
 ) -> Result<Vec<Candidate>, SimError> {
-    // Discover the derived iteration ranks from the baseline plan.
-    let base = Simulator::new(spec.clone())?;
-    let plan = base
-        .plans()
-        .iter()
-        .find(|p| p.equation.name() == einsum)
-        .ok_or_else(|| SimError::MissingTensor {
-            tensor: einsum.to_string(),
-        })?;
-    let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
-
-    let mut orders: Vec<Vec<String>> = Vec::new();
-    let mut order = ranks.clone();
-    permute(&mut order, 0, &mut |candidate| {
-        orders.push(candidate.to_vec());
-    });
+    let orders = candidate_orders(spec, einsum)?;
 
     // A candidate that fails to lower is skipped, not charged against the
     // budget (counting failures used to starve the budget and return
@@ -136,43 +191,250 @@ pub fn explore_loop_orders_with_threads(
         })
     };
 
-    let threads = threads.max(1);
-    let mut results: Vec<Candidate> = Vec::new();
-    let mut next = 0usize;
-    while next < orders.len() && results.len() < max_candidates {
-        let chunk = &orders[next..(next + threads).min(orders.len())];
-        let evaluated: Vec<Option<Candidate>> = if threads > 1 && chunk.len() > 1 {
-            std::thread::scope(|s| {
-                let eval = &eval;
-                let handles: Vec<_> = chunk.iter().map(|c| s.spawn(move || eval(c))).collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("explore worker panicked"))
-                    .collect()
-            })
-        } else {
-            chunk.iter().map(|c| eval(c)).collect()
-        };
-        for cand in evaluated.into_iter().flatten() {
-            if results.len() < max_candidates {
-                results.push(cand);
-            }
-        }
-        next += chunk.len();
-    }
-
+    let mut results = evaluate_candidates(&orders, max_candidates, threads, &eval);
     if results.is_empty() {
         return Err(SimError::Spec(teaal_core::SpecError::Validation {
             context: format!("einsum {einsum}"),
             message: "no loop-order candidate lowered and executed successfully".into(),
         }));
     }
+    sort_by_score(&mut results, objective);
+    Ok(results)
+}
+
+/// Two-phase pruned search: estimate **all** candidates analytically,
+/// keep the [`ExploreConfig::top_k`] best within
+/// [`ExploreConfig::margin`] of the estimated optimum, and verify only
+/// those survivors on the executable engine (the oracle), re-ranked by
+/// exact results.
+///
+/// The estimator never touches tensor data — per-tensor statistics are
+/// computed once (one O(nnz) pass per input, memoized) and every
+/// candidate is then scored from statistics alone — so the sweep over
+/// hundreds of loop orders costs about as much as a single engine run.
+/// Pruning is heuristic: a mapping whose true cost the estimator
+/// overstates by more than the margin can be cut. On the four SpMSpM
+/// catalog specs the default margin keeps the true winner (pinned by
+/// integration tests); widen it for adversarial value distributions.
+///
+/// # Errors
+///
+/// As [`explore_loop_orders`], plus the same error when every survivor
+/// fails to execute.
+pub fn explore_fast(
+    spec: &TeaalSpec,
+    einsum: &str,
+    inputs: &[Tensor],
+    ops: OpTable,
+    config: &ExploreConfig,
+) -> Result<ExploreOutcome, SimError> {
+    let orders = candidate_orders(spec, einsum)?;
+
+    // Phase 1: estimate every lowerable candidate from cached statistics.
+    let datas: Vec<TensorData> = inputs
+        .iter()
+        .map(|t| TensorData::Owned(t.clone()))
+        .collect();
+    let refs: Vec<&TensorData> = datas.iter().collect();
+    let cache = StatsCache::new();
+    let mut estimated: Vec<Candidate> = Vec::new();
+    let mut estimator_evals = 0usize;
+    for candidate in &orders {
+        if estimated.len() >= config.budget {
+            break;
+        }
+        let mut s = spec.clone();
+        s.mapping
+            .loop_order
+            .insert(einsum.to_string(), candidate.clone());
+        let Ok(sim) = Simulator::new(s) else {
+            continue;
+        };
+        estimator_evals += 1;
+        let Ok(report) = estimate_data(&sim, &refs, &cache) else {
+            continue;
+        };
+        estimated.push(Candidate {
+            loop_order: candidate.clone(),
+            seconds: report.seconds,
+            energy_joules: report.energy_joules,
+            dram_bytes: report.dram_bytes(),
+        });
+    }
+    if estimated.is_empty() {
+        return Err(SimError::Spec(teaal_core::SpecError::Validation {
+            context: format!("einsum {einsum}"),
+            message: "no loop-order candidate lowered and estimated successfully".into(),
+        }));
+    }
+    sort_by_score(&mut estimated, config.objective);
+
+    // Phase 2: engine-verify the survivors within the safety margin.
+    let best = estimated[0].score(config.objective);
+    let cutoff = best * config.margin.max(1.0);
+    let survivors: Vec<Vec<String>> = estimated
+        .iter()
+        .take(config.top_k.max(1))
+        .filter(|c| c.score(config.objective) <= cutoff || best == 0.0)
+        .map(|c| c.loop_order.clone())
+        .collect();
+
+    let eval = |candidate: &[String]| -> Option<Candidate> {
+        let mut s = spec.clone();
+        s.mapping
+            .loop_order
+            .insert(einsum.to_string(), candidate.to_vec());
+        let sim = Simulator::new(s).ok()?;
+        let report = sim.with_ops(ops).with_threads(1).run(inputs).ok()?;
+        Some(Candidate {
+            loop_order: candidate.to_vec(),
+            seconds: report.seconds,
+            energy_joules: report.energy_joules,
+            dram_bytes: report.dram_bytes(),
+        })
+    };
+    let engine_evals = survivors.len();
+    let mut candidates = evaluate_candidates(&survivors, survivors.len(), config.threads, &eval);
+    if candidates.is_empty() {
+        return Err(SimError::Spec(teaal_core::SpecError::Validation {
+            context: format!("einsum {einsum}"),
+            message: "no surviving candidate executed successfully".into(),
+        }));
+    }
+    sort_by_score(&mut candidates, config.objective);
+
+    Ok(ExploreOutcome {
+        candidates,
+        estimated,
+        engine_evals,
+        estimator_evals,
+    })
+}
+
+/// All loop-order permutations for `einsum` in Heap order — the shared
+/// candidate universe of every search mode.
+fn candidate_orders(spec: &TeaalSpec, einsum: &str) -> Result<Vec<Vec<String>>, SimError> {
+    let base = Simulator::new(spec.clone())?;
+    let plan = base
+        .plans()
+        .iter()
+        .find(|p| p.equation.name() == einsum)
+        .ok_or_else(|| SimError::MissingTensor {
+            tensor: einsum.to_string(),
+        })?;
+    let ranks: Vec<String> = plan.loop_ranks.iter().map(|l| l.name.clone()).collect();
+    let mut orders: Vec<Vec<String>> = Vec::new();
+    let mut order = ranks;
+    permute(&mut order, 0, &mut |candidate| {
+        orders.push(candidate.to_vec());
+    });
+    Ok(orders)
+}
+
+/// Sorts candidates best-first under `objective`, breaking exact score
+/// ties by loop order so the ranking is deterministic regardless of the
+/// order candidates were evaluated in (the pruned and exhaustive searches
+/// must agree on the winner even when two mappings cost the same).
+fn sort_by_score(results: &mut [Candidate], objective: Objective) {
     results.sort_by(|a, b| {
         a.score(objective)
             .partial_cmp(&b.score(objective))
             .expect("model outputs are finite")
+            .then_with(|| a.loop_order.cmp(&b.loop_order))
     });
-    Ok(results)
+}
+
+/// Evaluates `orders` in index order until `max_successes` candidates
+/// succeed, fanning the work across up to `threads` workers that claim
+/// candidates from a shared atomic queue (work stealing — no static
+/// chunking, so one slow candidate never idles the other workers).
+///
+/// Deterministic for any thread count: results are collected in index
+/// order, and early stopping triggers only when the *contiguous
+/// completed prefix* already contains `max_successes` successes — exactly
+/// the sequential stopping point. Work claimed past that point is wasted,
+/// never observed.
+fn evaluate_candidates(
+    orders: &[Vec<String>],
+    max_successes: usize,
+    threads: usize,
+    eval: &(impl Fn(&[String]) -> Option<Candidate> + Sync),
+) -> Vec<Candidate> {
+    let threads = threads.max(1).min(orders.len().max(1));
+    let slots: Vec<OnceLock<Option<Candidate>>> =
+        (0..orders.len()).map(|_| OnceLock::new()).collect();
+
+    if threads <= 1 {
+        let mut results = Vec::new();
+        for (i, order) in orders.iter().enumerate() {
+            let _ = slots[i].set(eval(order));
+            if let Some(Some(c)) = slots[i].get() {
+                results.push(c.clone());
+                if results.len() >= max_successes {
+                    break;
+                }
+            }
+        }
+        return results;
+    }
+
+    // Watermark = length of the contiguous prefix of evaluated slots;
+    // successes counts within that prefix only.
+    struct Progress {
+        watermark: usize,
+        successes: usize,
+    }
+    let progress = Mutex::new(Progress {
+        watermark: 0,
+        successes: 0,
+    });
+    let next = AtomicUsize::new(0);
+    let stop = AtomicBool::new(false);
+
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= orders.len() {
+                    break;
+                }
+                let result = eval(&orders[i]);
+                let _ = slots[i].set(result);
+                let mut p = progress.lock().expect("explore progress poisoned");
+                while p.watermark < orders.len() {
+                    let Some(done) = slots[p.watermark].get() else {
+                        break;
+                    };
+                    if done.is_some() {
+                        p.successes += 1;
+                    }
+                    p.watermark += 1;
+                    if p.successes >= max_successes {
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            });
+        }
+    });
+
+    // Collect in index order — identical to the sequential walk.
+    let mut results = Vec::new();
+    for slot in &slots {
+        let Some(done) = slot.get() else {
+            break;
+        };
+        if let Some(c) = done {
+            results.push(c.clone());
+            if results.len() >= max_successes {
+                break;
+            }
+        }
+    }
+    results
 }
 
 /// Heap's algorithm, calling `visit` for every permutation of `items`.
@@ -420,6 +682,114 @@ mod tests {
                 assert_eq!(r.max_abs_diff(&z), 0.0);
             }
             reference = Some(z);
+        }
+    }
+}
+
+#[cfg(test)]
+mod fast_tests {
+    use super::*;
+    use teaal_fibertree::TensorBuilder;
+
+    fn base_spec() -> TeaalSpec {
+        TeaalSpec::parse(concat!(
+            "einsum:\n",
+            "  declaration:\n",
+            "    A: [K, M]\n",
+            "    B: [K, N]\n",
+            "    Z: [M, N]\n",
+            "  expressions:\n",
+            "    - Z[m, n] = A[k, m] * B[k, n]\n",
+        ))
+        .unwrap()
+    }
+
+    fn inputs() -> Vec<Tensor> {
+        let a = TensorBuilder::new("A", &["K", "M"], &[16, 16])
+            .entries((0..48).map(|i| (vec![(i * 7) % 16, (i * 3) % 16], 1.0 + i as f64)))
+            .build()
+            .unwrap();
+        let b = TensorBuilder::new("B", &["K", "N"], &[16, 16])
+            .entries((0..48).map(|i| (vec![(i * 5) % 16, (i * 11) % 16], 2.0 + i as f64)))
+            .build()
+            .unwrap();
+        vec![a, b]
+    }
+
+    #[test]
+    fn fast_search_agrees_with_exhaustive_top1() {
+        let spec = base_spec();
+        let ins = inputs();
+        let exhaustive = explore_loop_orders(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            Objective::Time,
+            720,
+        )
+        .unwrap();
+        let fast = explore_fast(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        assert!(fast.engine_evals < exhaustive.len());
+        assert_eq!(fast.estimated.len(), exhaustive.len());
+        // The verified winner scores no worse than the exhaustive winner
+        // (loop orders may tie; compare scores, not labels).
+        assert!(fast.candidates[0].seconds <= exhaustive[0].seconds + 1e-15);
+    }
+
+    #[test]
+    fn fast_search_reports_eval_counts() {
+        let fast = explore_fast(
+            &base_spec(),
+            "Z",
+            &inputs(),
+            OpTable::arithmetic(),
+            &ExploreConfig {
+                top_k: 2,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(fast.engine_evals <= 2);
+        assert_eq!(fast.estimator_evals, 6);
+        assert!(!fast.candidates.is_empty());
+        assert!(fast.candidates.len() <= fast.engine_evals);
+    }
+
+    #[test]
+    fn fast_search_is_deterministic_across_threads() {
+        let spec = base_spec();
+        let ins = inputs();
+        let seq = explore_fast(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            &ExploreConfig::default(),
+        )
+        .unwrap();
+        let par = explore_fast(
+            &spec,
+            "Z",
+            &ins,
+            OpTable::arithmetic(),
+            &ExploreConfig {
+                threads: 4,
+                ..ExploreConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(seq.candidates.len(), par.candidates.len());
+        for (a, b) in seq.candidates.iter().zip(&par.candidates) {
+            assert_eq!(a.loop_order, b.loop_order);
+            assert_eq!(a.seconds.to_bits(), b.seconds.to_bits());
         }
     }
 }

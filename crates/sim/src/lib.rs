@@ -14,6 +14,7 @@ pub mod counters;
 pub mod energy;
 pub mod engine;
 pub mod error;
+pub mod estimate;
 pub mod explore;
 pub mod model;
 pub mod ops;
@@ -23,7 +24,11 @@ pub use counters::{ChannelCfg, Instruments, Lru, MergeGroup, OutputChannel, Tens
 pub use energy::{ActionCounts, EnergyTable};
 pub use engine::Engine;
 pub use error::SimError;
-pub use explore::{explore_loop_orders, explore_loop_orders_with_threads, Candidate, Objective};
+pub use estimate::{estimate, estimate_data, estimate_with_stats};
+pub use explore::{
+    explore_fast, explore_loop_orders, explore_loop_orders_with_threads, Candidate, ExploreConfig,
+    ExploreOutcome, Objective,
+};
 pub use model::{default_threads, Simulator};
 pub use ops::OpTable;
 pub use report::{BlockStats, EinsumStats, SimReport, TensorTraffic};

@@ -176,6 +176,16 @@ impl Simulator {
         &self.spec
     }
 
+    /// Intermediates kept on-chip by fusion (no DRAM traffic).
+    pub(crate) fn on_chip_set(&self) -> &std::collections::BTreeSet<String> {
+        &self.on_chip
+    }
+
+    /// The declared extent overrides.
+    pub(crate) fn extent_overrides(&self) -> &BTreeMap<String, u64> {
+        &self.extent_overrides
+    }
+
     /// Runs the cascade on the given input tensors (matched by name).
     ///
     /// Convenience wrapper over [`Simulator::run_data`] for owned
@@ -371,7 +381,7 @@ impl Simulator {
 
     /// Whether `component` is an explicitly-managed (buffet-class) buffer
     /// that data can be pinned in.
-    fn is_pinnable_buffet(
+    pub(crate) fn is_pinnable_buffet(
         &self,
         binding: &teaal_core::spec::EinsumBinding,
         component: &str,
@@ -395,7 +405,7 @@ impl Simulator {
     /// Resolves the intersection policy for an Einsum: its bound
     /// intersection unit if the binding names one, otherwise the first
     /// intersection unit in the architecture configuration.
-    fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
+    pub(crate) fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
         let binding = self.spec.binding.for_einsum(plan.equation.name());
         if let Some(cfg) = self
             .spec
@@ -420,7 +430,7 @@ impl Simulator {
 
     /// Builds the instrumentation channels for one Einsum from the
     /// binding + format specifications.
-    fn build_instruments(&self, plan: &EinsumPlan) -> Instruments {
+    pub(crate) fn build_instruments(&self, plan: &EinsumPlan) -> Instruments {
         let name = plan.equation.name();
         let binding = self.spec.binding.for_einsum(name);
         let mut instruments = Instruments::default();
@@ -574,7 +584,7 @@ impl Simulator {
         }
     }
 
-    fn analyze_time(&self, report: &mut SimReport) -> Result<(), SimError> {
+    pub(crate) fn analyze_time(&self, report: &mut SimReport) -> Result<(), SimError> {
         let clock = if self.spec.architecture.clock_hz > 0.0 {
             self.spec.architecture.clock_hz
         } else {
@@ -752,7 +762,7 @@ impl Simulator {
         Ok(())
     }
 
-    fn analyze_energy(&self, report: &mut SimReport) {
+    pub(crate) fn analyze_energy(&self, report: &mut SimReport) {
         let mut actions = ActionCounts::default();
         for e in &report.einsums {
             actions.dram_bits += e.dram_bytes() * 8;

@@ -1,9 +1,10 @@
 //! `teaal` — the command-line front end.
 //!
 //! ```text
-//! teaal check  <spec.yaml>                 # parse + validate + lower
-//! teaal run    <spec.yaml> [options]       # execute and print the report
-//! teaal output <spec.yaml> [options]       # execute and print result tensors
+//! teaal check   <spec.yaml>                # parse + validate + lower
+//! teaal run     <spec.yaml> [options]      # execute and print the report
+//! teaal output  <spec.yaml> [options]      # execute and print result tensors
+//! teaal explore <spec.yaml> [options]      # search loop orders for an einsum
 //!
 //! options:
 //!   --tensor NAME=FILE     load an input tensor (see workloads::io format)
@@ -14,6 +15,16 @@
 //!   --threads N            worker cap for parallel simulation (default:
 //!                          TEAAL_THREADS or 1); results are bit-identical
 //!                          for every N
+//!
+//! explore options:
+//!   --einsum NAME          einsum to search (default: the last in the spec)
+//!   --fast                 two-phase search: analytical estimator prunes,
+//!                          engine verifies the survivors (same winner,
+//!                          far fewer engine runs)
+//!   --objective time|energy|traffic   ranking objective (default time)
+//!   --budget N             candidate universe size (default 720)
+//!   --top-k N              engine-verified survivors with --fast (default 12)
+//!   --margin F             estimate safety margin with --fast (default 1.5)
 //! ```
 
 use std::fs::File;
@@ -21,6 +32,7 @@ use std::io::BufReader;
 use std::process::ExitCode;
 
 use teaal::prelude::*;
+use teaal::sim::{explore_fast, explore_loop_orders_with_threads, Candidate, Objective};
 use teaal::workloads::{genmat, io as tio};
 
 fn main() -> ExitCode {
@@ -30,9 +42,11 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: teaal <check|run|output> <spec.yaml> [--tensor NAME=FILE]");
+            eprintln!("usage: teaal <check|run|output|explore> <spec.yaml> [--tensor NAME=FILE]");
             eprintln!("             [--random NAME=RxC:NNZ] [--extent RANK=N]");
             eprintln!("             [--ops sssp|arithmetic] [--seed N] [--threads N]");
+            eprintln!("             [--einsum NAME] [--fast] [--objective time|energy|traffic]");
+            eprintln!("             [--budget N] [--top-k N] [--margin F]");
             ExitCode::FAILURE
         }
     }
@@ -40,7 +54,7 @@ fn main() -> ExitCode {
 
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.get(1).ok_or("missing command")?.as_str();
-    if !matches!(command, "check" | "run" | "output") {
+    if !matches!(command, "check" | "run" | "output" | "explore") {
         return Err(format!("unknown command {command}"));
     }
     let spec_path = args.get(2).ok_or("missing spec path")?;
@@ -68,6 +82,9 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut ops = OpTable::arithmetic();
     let mut seed = 0u64;
     let mut threads = teaal::sim::default_threads();
+    let mut einsum: Option<String> = None;
+    let mut fast = false;
+    let mut explore_cfg = teaal::sim::ExploreConfig::default();
     let mut i = 3usize;
     while i < args.len() {
         match args[i].as_str() {
@@ -130,8 +147,106 @@ fn run(args: &[String]) -> Result<(), String> {
                     .ok_or("--threads needs a positive integer")?;
                 i += 2;
             }
+            "--einsum" => {
+                einsum = Some(args.get(i + 1).ok_or("--einsum needs a name")?.clone());
+                i += 2;
+            }
+            "--fast" => {
+                fast = true;
+                i += 1;
+            }
+            "--objective" => {
+                explore_cfg.objective = match args.get(i + 1).map(String::as_str) {
+                    Some("time") => Objective::Time,
+                    Some("energy") => Objective::Energy,
+                    Some("traffic") => Objective::Traffic,
+                    other => return Err(format!("unknown objective {other:?}")),
+                };
+                i += 2;
+            }
+            "--budget" => {
+                explore_cfg.budget = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--budget needs a positive integer")?;
+                i += 2;
+            }
+            "--top-k" => {
+                explore_cfg.top_k = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or("--top-k needs a positive integer")?;
+                i += 2;
+            }
+            "--margin" => {
+                explore_cfg.margin = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&f: &f64| f >= 1.0)
+                    .ok_or("--margin needs a number >= 1.0")?;
+                i += 2;
+            }
             other => return Err(format!("unknown option {other}")),
         }
+    }
+
+    if command == "explore" {
+        if !extents.is_empty() {
+            return Err("explore does not support --extent (extents come from inputs)".into());
+        }
+        let target = match einsum {
+            Some(name) => name,
+            None => {
+                let plans = teaal::core::ir::lower(&spec).map_err(|e| e.to_string())?;
+                plans
+                    .last()
+                    .map(|p| p.equation.name().to_string())
+                    .ok_or("spec has no einsums")?
+            }
+        };
+        explore_cfg.threads = threads;
+        let print_top = |cands: &[Candidate]| {
+            for (idx, c) in cands.iter().take(8).enumerate() {
+                println!(
+                    "  {}. [{}]  time {:.4e}s  energy {:.4e}J  dram {}B",
+                    idx + 1,
+                    c.loop_order.join(", "),
+                    c.seconds,
+                    c.energy_joules,
+                    c.dram_bytes,
+                );
+            }
+        };
+        if fast {
+            let out = explore_fast(&spec, &target, &tensors, ops, &explore_cfg)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "einsum {target}: {} candidates estimated, {} engine-verified",
+                out.estimator_evals, out.engine_evals
+            );
+            print_top(&out.candidates);
+            println!("best: [{}]", out.candidates[0].loop_order.join(", "));
+        } else {
+            let results = explore_loop_orders_with_threads(
+                &spec,
+                &target,
+                &tensors,
+                ops,
+                explore_cfg.objective,
+                explore_cfg.budget,
+                threads,
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "einsum {target}: {} candidates engine-evaluated",
+                results.len()
+            );
+            print_top(&results);
+            println!("best: [{}]", results[0].loop_order.join(", "));
+        }
+        return Ok(());
     }
 
     let mut sim = Simulator::new(spec)
