@@ -26,6 +26,11 @@
 //! the shard-parallel engine (which is bit-identical to sequential by
 //! construction, so only time may differ).
 //!
+//! A `plan_artifact_cache` group times the pruned mapper search cold (a
+//! fresh `EvalContext` per repetition) vs warm (one shared primed
+//! context), pinning the wall-clock value of content-addressed plan and
+//! transformed-input caching.
+//!
 //! Pass `--quick` for a CI-sized run. Timings are the minimum of several
 //! repetitions of a full pass (wall clock; the stub criterion offers no
 //! statistics, and minima are the stablest point estimate available).
@@ -494,6 +499,72 @@ fn main() {
         );
     }
 
+    // Plan/artifact-cache group: the same pruned search, cold (a fresh
+    // `EvalContext` per repetition, every artifact rebuilt) vs warm (one
+    // shared context primed by a first pass) — the wall-clock value of
+    // content-addressed plan and transformed-input reuse.
+    struct CacheResult {
+        case: &'static str,
+        detail: String,
+        cold_ns: u128,
+        warm_ns: u128,
+        transform_hits: u64,
+        transform_misses: u64,
+    }
+    let mut artifact: Vec<CacheResult> = Vec::new();
+    {
+        use teaal_sim::{explore_fast_with_context, EvalContext, ExploreConfig, OpTable};
+        let spec = TeaalSpec::parse(teaal_fixtures::GAMMA_EM).unwrap();
+        let (mdim, mnnz) = if quick {
+            (48u64, 320usize)
+        } else {
+            (96u64, 1_500usize)
+        };
+        let a = genmat::uniform("A", &["K", "M"], mdim, mdim, mnnz, 12);
+        let b = genmat::uniform("B", &["K", "N"], mdim, mdim, mnnz, 13);
+        let ins = vec![a, b];
+        let cfg = ExploreConfig::default();
+        let search_reps = if quick { 1 } else { 3 };
+        let cold_ns = time_min(search_reps, || {
+            let ctx = EvalContext::new();
+            explore_fast_with_context(&spec, "Z", &ins, OpTable::arithmetic(), &cfg, Some(&ctx))
+                .unwrap()
+        });
+        let ctx = EvalContext::new();
+        explore_fast_with_context(&spec, "Z", &ins, OpTable::arithmetic(), &cfg, Some(&ctx))
+            .unwrap();
+        let warm_ns = time_min(search_reps.max(2), || {
+            explore_fast_with_context(&spec, "Z", &ins, OpTable::arithmetic(), &cfg, Some(&ctx))
+                .unwrap()
+        });
+        artifact.push(CacheResult {
+            case: "gamma_explore_fast",
+            detail: format!("{mdim}x{mdim}, 2 x {mnnz} nnz, shared EvalContext"),
+            cold_ns,
+            warm_ns,
+            transform_hits: ctx.transforms().hits(),
+            transform_misses: ctx.transforms().misses(),
+        });
+    }
+
+    println!();
+    println!(
+        "{:<28}{:>16}{:>16}{:>10}",
+        "plan_artifact_cache", "cold ns", "warm ns", "speedup"
+    );
+    for r in &artifact {
+        println!(
+            "{:<28}{:>16}{:>16}{:>9.2}x  (transform hits/misses {}/{}, {})",
+            r.case,
+            r.cold_ns,
+            r.warm_ns,
+            r.cold_ns as f64 / r.warm_ns as f64,
+            r.transform_hits,
+            r.transform_misses,
+            r.detail
+        );
+    }
+
     // Hand-rolled JSON (no serializer in the offline build).
     let mut json = String::from("{\n  \"bench\": \"fibertree_owned_vs_compressed\",\n");
     json.push_str(&format!("  \"quick\": {quick},\n  \"cases\": [\n"));
@@ -545,6 +616,22 @@ fn main() {
             r.engine_ns as f64 / r.estimate_ns as f64,
             r.top1_agrees,
             if i + 1 < mapper.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"plan_artifact_cache\": [\n");
+    for (i, r) in artifact.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"case\": \"{}\", \"detail\": \"{}\", \"cold_ns\": {}, \
+             \"warm_ns\": {}, \"speedup\": {:.4}, \"transform_hits\": {}, \
+             \"transform_misses\": {}}}{}\n",
+            r.case,
+            r.detail,
+            r.cold_ns,
+            r.warm_ns,
+            r.cold_ns as f64 / r.warm_ns as f64,
+            r.transform_hits,
+            r.transform_misses,
+            if i + 1 < artifact.len() { "," } else { "" }
         ));
     }
     json.push_str("  ]\n}\n");

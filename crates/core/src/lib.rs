@@ -32,6 +32,7 @@
 
 #![warn(missing_docs)]
 
+pub mod canon;
 pub mod einsum;
 pub mod error;
 pub mod ir;

@@ -1,0 +1,227 @@
+//! Content-addressed cache of transformed tensor views.
+//!
+//! The simulator's engine runs a per-tensor transform chain (offline
+//! swizzle, then partition/flatten/swizzle steps) before every loop-nest
+//! walk. Within a mapping search or a batch of evaluation requests the
+//! same `(tensor, chain)` pair recurs constantly — every engine-verified
+//! candidate re-transforms the same inputs. A [`TransformCache`] keys the
+//! finished view by a caller-computed content hash
+//! ([`TensorData::content_hash`] combined with a canonical description of
+//! the chain) and hands back shared [`Arc`] views, so a warm cache
+//! performs **zero** redundant transforms
+//! ([`telemetry::transform_exec_count`] stays flat).
+//!
+//! A transform chain is not a pure tensor→tensor function: online
+//! swizzles record merge work and occupancy-split leaders publish
+//! partition boundaries for their followers. A [`TransformedView`]
+//! therefore carries those side effects as data ([`MergeRecord`],
+//! [`BoundaryRecord`]); on a cache hit the engine *replays* them, keeping
+//! instruments and boundary caches bit-identical to a cold run.
+//!
+//! Thread safety: the map sits behind a [`Mutex`]; two threads racing the
+//! same cold key may both build (both count as misses) and the first
+//! insert wins — correctness never depends on single-build, because every
+//! build of the same key produces the same view.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::coord::Coord;
+use crate::telemetry;
+use crate::view::TensorData;
+
+/// One merge-group side effect of an online swizzle, replayed into the
+/// simulator's instruments on a cache hit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MergeRecord {
+    /// Tensor being reordered.
+    pub tensor: String,
+    /// Elements flowing through the merger.
+    pub elems: u64,
+    /// Number of sorted lists merged together (fan-in).
+    pub ways: u64,
+}
+
+/// One boundary publication of an occupancy-split leader, replayed into
+/// the engine's boundary cache on a hit so follower tensors transformed
+/// later still resolve their leader's splits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BoundaryRecord {
+    /// The partitioned rank.
+    pub rank: String,
+    /// The leader tensor's name.
+    pub leader: String,
+    /// Per-path split boundaries, exactly as the leader computed them.
+    pub bounds: BTreeMap<Vec<Coord>, Vec<Coord>>,
+}
+
+/// A fully transformed input view: the tensor after its whole chain ran,
+/// plus the chain's replayable side effects in execution order.
+#[derive(Clone, Debug)]
+pub struct TransformedView {
+    /// The transformed tensor (owned or compressed, whatever the chain
+    /// produced).
+    pub tensor: TensorData,
+    /// Merge groups recorded while the chain ran.
+    pub merges: Vec<MergeRecord>,
+    /// Boundary lists published while the chain ran.
+    pub boundaries: Vec<BoundaryRecord>,
+}
+
+impl TransformedView {
+    /// Rough resident size: CSF-ish accounting of the tensor (one value
+    /// plus one coordinate word per rank per leaf) — good enough for the
+    /// telemetry byte counters, not allocator-exact.
+    pub fn approx_bytes(&self) -> u64 {
+        let t = &self.tensor;
+        (t.nnz() as u64) * (8 + 8 * t.order() as u64)
+    }
+}
+
+/// Content-addressed store of [`TransformedView`]s behind shared
+/// [`Arc`]s.
+///
+/// Keys are caller-computed 64-bit content hashes (tensor content +
+/// canonical chain description); the cache itself is key-agnostic.
+/// Instance counters ([`TransformCache::hits`] /
+/// [`TransformCache::misses`]) serve per-context assertions that are
+/// immune to unrelated concurrent work, while every lookup also feeds
+/// the process-wide [`telemetry::transform_cache_stats`] registry.
+#[derive(Debug, Default)]
+pub struct TransformCache {
+    inner: Mutex<HashMap<u64, Arc<TransformedView>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TransformCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        TransformCache::default()
+    }
+
+    /// Returns the view for `key`, building and inserting it on a miss.
+    ///
+    /// The builder runs outside the lock (transforms are the expensive
+    /// part); a concurrent builder of the same key may win the insert, in
+    /// which case the already-inserted view is returned and this build's
+    /// result dropped — both are bit-identical by construction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the builder's error; nothing is inserted or counted as
+    /// a miss-with-bytes beyond the attempt.
+    pub fn get_or_build<E>(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<TransformedView, E>,
+    ) -> Result<Arc<TransformedView>, E> {
+        if let Some(hit) = self
+            .inner
+            .lock()
+            .expect("transform cache poisoned")
+            .get(&key)
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            telemetry::transform_cache_stats().hit();
+            return Ok(Arc::clone(hit));
+        }
+        let view = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        telemetry::transform_cache_stats().miss(view.approx_bytes());
+        Ok(self
+            .inner
+            .lock()
+            .expect("transform cache poisoned")
+            .entry(key)
+            .or_insert(view)
+            .clone())
+    }
+
+    /// Number of distinct transformed views cached.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("transform cache poisoned").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups this instance answered from cache (monotonic).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups this instance had to build (monotonic). A warm run's
+    /// delta of zero is the "no redundant transforms" proof local to one
+    /// evaluation context.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::TensorBuilder;
+
+    fn view(tag: f64) -> TransformedView {
+        let t = TensorBuilder::new("T", &["I"], &[8])
+            .entry(&[1], tag)
+            .build()
+            .unwrap();
+        TransformedView {
+            tensor: TensorData::Owned(t),
+            merges: vec![MergeRecord {
+                tensor: "T".into(),
+                elems: 4,
+                ways: 2,
+            }],
+            boundaries: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn second_lookup_shares_the_first_build() {
+        let cache = TransformCache::new();
+        let a = cache.get_or_build::<()>(42, || Ok(view(1.0))).unwrap();
+        let b = cache
+            .get_or_build::<()>(42, || panic!("warm key must not rebuild"))
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses(), cache.len()), (1, 1, 1));
+        assert_eq!(b.merges[0].ways, 2);
+    }
+
+    #[test]
+    fn distinct_keys_do_not_collide() {
+        let cache = TransformCache::new();
+        let a = cache.get_or_build::<()>(1, || Ok(view(1.0))).unwrap();
+        let b = cache.get_or_build::<()>(2, || Ok(view(2.0))).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn builder_errors_propagate_and_insert_nothing() {
+        let cache = TransformCache::new();
+        let err = cache.get_or_build(7, || Err::<TransformedView, &str>("boom"));
+        assert_eq!(err.unwrap_err(), "boom");
+        assert!(cache.is_empty());
+        // The key stays buildable afterwards.
+        assert!(cache.get_or_build::<()>(7, || Ok(view(3.0))).is_ok());
+    }
+
+    #[test]
+    fn executed_transform_counter_is_caller_driven() {
+        // The cache itself never bumps the execution counter — only the
+        // engine does, and only when a chain really runs.
+        let before = telemetry::transform_exec_count();
+        let cache = TransformCache::new();
+        let _ = cache.get_or_build::<()>(9, || Ok(view(1.0)));
+        let _ = cache.get_or_build::<()>(9, || Ok(view(1.0)));
+        assert_eq!(telemetry::transform_exec_count(), before);
+    }
+}

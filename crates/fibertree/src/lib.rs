@@ -104,6 +104,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod cache;
 pub mod compressed;
 pub mod coord;
 pub mod error;
@@ -119,6 +120,7 @@ pub mod tensor;
 pub mod view;
 
 pub use builder::CompressedBuilder;
+pub use cache::{BoundaryRecord, MergeRecord, TransformCache, TransformedView};
 pub use compressed::CompressedTensor;
 pub use coord::{Coord, Shape};
 pub use error::FibertreeError;

@@ -1,6 +1,14 @@
-//! Process-wide storage telemetry.
+//! Process-wide storage and cache telemetry.
 //!
-//! A single counter tracks every decompression
+//! Besides the decompression counter described below, this module hosts
+//! the counters of the staged evaluation pipeline: one [`CacheStats`]
+//! registry entry per cache stage (parsed specs, compiled plans,
+//! transformed inputs, simulation reports) and a
+//! [`transform_exec_count`] that counts transform chains *actually
+//! executed* — the number a warm cache must keep flat. Everything
+//! follows the same `Relaxed`/monotonic/snapshot-delta protocol.
+//!
+//! A counter tracks every decompression
 //! ([`CompressedTensor::to_tensor`](crate::CompressedTensor::to_tensor)),
 //! which is the one operation a compressed-native pipeline must never
 //! perform. The simulator's integration tests snapshot it around a run to
@@ -34,6 +42,131 @@ pub fn decompress_count() -> u64 {
 
 pub(crate) fn note_decompress() {
     DECOMPRESSIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+static TRANSFORM_EXECUTIONS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of input transform chains (swizzle/partition/flatten
+/// pipelines) actually *executed* by this process, cache hits excluded.
+/// A warm [`TransformCache`](crate::cache::TransformCache) run leaves
+/// this counter untouched — the pinned proof that cached evaluation
+/// performs zero redundant input transforms. Same monotonic
+/// snapshot-delta protocol as [`decompress_count`].
+pub fn transform_exec_count() -> u64 {
+    TRANSFORM_EXECUTIONS.load(Ordering::Relaxed)
+}
+
+/// Records one executed transform chain. Called by the simulator engine
+/// whenever a chain really runs (cold cache or no cache attached); not
+/// intended for other callers.
+pub fn note_transform_exec() {
+    TRANSFORM_EXECUTIONS.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Hit/miss/byte counters for one pipeline cache stage.
+///
+/// All fields are process-wide atomics with the same `Relaxed`,
+/// monotonic, snapshot-delta protocol as [`decompress_count`]: take a
+/// [`CacheStats::snapshot`] before and after the region of interest and
+/// compare deltas; never expect absolute values in a process that runs
+/// concurrent work.
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// A point-in-time copy of one [`CacheStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that had to build the artifact.
+    pub misses: u64,
+    /// Approximate bytes resident across all inserted artifacts
+    /// (estimates, not allocator-exact).
+    pub bytes: u64,
+}
+
+impl CacheStats {
+    /// Creates zeroed counters (`const`, so stages can live in statics).
+    pub const fn new() -> Self {
+        CacheStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a cache hit.
+    pub fn hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a cache miss that inserted an artifact of roughly
+    /// `bytes` bytes.
+    pub fn miss(&self, bytes: u64) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that built the artifact so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Approximate bytes inserted so far.
+    pub fn bytes(&self) -> u64 {
+        self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough copy for delta comparison (fields are read
+    /// individually; use deltas, not cross-field invariants).
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits(),
+            misses: self.misses(),
+            bytes: self.bytes(),
+        }
+    }
+}
+
+/// Process-wide counters for the `SpecSource → ParsedSpec` cache stage.
+static SPEC_CACHE: CacheStats = CacheStats::new();
+/// Process-wide counters for the `ParsedSpec → LoweredPlan` cache stage.
+static PLAN_CACHE: CacheStats = CacheStats::new();
+/// Process-wide counters for the `PreparedInputs` (transformed-view)
+/// cache stage.
+static TRANSFORM_CACHE: CacheStats = CacheStats::new();
+/// Process-wide counters for the `SimReport` cache stage.
+static REPORT_CACHE: CacheStats = CacheStats::new();
+
+/// Counters for the parsed-spec cache (keyed by source hash).
+pub fn spec_cache_stats() -> &'static CacheStats {
+    &SPEC_CACHE
+}
+
+/// Counters for the compiled-plan cache (keyed by spec hash).
+pub fn plan_cache_stats() -> &'static CacheStats {
+    &PLAN_CACHE
+}
+
+/// Counters for the transformed-input cache (keyed by tensor content
+/// hash + transform chain).
+pub fn transform_cache_stats() -> &'static CacheStats {
+    &TRANSFORM_CACHE
+}
+
+/// Counters for the simulation-report cache (keyed by plan + operator
+/// table + inputs).
+pub fn report_cache_stats() -> &'static CacheStats {
+    &REPORT_CACHE
 }
 
 #[cfg(test)]
@@ -74,5 +207,35 @@ mod tests {
             "joined workers must account for all {} decompressions, saw {delta}",
             THREADS as u64 * PER_THREAD
         );
+    }
+
+    #[test]
+    fn cache_stats_count_hits_misses_and_bytes() {
+        let stats = CacheStats::new();
+        stats.miss(128);
+        stats.hit();
+        stats.hit();
+        let snap = stats.snapshot();
+        assert_eq!(
+            snap,
+            CacheSnapshot {
+                hits: 2,
+                misses: 1,
+                bytes: 128
+            }
+        );
+    }
+
+    #[test]
+    fn stage_registry_counters_are_independent() {
+        let before = report_cache_stats().snapshot();
+        transform_cache_stats().hit();
+        spec_cache_stats().miss(7);
+        plan_cache_stats().miss(9);
+        // Other stages' traffic never leaks into the report stage.
+        assert_eq!(report_cache_stats().snapshot(), before);
+        assert!(spec_cache_stats().bytes() >= 7);
+        assert!(plan_cache_stats().misses() >= 1);
+        assert!(transform_cache_stats().hits() >= 1);
     }
 }

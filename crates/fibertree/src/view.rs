@@ -479,6 +479,80 @@ impl TensorData {
     pub fn is_compressed(&self) -> bool {
         matches!(self, TensorData::Compressed(_))
     }
+
+    /// Stable FNV-1a content hash: name, rank labels, shapes, and every
+    /// nonzero leaf (coordinates tagged, values by bit pattern).
+    ///
+    /// The hash is representation-independent — an owned tensor and its
+    /// compressed form hash equally — so it can key shared caches (the
+    /// `PreparedInputs` stage of the evaluation pipeline) no matter which
+    /// storage a tensor arrived in. Costs one full [`TensorData::leaves`]
+    /// walk; hash once and reuse the key.
+    pub fn content_hash(&self) -> u64 {
+        fn absorb(state: &mut u64, bytes: &[u8]) {
+            for &b in bytes {
+                *state ^= u64::from(b);
+                *state = state.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        fn absorb_u64(state: &mut u64, v: u64) {
+            absorb(state, &v.to_le_bytes());
+        }
+        fn absorb_str(state: &mut u64, s: &str) {
+            absorb_u64(state, s.len() as u64);
+            absorb(state, s.as_bytes());
+        }
+        fn absorb_shape(state: &mut u64, shape: &Shape) {
+            match shape {
+                Shape::Interval(n) => {
+                    absorb_u64(state, 0);
+                    absorb_u64(state, *n);
+                }
+                Shape::Tuple(parts) => {
+                    absorb_u64(state, 1);
+                    absorb_u64(state, parts.len() as u64);
+                    for p in parts {
+                        absorb_shape(state, p);
+                    }
+                }
+            }
+        }
+        fn absorb_coord(state: &mut u64, coord: &Coord) {
+            match coord {
+                Coord::Point(p) => {
+                    absorb_u64(state, 0);
+                    absorb_u64(state, *p);
+                }
+                Coord::Tuple(parts) => {
+                    absorb_u64(state, 1);
+                    absorb_u64(state, parts.len() as u64);
+                    for p in parts {
+                        absorb_coord(state, p);
+                    }
+                }
+            }
+        }
+        let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+        absorb_str(&mut state, "tensor-content-v1");
+        absorb_str(&mut state, self.name());
+        absorb_u64(&mut state, self.order() as u64);
+        for rank in self.rank_ids() {
+            absorb_str(&mut state, rank);
+        }
+        for shape in self.rank_shapes() {
+            absorb_shape(&mut state, shape);
+        }
+        let leaves = self.leaves();
+        absorb_u64(&mut state, leaves.len() as u64);
+        for (path, value) in &leaves {
+            absorb_u64(&mut state, path.len() as u64);
+            for coord in path {
+                absorb_coord(&mut state, coord);
+            }
+            absorb_u64(&mut state, value.to_bits());
+        }
+        state
+    }
 }
 
 impl std::fmt::Display for TensorData {
@@ -581,5 +655,35 @@ mod tests {
             c.root_fiber_view().unwrap().leaf_count()
         );
         assert_eq!(o.nnz(), c.nnz());
+    }
+
+    #[test]
+    fn content_hash_is_representation_independent() {
+        let (o, c) = both_views();
+        assert_eq!(o.content_hash(), c.content_hash());
+        // And deterministic across calls.
+        assert_eq!(o.content_hash(), o.content_hash());
+    }
+
+    #[test]
+    fn content_hash_is_content_sensitive() {
+        use crate::tensor::TensorBuilder;
+        let base = |name: &str, coord: u64, val: f64| {
+            TensorData::Owned(
+                TensorBuilder::new(name, &["I"], &[8])
+                    .entry(&[coord], val)
+                    .build()
+                    .unwrap(),
+            )
+        };
+        let t = base("T", 1, 2.0);
+        assert_ne!(t.content_hash(), base("U", 1, 2.0).content_hash());
+        assert_ne!(t.content_hash(), base("T", 2, 2.0).content_hash());
+        assert_ne!(t.content_hash(), base("T", 1, 3.0).content_hash());
+        // Values hash by bit pattern, so sign alone separates hashes.
+        assert_ne!(
+            base("T", 1, 2.0).content_hash(),
+            base("T", 1, -2.0).content_hash()
+        );
     }
 }

@@ -15,7 +15,7 @@
 
 use teaal_accel::vertex_centric::{self, GraphDesign, GRAPHDYNS_CHUNKS};
 use teaal_fibertree::{Tensor, TensorData};
-use teaal_sim::{OpTable, SimError, Simulator};
+use teaal_sim::{OpTable, SimError};
 use teaal_workloads::Graph;
 
 /// Which vertex-centric algorithm to run.
@@ -124,7 +124,7 @@ pub fn run(
 /// [`run`] with an explicit worker cap for each superstep's simulation.
 ///
 /// Every superstep executes its cascade through
-/// [`Simulator::with_threads`]: independent Einsums run concurrently and
+/// [`teaal_sim::Simulator::with_threads`]: independent Einsums run concurrently and
 /// eligible Einsums shard their top loop rank over the shared compressed
 /// adjacency, which stays borrowed — never cloned — across workers.
 /// Distances and per-iteration statistics are bit-identical for every
@@ -143,7 +143,13 @@ pub fn run_with_threads(
     let v = graph.vertices;
     let weighted = algorithm.weighted();
     let spec = vertex_centric::spec(design, v, weighted);
-    let sim = Simulator::new(spec)?
+    // One evaluation context for the whole run: when a design's mapping
+    // transforms the adjacency, the transformed view is built in the
+    // first superstep and served from the shared cache (content-addressed
+    // by tensor hash + chain) in every later one.
+    let ctx = teaal_sim::EvalContext::new();
+    let sim = ctx
+        .simulator(&spec)?
         .with_ops(OpTable::sssp())
         .with_threads(threads);
 

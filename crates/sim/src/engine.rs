@@ -14,7 +14,9 @@
 //! engine allocates per *level*, not per *step*.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
+use teaal_core::canon::Fnv1a;
 use teaal_core::einsum::Rhs;
 use teaal_core::ir::{Descent, EinsumPlan, PlanStep, RankDef, TensorPlan};
 use teaal_fibertree::iterate::{
@@ -24,8 +26,9 @@ use teaal_fibertree::iterate::{
 use teaal_fibertree::partition::SplitKind;
 use teaal_fibertree::swizzle::from_coord_entries;
 use teaal_fibertree::{
-    CompressedBuilder, CompressedTensor, Coord, FiberView, IntersectPolicy, PayloadView, Shape,
-    Tensor, TensorData,
+    telemetry, BoundaryRecord, CompressedBuilder, CompressedTensor, Coord, FiberView,
+    IntersectPolicy, MergeRecord, PayloadView, Shape, Tensor, TensorData, TransformCache,
+    TransformedView,
 };
 
 use crate::counters::{Instruments, MergeGroup};
@@ -44,6 +47,28 @@ pub struct Engine<'p> {
     policy: IntersectPolicy,
     rank_extents: BTreeMap<String, u64>,
     threads: usize,
+    /// Shared transformed-input cache (staged pipeline), when attached.
+    transforms: Option<Arc<TransformCache>>,
+}
+
+/// One prepared input: either the untransformed tensor borrowed straight
+/// from the environment, a freshly transformed tensor this execution
+/// owns, or a shared transformed view out of the pipeline's
+/// [`TransformCache`]. The nest walk only ever needs `&TensorData`.
+enum PreparedInput<'t> {
+    Borrowed(&'t TensorData),
+    Owned(TensorData),
+    Shared(Arc<TransformedView>),
+}
+
+impl PreparedInput<'_> {
+    fn data(&self) -> &TensorData {
+        match self {
+            PreparedInput::Borrowed(t) => t,
+            PreparedInput::Owned(t) => t,
+            PreparedInput::Shared(v) => &v.tensor,
+        }
+    }
 }
 
 #[derive(Clone)]
@@ -129,7 +154,19 @@ impl<'p> Engine<'p> {
             policy,
             rank_extents,
             threads: 1,
+            transforms: None,
         }
+    }
+
+    /// Attaches a shared [`TransformCache`]: input transform chains whose
+    /// results are content-determined are served from (and published to)
+    /// the cache instead of re-running. Recorded side effects — merge
+    /// groups and leader boundary publications — are replayed from the
+    /// cached view, so instruments and boundary visibility are
+    /// bit-identical to an uncached run.
+    pub fn with_transform_cache(mut self, cache: Arc<TransformCache>) -> Self {
+        self.transforms = Some(cache);
+        self
     }
 
     /// Sets the worker count for shard-parallel execution (default 1).
@@ -193,8 +230,10 @@ impl<'p> Engine<'p> {
         // is representable (everything except flattening beyond pair
         // coordinates); only then does the owned path serve as fallback,
         // and the choice is decided *up front* so no instrument effects
-        // are ever half-applied.
-        let mut tensors: Vec<std::borrow::Cow<'t, TensorData>> = Vec::new();
+        // are ever half-applied. With a [`TransformCache`] attached,
+        // content-determined chains are served from the cache and their
+        // recorded side effects replayed.
+        let mut tensors: Vec<PreparedInput<'t>> = Vec::new();
         let mut tensor_names: Vec<String> = Vec::new();
         for tp in &self.plan.tensor_plans {
             let input: &TensorData =
@@ -206,38 +245,29 @@ impl<'p> Engine<'p> {
                     })?;
             let needs_swizzle = input.rank_ids() != tp.initial_order.as_slice();
             let t = if needs_swizzle || !tp.steps.is_empty() {
-                match input {
-                    TensorData::Compressed(c) if compressed_pipeline_supported(c, tp) => {
-                        let ct = self.transform_compressed(
-                            c,
-                            tp,
-                            needs_swizzle,
-                            instruments,
-                            boundaries,
-                        )?;
-                        std::borrow::Cow::Owned(TensorData::Compressed(ct))
+                let native = matches!(
+                    input, TensorData::Compressed(c) if compressed_pipeline_supported(c, tp));
+                let cached = self.transforms.as_ref().and_then(|cache| {
+                    let key = self.transform_key(input, tp, needs_swizzle, native, boundaries)?;
+                    Some(cache.get_or_build(key, || {
+                        self.run_transform_chain(input, tp, needs_swizzle, native, boundaries)
+                    }))
+                });
+                match cached {
+                    Some(view) => {
+                        let view = view?;
+                        apply_view_effects(&view, instruments, boundaries);
+                        PreparedInput::Shared(view)
                     }
-                    _ => {
-                        let mut t = input.to_tensor();
-                        if needs_swizzle {
-                            let want: Vec<&str> =
-                                tp.initial_order.iter().map(String::as_str).collect();
-                            t = t.swizzle(&want)?;
-                        }
-                        for step in &tp.steps {
-                            t = self.apply_step(
-                                t,
-                                tp.online_swizzle,
-                                step,
-                                instruments,
-                                boundaries,
-                            )?;
-                        }
-                        std::borrow::Cow::Owned(TensorData::Owned(t))
+                    None => {
+                        let view =
+                            self.run_transform_chain(input, tp, needs_swizzle, native, boundaries)?;
+                        apply_view_effects(&view, instruments, boundaries);
+                        PreparedInput::Owned(view.tensor)
                     }
                 }
             } else {
-                std::borrow::Cow::Borrowed(input)
+                PreparedInput::Borrowed(input)
             };
             tensor_names.push(tp.tensor.clone());
             tensors.push(t);
@@ -310,7 +340,7 @@ impl<'p> Engine<'p> {
             nodes: exec
                 .access_tensor
                 .iter()
-                .map(|&ti| Some(tensors[ti].root_view()))
+                .map(|&ti| Some(tensors[ti].data().root_view()))
                 .collect(),
             binds: Vec::new(),
             space: Vec::new(),
@@ -415,7 +445,7 @@ impl<'p> Engine<'p> {
     fn plan_shards(
         &self,
         exec: &Exec<'_, 'p>,
-        tensors: &[std::borrow::Cow<'_, TensorData>],
+        tensors: &[PreparedInput<'_>],
         instruments: &Instruments,
         compressed_output: bool,
     ) -> Option<ShardPlan> {
@@ -436,10 +466,12 @@ impl<'p> Engine<'p> {
             .collect();
         let live: Vec<FiberView<'_>> = driver_idx
             .iter()
-            .filter_map(|&ai| match tensors[exec.access_tensor[ai]].root_view() {
-                PayloadView::Fiber(f) => Some(f),
-                _ => None,
-            })
+            .filter_map(
+                |&ai| match tensors[exec.access_tensor[ai]].data().root_view() {
+                    PayloadView::Fiber(f) => Some(f),
+                    _ => None,
+                },
+            )
             .collect();
 
         // Shard boundaries on the top coordinate axis, plus the exclusive
@@ -561,10 +593,10 @@ impl<'p> Engine<'p> {
     /// Runs the planned shards on scoped threads and merges their
     /// instruments and outputs deterministically, in shard (coordinate)
     /// order.
-    fn execute_sharded<'t>(
+    fn execute_sharded(
         &self,
         exec: &Exec<'_, 'p>,
-        tensors: &[std::borrow::Cow<'t, TensorData>],
+        tensors: &[PreparedInput<'_>],
         instruments: &mut Instruments,
         shard_plan: &ShardPlan,
         compressed_output: bool,
@@ -598,7 +630,7 @@ impl<'p> Engine<'p> {
                             nodes: shard_exec
                                 .access_tensor
                                 .iter()
-                                .map(|&ti| Some(tensors[ti].root_view()))
+                                .map(|&ti| Some(tensors[ti].data().root_view()))
                                 .collect(),
                             binds: Vec::new(),
                             space: Vec::new(),
@@ -716,6 +748,120 @@ impl<'p> Engine<'p> {
         }
     }
 
+    /// The content-address of one input's transform chain, or `None` when
+    /// the result is not content-determined (a follower step whose leader
+    /// boundaries are neither published by this chain nor already in
+    /// `outer` — the uncached run then reports the identical
+    /// [`SimError::MissingBoundaries`]).
+    ///
+    /// The key covers everything [`Engine::run_transform_chain`] reads:
+    /// the input's content hash, the plan's initial order and steps, the
+    /// online-swizzle flag (it decides merge recording), the native/owned
+    /// path choice (it decides the result representation), and — for
+    /// followers resolved from `outer` — the exact boundary lists.
+    fn transform_key(
+        &self,
+        input: &TensorData,
+        tp: &TensorPlan,
+        needs_swizzle: bool,
+        native: bool,
+        outer: &BoundaryCache,
+    ) -> Option<u64> {
+        let mut h = Fnv1a::new();
+        h.write_str("transform-chain-v1");
+        h.write_u64(input.content_hash());
+        h.write_str(&tp.tensor);
+        h.write_u64(tp.initial_order.len() as u64);
+        for r in &tp.initial_order {
+            h.write_str(r);
+        }
+        h.write_u64(u64::from(needs_swizzle));
+        h.write_u64(u64::from(tp.online_swizzle));
+        h.write_u64(u64::from(native));
+        // Ranks this chain's own leader steps publish; follower steps
+        // reading them are content-determined.
+        let mut local_leaders: BTreeSet<(&str, &str)> = BTreeSet::new();
+        for step in &tp.steps {
+            h.write_str(&format!("{step:?}"));
+            match step {
+                PlanStep::SplitOccLeader { rank, .. } => {
+                    local_leaders.insert((rank.as_str(), tp.tensor.as_str()));
+                }
+                PlanStep::SplitOccFollower { rank, leader, .. }
+                    if !local_leaders.contains(&(rank.as_str(), leader.as_str())) =>
+                {
+                    let bounds = outer.get(&(rank.clone(), leader.clone()))?;
+                    h.write_str(&format!("{bounds:?}"));
+                }
+                _ => {}
+            }
+        }
+        Some(h.finish())
+    }
+
+    /// Runs one input's whole transform chain, recording its side effects
+    /// — merge groups and leader boundary publications — as data in the
+    /// returned [`TransformedView`] so a cache hit can replay them
+    /// ([`apply_view_effects`]) instead of re-running the chain. Counts
+    /// one real execution in [`telemetry::transform_exec_count`].
+    fn run_transform_chain(
+        &self,
+        input: &TensorData,
+        tp: &TensorPlan,
+        needs_swizzle: bool,
+        native: bool,
+        outer: &BoundaryCache,
+    ) -> Result<TransformedView, SimError> {
+        telemetry::note_transform_exec();
+        let mut merges: Vec<MergeGroup> = Vec::new();
+        let mut published: Vec<BoundaryRecord> = Vec::new();
+        // Followers see outer leaders plus any this chain publishes.
+        let mut local: BoundaryCache = outer.clone();
+        let tensor = if native {
+            let TensorData::Compressed(c) = input else {
+                unreachable!("native path implies compressed input");
+            };
+            let ct = self.transform_compressed(
+                c,
+                tp,
+                needs_swizzle,
+                &mut merges,
+                &mut local,
+                &mut published,
+            )?;
+            TensorData::Compressed(ct)
+        } else {
+            let mut t = input.to_tensor();
+            if needs_swizzle {
+                let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
+                t = t.swizzle(&want)?;
+            }
+            for step in &tp.steps {
+                t = self.apply_step(
+                    t,
+                    tp.online_swizzle,
+                    step,
+                    &mut merges,
+                    &mut local,
+                    &mut published,
+                )?;
+            }
+            TensorData::Owned(t)
+        };
+        Ok(TransformedView {
+            tensor,
+            merges: merges
+                .into_iter()
+                .map(|g| MergeRecord {
+                    tensor: g.tensor,
+                    elems: g.elems,
+                    ways: g.ways,
+                })
+                .collect(),
+            boundaries: published,
+        })
+    }
+
     /// Applies a compressed input's transform pipeline entirely on CSF
     /// arrays. [`compressed_pipeline_supported`] must have approved the
     /// plan; failures here are real errors, never silent fallbacks.
@@ -724,8 +870,9 @@ impl<'p> Engine<'p> {
         input: &CompressedTensor,
         tp: &TensorPlan,
         needs_swizzle: bool,
-        instruments: &mut Instruments,
+        merges: &mut Vec<MergeGroup>,
         boundaries: &mut BoundaryCache,
+        published: &mut Vec<BoundaryRecord>,
     ) -> Result<CompressedTensor, SimError> {
         let mut cur: std::borrow::Cow<'_, CompressedTensor> = if needs_swizzle {
             let want: Vec<&str> = tp.initial_order.iter().map(String::as_str).collect();
@@ -742,7 +889,7 @@ impl<'p> Engine<'p> {
                             cur.rank_ids(),
                             FiberView::of_compressed(&cur),
                             order,
-                            instruments,
+                            merges,
                         );
                     }
                     let o: Vec<&str> = order.iter().map(String::as_str).collect();
@@ -762,6 +909,11 @@ impl<'p> Engine<'p> {
                     lower,
                 } => {
                     let bounds = cur.occupancy_boundaries_by_path(rank, *size)?;
+                    published.push(BoundaryRecord {
+                        rank: rank.clone(),
+                        leader: cur.name().to_string(),
+                        bounds: bounds.clone(),
+                    });
                     boundaries.insert((rank.clone(), cur.name().to_string()), bounds);
                     cur.partition_rank(rank, SplitKind::UniformOccupancy(*size), upper, lower)?
                 }
@@ -792,13 +944,14 @@ impl<'p> Engine<'p> {
         t: Tensor,
         online: bool,
         step: &PlanStep,
-        instruments: &mut Instruments,
+        merges: &mut Vec<MergeGroup>,
         boundaries: &mut BoundaryCache,
+        published: &mut Vec<BoundaryRecord>,
     ) -> Result<Tensor, SimError> {
         Ok(match step {
             PlanStep::Swizzle(order) => {
                 if online {
-                    record_merge_groups(&t, order, instruments);
+                    record_merge_groups(&t, order, merges);
                 }
                 let o: Vec<&str> = order.iter().map(String::as_str).collect();
                 t.swizzle(&o)?
@@ -817,6 +970,11 @@ impl<'p> Engine<'p> {
                 lower,
             } => {
                 let bounds = t.occupancy_boundaries_by_path(rank, *size)?;
+                published.push(BoundaryRecord {
+                    rank: rank.clone(),
+                    leader: t.name().to_string(),
+                    bounds: bounds.clone(),
+                });
                 boundaries.insert((rank.clone(), t.name().to_string()), bounds);
                 t.partition_rank(rank, SplitKind::UniformOccupancy(*size), upper, lower)?
             }
@@ -884,7 +1042,7 @@ impl<'p> Engine<'p> {
                 prod_shapes,
                 prod_entries,
             )?;
-            prod.record_merges(&target, instruments);
+            prod.record_merges(&target, &mut instruments.merges);
             let o: Vec<&str> = target.iter().map(String::as_str).collect();
             return prod.swizzled(&o);
         }
@@ -904,7 +1062,7 @@ trait OutputSink: Sized {
         rank_shapes: Vec<Shape>,
         entries: Vec<(Vec<u64>, f64)>,
     ) -> Result<Self, SimError>;
-    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments);
+    fn record_merges(&self, new_order: &[String], merges: &mut Vec<MergeGroup>);
     fn swizzled(&self, order: &[&str]) -> Result<Self, SimError>;
 }
 
@@ -922,8 +1080,8 @@ impl OutputSink for Tensor {
         Ok(from_coord_entries(name, rank_ids, rank_shapes, coords))
     }
 
-    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments) {
-        record_merge_groups(self, new_order, instruments);
+    fn record_merges(&self, new_order: &[String], merges: &mut Vec<MergeGroup>) {
+        record_merge_groups(self, new_order, merges);
     }
 
     fn swizzled(&self, order: &[&str]) -> Result<Self, SimError> {
@@ -945,13 +1103,13 @@ impl OutputSink for CompressedTensor {
         Ok(b.finish())
     }
 
-    fn record_merges(&self, new_order: &[String], instruments: &mut Instruments) {
+    fn record_merges(&self, new_order: &[String], merges: &mut Vec<MergeGroup>) {
         record_merge_groups_view(
             self.name(),
             self.rank_ids(),
             FiberView::of_compressed(self),
             new_order,
-            instruments,
+            merges,
         );
     }
 
@@ -1068,14 +1226,34 @@ fn shift_space_keys(m: BTreeMap<Vec<u64>, u64>, offset: u64) -> BTreeMap<Vec<u64
         .collect()
 }
 
+/// Replays a transformed view's recorded side effects into this
+/// execution's instruments and boundary cache — the step that makes a
+/// cache hit observationally identical to running the chain.
+fn apply_view_effects(
+    view: &TransformedView,
+    instruments: &mut Instruments,
+    boundaries: &mut BoundaryCache,
+) {
+    for m in &view.merges {
+        instruments.merges.push(MergeGroup {
+            tensor: m.tensor.clone(),
+            elems: m.elems,
+            ways: m.ways,
+        });
+    }
+    for b in &view.boundaries {
+        boundaries.insert((b.rank.clone(), b.leader.clone()), b.bounds.clone());
+    }
+}
+
 /// Records the merge work of reordering an owned tensor into `new_order`.
-fn record_merge_groups(t: &Tensor, new_order: &[String], instruments: &mut Instruments) {
+fn record_merge_groups(t: &Tensor, new_order: &[String], merges: &mut Vec<MergeGroup>) {
     record_merge_groups_view(
         t.name(),
         t.rank_ids(),
         t.root_fiber().map(FiberView::Owned),
         new_order,
-        instruments,
+        merges,
     );
 }
 
@@ -1088,7 +1266,7 @@ fn record_merge_groups_view(
     rank_ids: &[String],
     root: Option<FiberView<'_>>,
     new_order: &[String],
-    instruments: &mut Instruments,
+    merges: &mut Vec<MergeGroup>,
 ) {
     let prefix = rank_ids
         .iter()
@@ -1124,7 +1302,7 @@ fn record_merge_groups_view(
             }
         }
     }
-    walk(root, 0, prefix, &mut instruments.merges, name);
+    walk(root, 0, prefix, merges, name);
 }
 
 impl<'e, 'p> Exec<'e, 'p> {

@@ -21,8 +21,9 @@
 //!   candidate the estimator is O(plan size) instead of O(nnz), so large
 //!   search spaces cost a handful of engine runs instead of hundreds.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use teaal_core::TeaalSpec;
 use teaal_fibertree::stats::StatsCache;
@@ -32,6 +33,8 @@ use crate::error::SimError;
 use crate::estimate::estimate_data;
 use crate::model::Simulator;
 use crate::ops::OpTable;
+use crate::pipeline::EvalContext;
+use crate::report::SimReport;
 
 /// What to optimize when ranking mappings.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -56,6 +59,28 @@ pub struct Candidate {
     pub energy_joules: f64,
     /// DRAM traffic in bytes.
     pub dram_bytes: u64,
+    /// Per-component busy seconds summed across fusion blocks (the
+    /// bottleneck-analysis breakdown behind `seconds`) — what the CLI
+    /// prints so a ranking explains *why* a mapping wins.
+    pub component_seconds: BTreeMap<String, f64>,
+}
+
+/// Builds a [`Candidate`] from one report, folding the per-block
+/// component times into a single breakdown.
+fn candidate_from(loop_order: Vec<String>, report: &SimReport) -> Candidate {
+    let mut component_seconds: BTreeMap<String, f64> = BTreeMap::new();
+    for block in &report.blocks {
+        for (component, secs) in &block.component_seconds {
+            *component_seconds.entry(component.clone()).or_insert(0.0) += secs;
+        }
+    }
+    Candidate {
+        loop_order,
+        seconds: report.seconds,
+        energy_joules: report.energy_joules,
+        dram_bytes: report.dram_bytes(),
+        component_seconds,
+    }
 }
 
 impl Candidate {
@@ -170,6 +195,38 @@ pub fn explore_loop_orders_with_threads(
     max_candidates: usize,
     threads: usize,
 ) -> Result<Vec<Candidate>, SimError> {
+    explore_loop_orders_with_context(
+        spec,
+        einsum,
+        inputs,
+        ops,
+        objective,
+        max_candidates,
+        threads,
+        None,
+    )
+}
+
+/// [`explore_loop_orders_with_threads`] with an optional shared
+/// [`EvalContext`]: candidate specs compile through the context's plan
+/// cache and every engine run shares the transform cache, so the search
+/// never re-transforms an input it has already prepared. Results are
+/// bit-identical with or without a context.
+///
+/// # Errors
+///
+/// As [`explore_loop_orders`].
+#[allow(clippy::too_many_arguments)]
+pub fn explore_loop_orders_with_context(
+    spec: &TeaalSpec,
+    einsum: &str,
+    inputs: &[Tensor],
+    ops: OpTable,
+    objective: Objective,
+    max_candidates: usize,
+    threads: usize,
+    context: Option<&Arc<EvalContext>>,
+) -> Result<Vec<Candidate>, SimError> {
     let orders = candidate_orders(spec, einsum)?;
 
     // A candidate that fails to lower is skipped, not charged against the
@@ -181,14 +238,12 @@ pub fn explore_loop_orders_with_threads(
         s.mapping
             .loop_order
             .insert(einsum.to_string(), candidate.to_vec());
-        let sim = Simulator::new(s).ok()?;
+        let sim = match context {
+            Some(ctx) => ctx.simulator(&s).ok()?,
+            None => Simulator::new(s).ok()?,
+        };
         let report = sim.with_ops(ops).with_threads(1).run(inputs).ok()?;
-        Some(Candidate {
-            loop_order: candidate.to_vec(),
-            seconds: report.seconds,
-            energy_joules: report.energy_joules,
-            dram_bytes: report.dram_bytes(),
-        })
+        Some(candidate_from(candidate.to_vec(), &report))
     };
 
     let mut results = evaluate_candidates(&orders, max_candidates, threads, &eval);
@@ -228,6 +283,28 @@ pub fn explore_fast(
     ops: OpTable,
     config: &ExploreConfig,
 ) -> Result<ExploreOutcome, SimError> {
+    explore_fast_with_context(spec, einsum, inputs, ops, config, None)
+}
+
+/// [`explore_fast`] with an optional shared [`EvalContext`]: the
+/// estimation sweep reads per-tensor statistics from the context's
+/// [`StatsCache`], candidate specs compile through the plan cache, and
+/// the verification phase shares the transform cache — a warm context
+/// re-runs the whole search with zero redundant input transforms (pinned
+/// by the `pipeline_cache` suite). Results are bit-identical with or
+/// without a context.
+///
+/// # Errors
+///
+/// As [`explore_fast`].
+pub fn explore_fast_with_context(
+    spec: &TeaalSpec,
+    einsum: &str,
+    inputs: &[Tensor],
+    ops: OpTable,
+    config: &ExploreConfig,
+    context: Option<&Arc<EvalContext>>,
+) -> Result<ExploreOutcome, SimError> {
     let orders = candidate_orders(spec, einsum)?;
 
     // Phase 1: estimate every lowerable candidate from cached statistics.
@@ -236,7 +313,14 @@ pub fn explore_fast(
         .map(|t| TensorData::Owned(t.clone()))
         .collect();
     let refs: Vec<&TensorData> = datas.iter().collect();
-    let cache = StatsCache::new();
+    let local_stats;
+    let cache: &StatsCache = match context {
+        Some(ctx) => ctx.stats(),
+        None => {
+            local_stats = StatsCache::new();
+            &local_stats
+        }
+    };
     let mut estimated: Vec<Candidate> = Vec::new();
     let mut estimator_evals = 0usize;
     for candidate in &orders {
@@ -247,19 +331,25 @@ pub fn explore_fast(
         s.mapping
             .loop_order
             .insert(einsum.to_string(), candidate.clone());
-        let Ok(sim) = Simulator::new(s) else {
-            continue;
+        let sim = match context {
+            Some(ctx) => {
+                let Ok(sim) = ctx.simulator(&s) else {
+                    continue;
+                };
+                sim
+            }
+            None => {
+                let Ok(sim) = Simulator::new(s) else {
+                    continue;
+                };
+                sim
+            }
         };
         estimator_evals += 1;
-        let Ok(report) = estimate_data(&sim, &refs, &cache) else {
+        let Ok(report) = estimate_data(&sim, &refs, cache) else {
             continue;
         };
-        estimated.push(Candidate {
-            loop_order: candidate.clone(),
-            seconds: report.seconds,
-            energy_joules: report.energy_joules,
-            dram_bytes: report.dram_bytes(),
-        });
+        estimated.push(candidate_from(candidate.clone(), &report));
     }
     if estimated.is_empty() {
         return Err(SimError::Spec(teaal_core::SpecError::Validation {
@@ -284,14 +374,12 @@ pub fn explore_fast(
         s.mapping
             .loop_order
             .insert(einsum.to_string(), candidate.to_vec());
-        let sim = Simulator::new(s).ok()?;
+        let sim = match context {
+            Some(ctx) => ctx.simulator(&s).ok()?,
+            None => Simulator::new(s).ok()?,
+        };
         let report = sim.with_ops(ops).with_threads(1).run(inputs).ok()?;
-        Some(Candidate {
-            loop_order: candidate.to_vec(),
-            seconds: report.seconds,
-            energy_joules: report.energy_joules,
-            dram_bytes: report.dram_bytes(),
-        })
+        Some(candidate_from(candidate.to_vec(), &report))
     };
     let engine_evals = survivors.len();
     let mut candidates = evaluate_candidates(&survivors, survivors.len(), config.threads, &eval);

@@ -6,10 +6,14 @@
 //! energy (paper §4.3).
 //!
 //! The main entry point is [`Simulator`]; see its documentation for a
-//! worked example.
+//! worked example. Evaluation is staged — `SpecSource → ParsedSpec →
+//! LoweredPlan → PreparedInputs → SimReport` — with a content-addressed
+//! cache boundary at every stage; [`EvalContext`] (see [`pipeline`]) is
+//! the shared cache handle.
 
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod counters;
 pub mod energy;
 pub mod engine;
@@ -18,17 +22,20 @@ pub mod estimate;
 pub mod explore;
 pub mod model;
 pub mod ops;
+pub mod pipeline;
 pub mod report;
 
+pub use compile::CompiledPlan;
 pub use counters::{ChannelCfg, Instruments, Lru, MergeGroup, OutputChannel, TensorChannel};
 pub use energy::{ActionCounts, EnergyTable};
 pub use engine::Engine;
 pub use error::SimError;
 pub use estimate::{estimate, estimate_data, estimate_with_stats};
 pub use explore::{
-    explore_fast, explore_loop_orders, explore_loop_orders_with_threads, Candidate, ExploreConfig,
-    ExploreOutcome, Objective,
+    explore_fast, explore_fast_with_context, explore_loop_orders, explore_loop_orders_with_context,
+    explore_loop_orders_with_threads, Candidate, ExploreConfig, ExploreOutcome, Objective,
 };
 pub use model::{default_threads, Simulator};
 pub use ops::OpTable;
+pub use pipeline::EvalContext;
 pub use report::{BlockStats, EinsumStats, SimReport, TensorTraffic};

@@ -1,24 +1,37 @@
 //! The top-level performance model (paper §4.3, Fig. 6).
 //!
-//! [`Simulator`] composes the whole flow: lower the specification to
-//! plans, resolve bindings into traffic channels, execute each Einsum on
-//! real tensors with the instrumented engine, convert the resulting action
+//! [`Simulator`] composes the back half of the staged evaluation
+//! pipeline: given a [`CompiledPlan`] (lowering, fusion blocks, bindings
+//! resolved — the data-free front half), execute each Einsum on real
+//! tensors with the instrumented engine, convert the resulting action
 //! counts into per-component busy times, apply the per-block bottleneck
 //! analysis (blocks inferred by the §4.3 fusion criteria), and translate
 //! action counts into energy.
+//!
+//! The compiled plan is shared behind an [`Arc`]: a mapper probing
+//! hundreds of loop orders or a batch of requests builds many cheap
+//! `Simulator` values over one compilation. Attaching an
+//! [`EvalContext`] ([`Simulator::with_context`]) additionally routes
+//! input transforms through the shared
+//! [`TransformCache`](teaal_fibertree::TransformCache)
+//! and enables whole-report caching ([`Simulator::run_data_cached`]) —
+//! without changing any result bit.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
-use teaal_core::ir::{self, EinsumBlock, EinsumPlan};
-use teaal_core::spec::{BindStyle, BufferKind, ComponentClass, ComputeOp, TeaalSpec};
+use teaal_core::ir::{EinsumBlock, EinsumPlan};
+use teaal_core::spec::{ComponentClass, ComputeOp, TeaalSpec};
 use teaal_core::TeaalSpec as Spec;
 use teaal_fibertree::{IntersectPolicy, Tensor, TensorData};
 
-use crate::counters::{ChannelCfg, Instruments};
+use crate::compile::CompiledPlan;
+use crate::counters::Instruments;
 use crate::energy::{ActionCounts, EnergyTable};
 use crate::engine::{BoundaryCache, Engine};
 use crate::error::SimError;
 use crate::ops::OpTable;
+use crate::pipeline::EvalContext;
 use crate::report::{passes_for, BlockStats, EinsumStats, SimReport, TensorTraffic};
 
 /// A configured simulator for one TeAAL specification.
@@ -51,17 +64,14 @@ use crate::report::{passes_for, BlockStats, EinsumStats, SimReport, TensorTraffi
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Simulator {
-    spec: TeaalSpec,
-    plans: Vec<EinsumPlan>,
-    blocks: Vec<EinsumBlock>,
+    compiled: Arc<CompiledPlan>,
     ops: OpTable,
     extent_overrides: BTreeMap<String, u64>,
     energy: EnergyTable,
-    /// Intermediates whose producer and all consumers share a fused block:
-    /// they live on-chip and never generate DRAM traffic (Gamma's `T`).
-    on_chip: std::collections::BTreeSet<String>,
     /// Worker cap for shard- and cascade-parallel execution.
     threads: usize,
+    /// Shared pipeline caches, when attached.
+    context: Option<Arc<EvalContext>>,
 }
 
 /// The default worker count for parallel execution: the `TEAAL_THREADS`
@@ -82,49 +92,32 @@ impl Simulator {
     ///
     /// Returns [`SimError::Spec`] when lowering fails.
     pub fn new(spec: Spec) -> Result<Self, SimError> {
-        let plans = ir::lower(&spec)?;
-        let blocks = ir::infer_blocks(&spec, &plans);
-
-        // Fusion keeps intermediates on-chip: when an Einsum's output and
-        // every consumer of that output share one block, the tensor never
-        // touches DRAM (paper §4.3 — Einsums "communicate by sharing
-        // sub-tensors").
-        let mut block_of: BTreeMap<&str, usize> = BTreeMap::new();
-        for (bi, b) in blocks.iter().enumerate() {
-            for &m in &b.members {
-                block_of.insert(plans[m].equation.name(), bi);
-            }
-        }
-        let edges = spec.cascade.dag_edges();
-        let mut on_chip = std::collections::BTreeSet::new();
-        for t in spec.cascade.intermediates() {
-            let Some(&pb) = block_of.get(t.as_str()) else {
-                continue;
-            };
-            let consumers: Vec<String> = edges
-                .iter()
-                .filter(|(p, _)| *p == t)
-                .map(|(_, c)| c.clone())
-                .collect();
-            if !consumers.is_empty()
-                && consumers
-                    .iter()
-                    .all(|c| block_of.get(c.as_str()) == Some(&pb))
-            {
-                on_chip.insert(t);
-            }
-        }
-
-        Ok(Simulator {
+        Ok(Simulator::from_compiled(Arc::new(CompiledPlan::compile(
             spec,
-            plans,
-            blocks,
+        )?)))
+    }
+
+    /// Wraps an already-compiled plan — the cheap constructor the staged
+    /// pipeline uses: compilation happens once
+    /// ([`EvalContext::compiled`]), execution state many times.
+    pub fn from_compiled(compiled: Arc<CompiledPlan>) -> Self {
+        Simulator {
+            compiled,
             ops: OpTable::arithmetic(),
             extent_overrides: BTreeMap::new(),
             energy: EnergyTable::default(),
-            on_chip,
             threads: default_threads(),
-        })
+            context: None,
+        }
+    }
+
+    /// Attaches shared pipeline caches: input transforms route through
+    /// the context's [`TransformCache`](teaal_fibertree::TransformCache)
+    /// and [`Simulator::run_data_cached`] can reuse whole reports.
+    /// Results are bit-identical with or without a context.
+    pub fn with_context(mut self, context: Arc<EvalContext>) -> Self {
+        self.context = Some(context);
+        self
     }
 
     /// Replaces the operator table (e.g. [`OpTable::sssp`] for graph
@@ -163,27 +156,54 @@ impl Simulator {
 
     /// The lowered plans (for inspection and tests).
     pub fn plans(&self) -> &[EinsumPlan] {
-        &self.plans
+        self.compiled.plans()
     }
 
     /// The inferred fusion blocks.
     pub fn blocks(&self) -> &[EinsumBlock] {
-        &self.blocks
+        self.compiled.blocks()
     }
 
     /// The specification.
     pub fn spec(&self) -> &TeaalSpec {
-        &self.spec
+        self.compiled.spec()
+    }
+
+    /// The shared compiled plan.
+    pub fn compiled(&self) -> &Arc<CompiledPlan> {
+        &self.compiled
     }
 
     /// Intermediates kept on-chip by fusion (no DRAM traffic).
     pub(crate) fn on_chip_set(&self) -> &std::collections::BTreeSet<String> {
-        &self.on_chip
+        self.compiled.on_chip()
     }
 
     /// The declared extent overrides.
     pub(crate) fn extent_overrides(&self) -> &BTreeMap<String, u64> {
         &self.extent_overrides
+    }
+
+    /// Whether `component` is an explicitly-managed (buffet-class) buffer
+    /// that data can be pinned in.
+    pub(crate) fn is_pinnable_buffet(
+        &self,
+        binding: &teaal_core::spec::EinsumBinding,
+        component: &str,
+    ) -> bool {
+        self.compiled.is_pinnable_buffet(binding, component)
+    }
+
+    /// Resolves the intersection policy for an Einsum (precomputed at
+    /// compile time).
+    pub(crate) fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
+        self.compiled.policy_for(plan)
+    }
+
+    /// A fresh instrumentation set for one Einsum execution (cloned from
+    /// the compile-time template).
+    pub(crate) fn build_instruments(&self, plan: &EinsumPlan) -> Instruments {
+        self.compiled.instruments_for(plan)
     }
 
     /// Runs the cascade on the given input tensors (matched by name).
@@ -221,6 +241,33 @@ impl Simulator {
         self.run_impl(inputs, false)
     }
 
+    /// [`Simulator::run_data`] behind the report cache: with a context
+    /// attached, a repeated evaluation of the same `(plan, operator
+    /// table, extents, energy, inputs)` returns the shared report
+    /// without executing anything. Without a context this is exactly
+    /// `run_data` in an [`Arc`].
+    ///
+    /// The cache key deliberately excludes the thread count — parallel
+    /// execution is pinned bit-identical to sequential, so any `n` may
+    /// serve any other's report. Keying hashes every input's content
+    /// (one O(nnz) walk per input per call), so this entry point is for
+    /// request-level reuse (`teaal batch`, services), not inner loops.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::run_data`] (errors are never cached).
+    pub fn run_data_cached(&self, inputs: &[&TensorData]) -> Result<Arc<SimReport>, SimError> {
+        let Some(ctx) = self.context.clone() else {
+            return self.run_data(inputs).map(Arc::new);
+        };
+        let key = self.report_key(inputs);
+        if let Some(report) = ctx.cached_report(key) {
+            return Ok(report);
+        }
+        let report = self.run_data(inputs)?;
+        Ok(ctx.store_report(key, Arc::new(report)))
+    }
+
     /// Runs the cascade end-to-end in compressed storage: outputs (and
     /// therefore intermediates) are assembled through a streaming
     /// [`CompressedBuilder`](teaal_fibertree::CompressedBuilder) instead
@@ -242,7 +289,49 @@ impl Simulator {
         self.run_impl(inputs, true)
     }
 
+    /// The content key [`Simulator::run_data_cached`] stores reports
+    /// under: plan hash, operator-table identity, extent overrides,
+    /// energy table bits, and every input's content hash (name-sorted —
+    /// input order never affects results).
+    fn report_key(&self, inputs: &[&TensorData]) -> u64 {
+        let mut h = teaal_core::canon::Fnv1a::new();
+        h.write_str("sim-report-v1");
+        h.write_u64(self.compiled.spec_hash());
+        h.write_str(self.ops.semiring.name());
+        // Closures without captures coerce to unique fn items: the
+        // pointer identifies the `-` interpretation within this process
+        // (the cache is process-local, like every other stage).
+        h.write_u64(self.ops.sub as usize as u64);
+        h.write_u64(u64::from(self.ops.exact_add));
+        for (rank, extent) in &self.extent_overrides {
+            h.write_str(rank);
+            h.write_u64(*extent);
+        }
+        for v in [
+            self.energy.dram_pj_per_bit,
+            self.energy.buffer_pj_per_bit,
+            self.energy.mul_pj,
+            self.energy.add_pj,
+            self.energy.intersect_pj,
+            self.energy.merge_pj_per_elem,
+        ] {
+            h.write_f64(v);
+        }
+        let mut input_keys: Vec<(String, u64)> = inputs
+            .iter()
+            .map(|t| (t.name().to_string(), t.content_hash()))
+            .collect();
+        input_keys.sort();
+        h.write_u64(input_keys.len() as u64);
+        for (name, content) in input_keys {
+            h.write_str(&name);
+            h.write_u64(content);
+        }
+        h.finish()
+    }
+
     fn run_impl(&self, inputs: &[&TensorData], compressed: bool) -> Result<SimReport, SimError> {
+        let plans = self.compiled.plans();
         // Rank extents from input shapes plus overrides.
         let mut base_extents: BTreeMap<String, u64> = BTreeMap::new();
         for t in inputs {
@@ -261,7 +350,7 @@ impl Simulator {
         // its sequential position would — outputs and learned extents of
         // plans *before* it, in plan order — so reports are bit-identical
         // to the sequential schedule.
-        let n = self.plans.len();
+        let n = plans.len();
         let deps = self.plan_dependencies(&base_extents);
         let mut outputs: Vec<Option<TensorData>> = (0..n).map(|_| None).collect();
         let mut stats: Vec<Option<EinsumStats>> = (0..n).map(|_| None).collect();
@@ -273,7 +362,7 @@ impl Simulator {
             debug_assert!(!wave.is_empty(), "intra-cascade dependencies are acyclic");
 
             let run_one = |i: usize| -> Result<(Instruments, TensorData), SimError> {
-                let plan = &self.plans[i];
+                let plan = &plans[i];
                 // Extents as the sequential run would know them here:
                 // base extents plus those learned from earlier outputs,
                 // first introduction winning in plan order.
@@ -287,8 +376,11 @@ impl Simulator {
                 }
                 let mut instruments = self.build_instruments(plan);
                 let policy = self.intersect_policy(plan);
-                let engine =
+                let mut engine =
                     Engine::new(plan, self.ops, policy, extents).with_threads(self.threads);
+                if let Some(ctx) = &self.context {
+                    engine = engine.with_transform_cache(Arc::clone(ctx.transforms()));
+                }
                 let mut boundaries = BoundaryCache::new();
                 // Later entries shadow earlier ones, so intermediates win
                 // over same-named inputs (as the cascade requires).
@@ -320,7 +412,7 @@ impl Simulator {
 
             for (&i, res) in wave.iter().zip(results) {
                 let (instruments, output) = res?;
-                stats[i] = Some(self.collect_stats(&self.plans[i], &instruments, &output));
+                stats[i] = Some(self.collect_stats(&plans[i], &instruments, &output));
                 outputs[i] = Some(output);
                 remaining -= 1;
             }
@@ -345,10 +437,11 @@ impl Simulator {
     /// learned-extent (an earlier output introduces an extent for a rank
     /// this plan references that no input tensor declares).
     fn plan_dependencies(&self, known_extents: &BTreeMap<String, u64>) -> Vec<Vec<usize>> {
-        let n = self.plans.len();
+        let plans = self.compiled.plans();
+        let n = plans.len();
         let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
         for (j, dj) in deps.iter_mut().enumerate().take(n) {
-            let pj = &self.plans[j];
+            let pj = &plans[j];
             let reads: std::collections::BTreeSet<&str> = pj
                 .tensor_plans
                 .iter()
@@ -362,8 +455,7 @@ impl Simulator {
                     refs.insert(r.as_str());
                 }
             }
-            for i in 0..j {
-                let pi = &self.plans[i];
+            for (i, pi) in plans.iter().enumerate().take(j) {
                 let data = reads.contains(pi.output.tensor.as_str());
                 let waw = pi.output.tensor == pj.output.tensor;
                 let extent = pi.output.target_order.iter().any(|r| {
@@ -379,176 +471,23 @@ impl Simulator {
         deps
     }
 
-    /// Whether `component` is an explicitly-managed (buffet-class) buffer
-    /// that data can be pinned in.
-    pub(crate) fn is_pinnable_buffet(
-        &self,
-        binding: &teaal_core::spec::EinsumBinding,
-        component: &str,
-    ) -> bool {
-        self.spec
-            .architecture
-            .config(binding.arch_config.as_deref())
-            .and_then(|a| a.find(component))
-            .map(|(c, _)| {
-                matches!(
-                    c.class,
-                    ComponentClass::Buffer {
-                        kind: BufferKind::Buffet,
-                        ..
-                    }
-                )
-            })
-            .unwrap_or(false)
-    }
-
-    /// Resolves the intersection policy for an Einsum: its bound
-    /// intersection unit if the binding names one, otherwise the first
-    /// intersection unit in the architecture configuration.
-    pub(crate) fn intersect_policy(&self, plan: &EinsumPlan) -> IntersectPolicy {
-        let binding = self.spec.binding.for_einsum(plan.equation.name());
-        if let Some(cfg) = self
-            .spec
-            .architecture
-            .config(binding.arch_config.as_deref())
-        {
-            for ib in &binding.intersects {
-                if let Some((c, _)) = cfg.find(&ib.component) {
-                    if let ComponentClass::Intersect { policy } = &c.class {
-                        return *policy;
-                    }
-                }
-            }
-            for (c, _) in cfg.all_components() {
-                if let ComponentClass::Intersect { policy } = &c.class {
-                    return *policy;
-                }
-            }
-        }
-        IntersectPolicy::TwoFinger
-    }
-
-    /// Builds the instrumentation channels for one Einsum from the
-    /// binding + format specifications.
-    pub(crate) fn build_instruments(&self, plan: &EinsumPlan) -> Instruments {
-        let name = plan.equation.name();
-        let binding = self.spec.binding.for_einsum(name);
-        let mut instruments = Instruments::default();
-
-        for tp in &plan.tensor_plans {
-            let declared = self.spec.rank_order_of(&tp.tensor).unwrap_or_default();
-            let storage = binding.storage_for(&tp.tensor);
-            let fmt_config = storage.iter().find_map(|s| s.config.clone());
-            let fmt =
-                self.spec
-                    .format
-                    .config_or_default(&tp.tensor, fmt_config.as_deref(), &declared);
-
-            // Per-working-rank element bits: bottom ranks cost their
-            // concrete element; upper partition ranks are bookkeeping.
-            let mut rank_bits = Vec::new();
-            for w in &tp.working_order {
-                let bits = match plan.rank_space.def(w) {
-                    Some(teaal_core::ir::RankDef::Split { level, .. }) if *level > 0 => 0,
-                    _ => {
-                        let roots = plan.rank_space.roots_of(w);
-                        let concrete = roots.last().cloned().unwrap_or_else(|| w.clone());
-                        fmt.element_bits(&concrete)
-                    }
-                };
-                rank_bits.push((w.clone(), bits));
-            }
-
-            let mut cfg = ChannelCfg::fully_buffered(rank_bits);
-            if self.on_chip.contains(&tp.tensor) {
-                cfg.dram_backed = false;
-            }
-            // A tensor bound exclusively to explicitly-managed on-chip
-            // storage with no eviction policy is *pinned* there (e.g.
-            // Graphicionado's temp property array in eDRAM): it never
-            // generates DRAM traffic. Buffets with `evict-on` stream from
-            // DRAM, and caches miss to DRAM, so both stay DRAM-backed.
-            if !storage.is_empty()
-                && storage.iter().all(|s| {
-                    s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component)
-                })
-            {
-                cfg.dram_backed = false;
-            }
-            for s in &storage {
-                if let Some(arch) = self
-                    .spec
-                    .architecture
-                    .config(binding.arch_config.as_deref())
-                {
-                    if let Some((comp, _)) = arch.find(&s.component) {
-                        match &comp.class {
-                            ComponentClass::Buffer {
-                                kind, width, depth, ..
-                            } => match kind {
-                                BufferKind::Cache => {
-                                    let line_bits = (*width).max(64);
-                                    let lines = ((width * depth) / line_bits).max(1) as usize;
-                                    cfg.cache_lines = Some(lines);
-                                    cfg.line_bits = line_bits;
-                                }
-                                BufferKind::Buffet => {
-                                    cfg.evict_on = s.evict_on.clone();
-                                }
-                            },
-                            ComponentClass::Dram { .. } => {
-                                cfg.dram_backed = true;
-                            }
-                            _ => {}
-                        }
-                    }
-                }
-                if s.style == BindStyle::Eager {
-                    // Map the bound storage rank to the working rank that
-                    // covers it.
-                    let er = tp
-                        .working_order
-                        .iter()
-                        .find(|w| *w == &s.rank || plan.rank_space.roots_of(w).contains(&s.rank))
-                        .cloned();
-                    cfg.eager_rank = er.or(Some(s.rank.clone()));
-                }
-            }
-            instruments.add_tensor(&tp.tensor, cfg);
-        }
-
-        // Output channel.
-        let out_declared = plan.output.target_order.clone();
-        let out_fmt = self
-            .spec
-            .format
-            .config_or_default(name, None, &out_declared);
-        let leaf_rank = out_declared.last().cloned().unwrap_or_default();
-        let elem_bits = out_fmt.element_bits(&leaf_rank);
-        let evict = binding
-            .storage_for(name)
-            .iter()
-            .find_map(|s| s.evict_on.clone());
-        instruments.output = crate::counters::OutputChannel::new(elem_bits, evict);
-        instruments
-    }
-
     fn collect_stats(
         &self,
         plan: &EinsumPlan,
         instruments: &Instruments,
         output: &TensorData,
     ) -> EinsumStats {
+        let spec = self.compiled.spec();
         let name = plan.equation.name().to_string();
         let declared = plan.output.target_order.clone();
-        let out_fmt = self.spec.format.config_or_default(&name, None, &declared);
-        let binding = self.spec.binding.for_einsum(&name);
+        let out_fmt = spec.format.config_or_default(&name, None, &declared);
+        let binding = spec.binding.for_einsum(&name);
         let own_storage = binding.storage_for(&name);
         let output_pinned = !own_storage.is_empty()
             && own_storage
                 .iter()
                 .all(|s| s.evict_on.is_none() && self.is_pinnable_buffet(&binding, &s.component));
-        let output_write_bytes = if self.on_chip.contains(&name) || output_pinned {
+        let output_write_bytes = if self.on_chip_set().contains(&name) || output_pinned {
             0
         } else {
             out_fmt.footprint_bytes_data(output)
@@ -585,12 +524,13 @@ impl Simulator {
     }
 
     pub(crate) fn analyze_time(&self, report: &mut SimReport) -> Result<(), SimError> {
-        let clock = if self.spec.architecture.clock_hz > 0.0 {
-            self.spec.architecture.clock_hz
+        let spec = self.compiled.spec();
+        let clock = if spec.architecture.clock_hz > 0.0 {
+            spec.architecture.clock_hz
         } else {
             1e9
         };
-        for block in &self.blocks {
+        for block in self.compiled.blocks() {
             let mut bs = BlockStats::default();
             let mut dram_bytes = 0u64;
             let mut buffer_bytes = 0u64;
@@ -617,16 +557,11 @@ impl Simulator {
                 visits += stats.loop_visits.values().sum::<u64>();
                 merge_elems.extend(stats.merges.iter().map(|g| (g.elems, g.ways)));
                 if binding_cfg.is_none() {
-                    binding_cfg = self
-                        .spec
-                        .binding
-                        .for_einsum(&stats.einsum)
-                        .arch_config
-                        .clone();
+                    binding_cfg = spec.binding.for_einsum(&stats.einsum).arch_config.clone();
                 }
             }
 
-            let arch = self.spec.architecture.config(binding_cfg.as_deref());
+            let arch = spec.architecture.config(binding_cfg.as_deref());
 
             // DRAM time.
             let dram_bw = arch

@@ -1,0 +1,229 @@
+//! The staged evaluation pipeline's shared context.
+//!
+//! Evaluation proceeds through explicit stages, each with a
+//! content-addressed cache boundary:
+//!
+//! ```text
+//! SpecSource ──parse──▶ ParsedSpec ──compile──▶ LoweredPlan
+//!     │ source_hash         │ spec_hash            │
+//!     ▼                     ▼                      ▼
+//! PreparedInputs ──execute──▶ SimReport
+//!     (tensor hash, transform chain)   (plan, ops, inputs)
+//! ```
+//!
+//! An [`EvalContext`] owns one cache per stage and is shared behind an
+//! [`Arc`] by every consumer — the CLI's `batch` subcommand, the mapper
+//! ([`explore_fast_with_context`](crate::explore::explore_fast_with_context)),
+//! and the graph driver. All caches are keyed by stable FNV-1a content
+//! hashes ([`teaal_core::canon`]), so artifacts are shared across
+//! requests, candidates, and threads without any identity bookkeeping,
+//! and every lookup feeds the process-wide
+//! [`telemetry`] registry (`--cache-stats`).
+//!
+//! Caching never changes results: a warm-cache evaluation is bit-identical
+//! to a cold one (instruments, time/energy, outputs), pinned by the
+//! `pipeline_cache` integration suite.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use teaal_core::canon;
+use teaal_core::TeaalSpec;
+use teaal_fibertree::stats::StatsCache;
+use teaal_fibertree::telemetry;
+use teaal_fibertree::TransformCache;
+
+use crate::compile::CompiledPlan;
+use crate::error::SimError;
+use crate::model::Simulator;
+use crate::report::SimReport;
+
+/// Shared caches for every stage of the evaluation pipeline.
+///
+/// Create one per dataset/session with [`EvalContext::new`] and attach
+/// it to simulators via [`Simulator::with_context`] (or let
+/// [`EvalContext::simulator`] do both). Thread-safe; share the `Arc`
+/// freely.
+#[derive(Default)]
+pub struct EvalContext {
+    /// `source_hash → ParsedSpec`.
+    specs: Mutex<HashMap<u64, Arc<TeaalSpec>>>,
+    /// `spec_hash → LoweredPlan`.
+    plans: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
+    /// `(plan, ops, extents, energy, inputs) → SimReport`.
+    reports: Mutex<HashMap<u64, Arc<SimReport>>>,
+    /// `(tensor hash, transform chain) → PreparedInputs`.
+    transforms: Arc<TransformCache>,
+    /// Memoized per-tensor statistics for the analytical estimator.
+    stats: Arc<StatsCache>,
+}
+
+impl std::fmt::Debug for EvalContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvalContext")
+            .field("specs", &self.specs.lock().map(|m| m.len()).unwrap_or(0))
+            .field("plans", &self.plans.lock().map(|m| m.len()).unwrap_or(0))
+            .field(
+                "reports",
+                &self.reports.lock().map(|m| m.len()).unwrap_or(0),
+            )
+            .field("transforms", &self.transforms.len())
+            .finish()
+    }
+}
+
+impl EvalContext {
+    /// Creates an empty context behind the `Arc` every consumer shares.
+    pub fn new() -> Arc<Self> {
+        Arc::new(EvalContext::default())
+    }
+
+    /// Parses specification source, cached by
+    /// [`canon::source_hash`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] when parsing fails (never cached).
+    pub fn parse(&self, source: &str) -> Result<Arc<TeaalSpec>, SimError> {
+        let key = canon::source_hash(source);
+        if let Some(spec) = self.specs.lock().expect("spec cache poisoned").get(&key) {
+            telemetry::spec_cache_stats().hit();
+            return Ok(Arc::clone(spec));
+        }
+        let spec = Arc::new(TeaalSpec::parse(source)?);
+        telemetry::spec_cache_stats().miss(source.len() as u64);
+        Ok(self
+            .specs
+            .lock()
+            .expect("spec cache poisoned")
+            .entry(key)
+            .or_insert(spec)
+            .clone())
+    }
+
+    /// Compiles a specification, cached by [`canon::spec_hash`] — two
+    /// sources that parse to the same specification share one compiled
+    /// plan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] when lowering fails (never cached).
+    pub fn compiled(&self, spec: &TeaalSpec) -> Result<Arc<CompiledPlan>, SimError> {
+        let key = canon::spec_hash(spec);
+        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+            telemetry::plan_cache_stats().hit();
+            return Ok(Arc::clone(plan));
+        }
+        let plan = Arc::new(CompiledPlan::compile(spec.clone())?);
+        telemetry::plan_cache_stats().miss(plan.approx_bytes());
+        Ok(self
+            .plans
+            .lock()
+            .expect("plan cache poisoned")
+            .entry(key)
+            .or_insert(plan)
+            .clone())
+    }
+
+    /// A simulator over the (cached) compiled plan for `spec`, with this
+    /// context attached so execution shares the transform and report
+    /// caches.
+    ///
+    /// # Errors
+    ///
+    /// As [`EvalContext::compiled`].
+    pub fn simulator(self: &Arc<Self>, spec: &TeaalSpec) -> Result<Simulator, SimError> {
+        Ok(Simulator::from_compiled(self.compiled(spec)?).with_context(Arc::clone(self)))
+    }
+
+    /// The shared transformed-input cache.
+    pub fn transforms(&self) -> &Arc<TransformCache> {
+        &self.transforms
+    }
+
+    /// The shared per-tensor statistics cache (analytical estimator).
+    pub fn stats(&self) -> &Arc<StatsCache> {
+        &self.stats
+    }
+
+    /// Number of distinct compiled plans cached.
+    pub fn compiled_len(&self) -> usize {
+        self.plans.lock().expect("plan cache poisoned").len()
+    }
+
+    pub(crate) fn cached_report(&self, key: u64) -> Option<Arc<SimReport>> {
+        let hit = self
+            .reports
+            .lock()
+            .expect("report cache poisoned")
+            .get(&key)
+            .cloned();
+        if hit.is_some() {
+            telemetry::report_cache_stats().hit();
+        }
+        hit
+    }
+
+    pub(crate) fn store_report(&self, key: u64, report: Arc<SimReport>) -> Arc<SimReport> {
+        let bytes: u64 = report
+            .outputs
+            .values()
+            .map(|t| (t.nnz() as u64) * (8 + 8 * t.order() as u64))
+            .sum::<u64>()
+            + 256;
+        telemetry::report_cache_stats().miss(bytes);
+        self.reports
+            .lock()
+            .expect("report cache poisoned")
+            .entry(key)
+            .or_insert(report)
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPMSPM: &str = concat!(
+        "einsum:\n",
+        "  declaration:\n",
+        "    A: [K, M]\n",
+        "    B: [K, N]\n",
+        "    Z: [M, N]\n",
+        "  expressions:\n",
+        "    - Z[m, n] = A[k, m] * B[k, n]\n",
+    );
+
+    #[test]
+    fn parse_is_cached_by_source_hash() {
+        let ctx = EvalContext::new();
+        let a = ctx.parse(SPMSPM).unwrap();
+        let b = ctx.parse(SPMSPM).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn compile_is_cached_by_spec_hash_across_formatting() {
+        let ctx = EvalContext::new();
+        let a = ctx.parse(SPMSPM).unwrap();
+        // A comment changes the source hash but not the parsed spec, so
+        // the compiled plan is shared.
+        let commented = format!("# cosmetic\n{SPMSPM}");
+        let b = ctx.parse(&commented).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        let pa = ctx.compiled(&a).unwrap();
+        let pb = ctx.compiled(&b).unwrap();
+        assert!(Arc::ptr_eq(&pa, &pb));
+        assert_eq!(ctx.compiled_len(), 1);
+    }
+
+    #[test]
+    fn parse_errors_are_not_cached() {
+        let ctx = EvalContext::new();
+        assert!(ctx.parse("einsum: [not, a, spec]").is_err());
+        // A second attempt re-parses (and fails again) rather than
+        // returning a poisoned artifact.
+        assert!(ctx.parse("einsum: [not, a, spec]").is_err());
+    }
+}

@@ -5,6 +5,8 @@
 //! teaal run     <spec.yaml> [options]      # execute and print the report
 //! teaal output  <spec.yaml> [options]      # execute and print result tensors
 //! teaal explore <spec.yaml> [options]      # search loop orders for an einsum
+//! teaal batch   <requests.yaml> [options]  # evaluate many mapping requests
+//!                                          # against one loaded dataset
 //!
 //! options:
 //!   --tensor NAME=FILE     load an input tensor (see workloads::io format)
@@ -15,6 +17,8 @@
 //!   --threads N            worker cap for parallel simulation (default:
 //!                          TEAAL_THREADS or 1); results are bit-identical
 //!                          for every N
+//!   --cache-stats          print pipeline cache statistics (hits, misses,
+//!                          approximate bytes) to stderr on exit
 //!
 //! explore options:
 //!   --einsum NAME          einsum to search (default: the last in the spec)
@@ -26,13 +30,40 @@
 //!   --top-k N              engine-verified survivors with --fast (default 12)
 //!   --margin F             estimate safety margin with --fast (default 1.5)
 //! ```
+//!
+//! ## `teaal batch`
+//!
+//! The requests file is a YAML list; each request names a spec and may
+//! override the loop order and operator table:
+//!
+//! ```text
+//! - spec: catalog/spmspm.yaml
+//! - spec: catalog/gamma_em.yaml
+//!   label: gamma-swapped
+//!   loop-order:
+//!     Z: [K, M, N]
+//! ```
+//!
+//! Input tensors are loaded once and shared by every request; parsing,
+//! compilation, input transforms, and whole reports flow through one
+//! content-addressed [`EvalContext`], so duplicate work across requests
+//! is cached. Requests fan out across `--threads` workers (each request
+//! simulates sequentially). Per request, stdout carries a
+//! `# --- request I (LABEL) ---` header followed by exactly the report
+//! `teaal run` would print — `grep -v '^#'` recovers the byte-identical
+//! concatenation of the per-request runs.
 
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
 
+use teaal::fibertree::telemetry;
 use teaal::prelude::*;
-use teaal::sim::{explore_fast, explore_loop_orders_with_threads, Candidate, Objective};
+use teaal::sim::{
+    explore_fast_with_context, explore_loop_orders_with_context, Candidate, EvalContext, Objective,
+};
 use teaal::workloads::{genmat, io as tio};
 
 fn main() -> ExitCode {
@@ -42,9 +73,12 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
-            eprintln!("usage: teaal <check|run|output|explore> <spec.yaml> [--tensor NAME=FILE]");
+            eprintln!(
+                "usage: teaal <check|run|output|explore|batch> <spec.yaml> [--tensor NAME=FILE]"
+            );
             eprintln!("             [--random NAME=RxC:NNZ] [--extent RANK=N]");
             eprintln!("             [--ops sssp|arithmetic] [--seed N] [--threads N]");
+            eprintln!("             [--cache-stats]");
             eprintln!("             [--einsum NAME] [--fast] [--objective time|energy|traffic]");
             eprintln!("             [--budget N] [--top-k N] [--margin F]");
             ExitCode::FAILURE
@@ -52,22 +86,148 @@ fn main() -> ExitCode {
     }
 }
 
+/// One request of a `teaal batch` file.
+struct BatchRequest {
+    spec_path: String,
+    label: Option<String>,
+    ops: Option<OpTable>,
+    /// Per-einsum loop-order overrides, applied to a clone of the spec.
+    loop_order: Vec<(String, Vec<String>)>,
+}
+
+fn parse_ops(name: &str) -> Result<OpTable, String> {
+    match name {
+        "sssp" | "bfs" => Ok(OpTable::sssp()),
+        "arithmetic" => Ok(OpTable::arithmetic()),
+        other => Err(format!("unknown op table {other:?}")),
+    }
+}
+
+/// Parses the `teaal batch` requests file (a small YAML subset: a list of
+/// flat maps, plus one nested `loop-order` map of `Einsum: [R1, R2, …]`
+/// entries).
+fn parse_requests(text: &str) -> Result<Vec<BatchRequest>, String> {
+    let mut requests: Vec<BatchRequest> = Vec::new();
+    let mut in_loop_order = false;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim_end();
+        let stripped = line.trim_start();
+        if stripped.is_empty() || stripped.starts_with('#') {
+            continue;
+        }
+        let err = |m: String| format!("requests file line {}: {m}", ln + 1);
+        let (is_item, body) = match stripped.strip_prefix("- ") {
+            Some(rest) => (true, rest),
+            None => (false, stripped),
+        };
+        if is_item {
+            in_loop_order = false;
+            requests.push(BatchRequest {
+                spec_path: String::new(),
+                label: None,
+                ops: None,
+                loop_order: Vec::new(),
+            });
+        }
+        let req = requests
+            .last_mut()
+            .ok_or_else(|| err("expected the first request to start with '- spec: …'".into()))?;
+        let (key, value) = body
+            .split_once(':')
+            .ok_or_else(|| err(format!("expected 'key: value', got {body:?}")))?;
+        let (key, value) = (key.trim(), value.trim());
+        let indent = line.len() - stripped.len();
+        if in_loop_order && !is_item && indent >= 4 {
+            let list = value
+                .strip_prefix('[')
+                .and_then(|s| s.strip_suffix(']'))
+                .ok_or_else(|| err(format!("loop-order entry {key} needs '[R1, R2, …]'")))?;
+            let ranks: Vec<String> = list
+                .split(',')
+                .map(|s| s.trim().to_string())
+                .filter(|s| !s.is_empty())
+                .collect();
+            req.loop_order.push((key.to_string(), ranks));
+            continue;
+        }
+        in_loop_order = false;
+        match key {
+            "spec" => req.spec_path = value.to_string(),
+            "label" => req.label = Some(value.to_string()),
+            "ops" => req.ops = Some(parse_ops(value).map_err(err)?),
+            "loop-order" if value.is_empty() => in_loop_order = true,
+            other => return Err(err(format!("unknown request field {other:?}"))),
+        }
+    }
+    for (i, r) in requests.iter().enumerate() {
+        if r.spec_path.is_empty() {
+            return Err(format!("request {i} has no 'spec:' field"));
+        }
+    }
+    if requests.is_empty() {
+        return Err("requests file contains no requests".into());
+    }
+    Ok(requests)
+}
+
+/// Prints the process-wide pipeline cache statistics (`--cache-stats`) to
+/// stderr, one line per stage cache.
+fn print_cache_stats() {
+    let stats = [
+        ("spec", telemetry::spec_cache_stats().snapshot()),
+        ("plan", telemetry::plan_cache_stats().snapshot()),
+        ("transform", telemetry::transform_cache_stats().snapshot()),
+        ("report", telemetry::report_cache_stats().snapshot()),
+    ];
+    for (stage, s) in stats {
+        eprintln!(
+            "cache-stats: {stage:<9} hits={} misses={} bytes={}",
+            s.hits, s.misses, s.bytes
+        );
+    }
+    eprintln!(
+        "cache-stats: transform chains executed={}",
+        telemetry::transform_exec_count()
+    );
+}
+
 fn run(args: &[String]) -> Result<(), String> {
     let command = args.get(1).ok_or("missing command")?.as_str();
-    if !matches!(command, "check" | "run" | "output" | "explore") {
+    if !matches!(command, "check" | "run" | "output" | "explore" | "batch") {
         return Err(format!("unknown command {command}"));
     }
     let spec_path = args.get(2).ok_or("missing spec path")?;
     let source =
         std::fs::read_to_string(spec_path).map_err(|e| format!("reading {spec_path}: {e}"))?;
-    let spec = TeaalSpec::parse(&source).map_err(|e| e.to_string())?;
+
+    // Every subcommand evaluates through one staged-pipeline context:
+    // SpecSource → ParsedSpec → LoweredPlan → PreparedInputs → SimReport,
+    // each stage cached by content hash.
+    let ctx = EvalContext::new();
+    let requests: Vec<BatchRequest> = if command == "batch" {
+        parse_requests(&source)?
+    } else {
+        Vec::new()
+    };
+    let specs: Vec<Arc<TeaalSpec>> = if command == "batch" {
+        let mut specs = Vec::new();
+        for r in &requests {
+            let src = std::fs::read_to_string(&r.spec_path)
+                .map_err(|e| format!("reading {}: {e}", r.spec_path))?;
+            specs.push(ctx.parse(&src).map_err(|e| e.to_string())?);
+        }
+        specs
+    } else {
+        vec![ctx.parse(&source).map_err(|e| e.to_string())?]
+    };
 
     if command == "check" {
-        let plans = teaal::core::ir::lower(&spec).map_err(|e| e.to_string())?;
+        let spec = &specs[0];
+        let plans = teaal::core::ir::lower(spec).map_err(|e| e.to_string())?;
         println!(
             "spec OK: {} einsum(s), {} block(s) after fusion",
             plans.len(),
-            { teaal::core::ir::infer_blocks(&spec, &plans).len() }
+            { teaal::core::ir::infer_blocks(spec, &plans).len() }
         );
         for p in &plans {
             let loops: Vec<&str> = p.loop_ranks.iter().map(|l| l.name.as_str()).collect();
@@ -76,12 +236,16 @@ fn run(args: &[String]) -> Result<(), String> {
         return Ok(());
     }
 
-    // Collect options.
+    // Collect options. With `batch`, --random rank orders resolve against
+    // the first request spec declaring the tensor.
+    let rank_order_of =
+        |name: &str| -> Option<Vec<String>> { specs.iter().find_map(|s| s.rank_order_of(name)) };
     let mut tensors: Vec<Tensor> = Vec::new();
     let mut extents: Vec<(String, u64)> = Vec::new();
     let mut ops = OpTable::arithmetic();
     let mut seed = 0u64;
     let mut threads = teaal::sim::default_threads();
+    let mut cache_stats = false;
     let mut einsum: Option<String> = None;
     let mut fast = false;
     let mut explore_cfg = teaal::sim::ExploreConfig::default();
@@ -101,9 +265,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 let (name, dims) = kv.split_once('=').ok_or("--random needs NAME=RxC:NNZ")?;
                 let (shape, nnz) = dims.split_once(':').ok_or("--random needs RxC:NNZ")?;
                 let (r, c) = shape.split_once('x').ok_or("--random needs RxC:NNZ")?;
-                let rank_ids = spec
-                    .rank_order_of(name)
-                    .ok_or_else(|| format!("tensor {name} not declared in the spec"))?;
+                let rank_ids = rank_order_of(name)
+                    .ok_or_else(|| format!("tensor {name} not declared in any spec"))?;
                 if rank_ids.len() != 2 {
                     return Err("--random only generates 2-tensors".into());
                 }
@@ -125,11 +288,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 i += 2;
             }
             "--ops" => {
-                ops = match args.get(i + 1).map(String::as_str) {
-                    Some("sssp") | Some("bfs") => OpTable::sssp(),
-                    Some("arithmetic") => OpTable::arithmetic(),
-                    other => return Err(format!("unknown op table {other:?}")),
-                };
+                let name = args.get(i + 1).ok_or("--ops needs a table name")?;
+                ops = parse_ops(name)?;
                 i += 2;
             }
             "--seed" => {
@@ -146,6 +306,10 @@ fn run(args: &[String]) -> Result<(), String> {
                     .filter(|&n: &usize| n >= 1)
                     .ok_or("--threads needs a positive integer")?;
                 i += 2;
+            }
+            "--cache-stats" => {
+                cache_stats = true;
+                i += 1;
             }
             "--einsum" => {
                 einsum = Some(args.get(i + 1).ok_or("--einsum needs a name")?.clone());
@@ -192,82 +356,199 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
-    if command == "explore" {
-        if !extents.is_empty() {
-            return Err("explore does not support --extent (extents come from inputs)".into());
+    let result = match command {
+        "explore" => run_explore(
+            &ctx,
+            &specs[0],
+            &tensors,
+            &extents,
+            ops,
+            threads,
+            einsum,
+            fast,
+            explore_cfg,
+        ),
+        "batch" => run_batch(&ctx, &requests, &specs, &tensors, &extents, ops, threads),
+        _ => {
+            let mut sim = ctx
+                .simulator(&specs[0])
+                .map_err(|e| e.to_string())?
+                .with_ops(ops)
+                .with_threads(threads);
+            for (rank, n) in &extents {
+                sim = sim.with_rank_extent(rank, *n);
+            }
+            let report = sim.run(&tensors).map_err(|e| e.to_string())?;
+            match command {
+                "run" => println!("{report}"),
+                "output" => {
+                    for (name, tensor) in &report.outputs {
+                        println!("# --- {name} ---");
+                        tio::write_tensor_data(std::io::stdout().lock(), tensor)
+                            .map_err(|e| e.to_string())?;
+                    }
+                }
+                other => return Err(format!("unknown command {other}")),
+            }
+            Ok(())
         }
-        let target = match einsum {
-            Some(name) => name,
-            None => {
-                let plans = teaal::core::ir::lower(&spec).map_err(|e| e.to_string())?;
-                plans
-                    .last()
-                    .map(|p| p.equation.name().to_string())
-                    .ok_or("spec has no einsums")?
-            }
-        };
-        explore_cfg.threads = threads;
-        let print_top = |cands: &[Candidate]| {
-            for (idx, c) in cands.iter().take(8).enumerate() {
-                println!(
-                    "  {}. [{}]  time {:.4e}s  energy {:.4e}J  dram {}B",
-                    idx + 1,
-                    c.loop_order.join(", "),
-                    c.seconds,
-                    c.energy_joules,
-                    c.dram_bytes,
-                );
-            }
-        };
-        if fast {
-            let out = explore_fast(&spec, &target, &tensors, ops, &explore_cfg)
-                .map_err(|e| e.to_string())?;
+    };
+    if cache_stats {
+        print_cache_stats();
+    }
+    result
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_explore(
+    ctx: &Arc<EvalContext>,
+    spec: &TeaalSpec,
+    tensors: &[Tensor],
+    extents: &[(String, u64)],
+    ops: OpTable,
+    threads: usize,
+    einsum: Option<String>,
+    fast: bool,
+    mut explore_cfg: teaal::sim::ExploreConfig,
+) -> Result<(), String> {
+    if !extents.is_empty() {
+        return Err("explore does not support --extent (extents come from inputs)".into());
+    }
+    let target = match einsum {
+        Some(name) => name,
+        None => {
+            let plans = teaal::core::ir::lower(spec).map_err(|e| e.to_string())?;
+            plans
+                .last()
+                .map(|p| p.equation.name().to_string())
+                .ok_or("spec has no einsums")?
+        }
+    };
+    explore_cfg.threads = threads;
+    let print_top = |cands: &[Candidate]| {
+        for (idx, c) in cands.iter().take(8).enumerate() {
             println!(
-                "einsum {target}: {} candidates estimated, {} engine-verified",
-                out.estimator_evals, out.engine_evals
+                "  {}. [{}]  time {:.4e}s  energy {:.4e}J  dram {}B",
+                idx + 1,
+                c.loop_order.join(", "),
+                c.seconds,
+                c.energy_joules,
+                c.dram_bytes,
             );
-            print_top(&out.candidates);
-            println!("best: [{}]", out.candidates[0].loop_order.join(", "));
-        } else {
-            let results = explore_loop_orders_with_threads(
-                &spec,
-                &target,
-                &tensors,
-                ops,
-                explore_cfg.objective,
-                explore_cfg.budget,
-                threads,
-            )
+            if !c.component_seconds.is_empty() {
+                let parts: Vec<String> = c
+                    .component_seconds
+                    .iter()
+                    .map(|(component, secs)| format!("{component} {secs:.4e}s"))
+                    .collect();
+                println!("     components: {}", parts.join("  "));
+            }
+        }
+    };
+    if fast {
+        let out = explore_fast_with_context(spec, &target, tensors, ops, &explore_cfg, Some(ctx))
             .map_err(|e| e.to_string())?;
-            println!(
-                "einsum {target}: {} candidates engine-evaluated",
-                results.len()
-            );
-            print_top(&results);
-            println!("best: [{}]", results[0].loop_order.join(", "));
-        }
-        return Ok(());
+        println!(
+            "einsum {target}: {} candidates estimated, {} engine-verified",
+            out.estimator_evals, out.engine_evals
+        );
+        print_top(&out.candidates);
+        println!("best: [{}]", out.candidates[0].loop_order.join(", "));
+    } else {
+        let results = explore_loop_orders_with_context(
+            spec,
+            &target,
+            tensors,
+            ops,
+            explore_cfg.objective,
+            explore_cfg.budget,
+            threads,
+            Some(ctx),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "einsum {target}: {} candidates engine-evaluated",
+            results.len()
+        );
+        print_top(&results);
+        println!("best: [{}]", results[0].loop_order.join(", "));
     }
+    Ok(())
+}
 
-    let mut sim = Simulator::new(spec)
-        .map_err(|e| e.to_string())?
-        .with_ops(ops)
-        .with_threads(threads);
-    for (rank, n) in extents {
-        sim = sim.with_rank_extent(&rank, n);
-    }
-    let report = sim.run(&tensors).map_err(|e| e.to_string())?;
-
-    match command {
-        "run" => println!("{report}"),
-        "output" => {
-            for (name, tensor) in &report.outputs {
-                println!("# --- {name} ---");
-                tio::write_tensor_data(std::io::stdout().lock(), tensor)
-                    .map_err(|e| e.to_string())?;
+/// Evaluates every batch request through the shared context — requests
+/// fan out across `threads` workers, each simulating sequentially — and
+/// prints the reports strictly in request order.
+fn run_batch(
+    ctx: &Arc<EvalContext>,
+    requests: &[BatchRequest],
+    specs: &[Arc<TeaalSpec>],
+    tensors: &[Tensor],
+    extents: &[(String, u64)],
+    ops: OpTable,
+    threads: usize,
+) -> Result<(), String> {
+    let run_request = |i: usize| -> Result<String, String> {
+        let req = &requests[i];
+        let sim = if req.loop_order.is_empty() {
+            ctx.simulator(&specs[i])
+        } else {
+            let mut s = (*specs[i]).clone();
+            for (einsum, order) in &req.loop_order {
+                s.mapping.loop_order.insert(einsum.clone(), order.clone());
             }
+            ctx.simulator(&s)
+        };
+        let mut sim = sim
+            .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?
+            .with_ops(req.ops.unwrap_or(ops))
+            .with_threads(1);
+        for (rank, n) in extents {
+            sim = sim.with_rank_extent(rank, *n);
         }
-        other => return Err(format!("unknown command {other}")),
+        let data: Vec<TensorData> = tensors
+            .iter()
+            .map(|t| TensorData::Owned(t.clone()))
+            .collect();
+        let refs: Vec<&TensorData> = data.iter().collect();
+        let report = sim
+            .run_data_cached(&refs)
+            .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?;
+        Ok(format!("{report}"))
+    };
+
+    let n = requests.len();
+    let workers = threads.max(1).min(n);
+    let rendered: Vec<Result<String, String>> = if workers <= 1 {
+        (0..n).map(run_request).collect()
+    } else {
+        let slots: Vec<OnceLock<Result<String, String>>> =
+            (0..n).map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let _ = slots[i].set(run_request(i));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every request evaluated"))
+            .collect()
+    };
+
+    for (i, out) in rendered.into_iter().enumerate() {
+        let label = requests[i]
+            .label
+            .as_deref()
+            .unwrap_or(&requests[i].spec_path);
+        println!("# --- request {i} ({label}) ---");
+        println!("{}", out?);
     }
     Ok(())
 }
