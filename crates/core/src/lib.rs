@@ -35,6 +35,7 @@
 pub mod canon;
 pub mod einsum;
 pub mod error;
+pub mod failpoint;
 pub mod ir;
 pub mod spec;
 pub mod yaml;

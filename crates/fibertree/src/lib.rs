@@ -120,7 +120,7 @@ pub mod tensor;
 pub mod view;
 
 pub use builder::CompressedBuilder;
-pub use cache::{BoundaryRecord, MergeRecord, TransformCache, TransformedView};
+pub use cache::{BoundaryRecord, ByteLru, MergeRecord, TransformCache, TransformedView};
 pub use compressed::CompressedTensor;
 pub use coord::{Coord, Shape};
 pub use error::FibertreeError;

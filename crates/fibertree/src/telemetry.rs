@@ -75,6 +75,7 @@ pub struct CacheStats {
     hits: AtomicU64,
     misses: AtomicU64,
     bytes: AtomicU64,
+    evictions: AtomicU64,
 }
 
 /// A point-in-time copy of one [`CacheStats`].
@@ -85,8 +86,11 @@ pub struct CacheSnapshot {
     /// Lookups that had to build the artifact.
     pub misses: u64,
     /// Approximate bytes resident across all inserted artifacts
-    /// (estimates, not allocator-exact).
+    /// (estimates, not allocator-exact). Evictions subtract, so for a
+    /// bounded cache this tracks *resident* bytes, not cumulative.
     pub bytes: u64,
+    /// Artifacts evicted to stay under a capacity bound.
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -96,6 +100,7 @@ impl CacheStats {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +116,17 @@ impl CacheStats {
         self.bytes.fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records the eviction of an artifact of roughly `bytes` bytes
+    /// (saturating — estimates may drift but never underflow).
+    pub fn eviction(&self, bytes: u64) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        let _ = self
+            .bytes
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |b| {
+                Some(b.saturating_sub(bytes))
+            });
+    }
+
     /// Lookups answered from the cache so far.
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
@@ -121,9 +137,14 @@ impl CacheStats {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Approximate bytes inserted so far.
+    /// Approximate bytes resident (inserted minus evicted) so far.
     pub fn bytes(&self) -> u64 {
         self.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Artifacts evicted under a capacity bound so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
     /// A consistent-enough copy for delta comparison (fields are read
@@ -133,8 +154,25 @@ impl CacheStats {
             hits: self.hits(),
             misses: self.misses(),
             bytes: self.bytes(),
+            evictions: self.evictions(),
         }
     }
+}
+
+static DEGRADED_SEQUENTIAL: AtomicU64 = AtomicU64::new(0);
+
+/// Number of evaluations that fell back from the sharded parallel
+/// engine to the sequential walk because a shard worker panicked
+/// (panic isolation with graceful degradation). Monotonic; same
+/// snapshot-delta protocol as [`decompress_count`].
+pub fn degraded_sequential_count() -> u64 {
+    DEGRADED_SEQUENTIAL.load(Ordering::Relaxed)
+}
+
+/// Records one sharded→sequential degradation. Called by the simulator
+/// engine's retry path; not intended for other callers.
+pub fn note_degraded_sequential() {
+    DEGRADED_SEQUENTIAL.fetch_add(1, Ordering::Relaxed);
 }
 
 /// Process-wide counters for the `SpecSource → ParsedSpec` cache stage.
@@ -221,9 +259,21 @@ mod tests {
             CacheSnapshot {
                 hits: 2,
                 misses: 1,
-                bytes: 128
+                bytes: 128,
+                evictions: 0
             }
         );
+    }
+
+    #[test]
+    fn evictions_release_resident_bytes_without_underflow() {
+        let stats = CacheStats::new();
+        stats.miss(100);
+        stats.eviction(60);
+        assert_eq!((stats.bytes(), stats.evictions()), (40, 1));
+        // Estimate drift must saturate, never wrap.
+        stats.eviction(500);
+        assert_eq!((stats.bytes(), stats.evictions()), (0, 2));
     }
 
     #[test]

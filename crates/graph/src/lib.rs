@@ -15,7 +15,7 @@
 
 use teaal_accel::vertex_centric::{self, GraphDesign, GRAPHDYNS_CHUNKS};
 use teaal_fibertree::{Tensor, TensorData};
-use teaal_sim::{OpTable, SimError};
+use teaal_sim::{CancelToken, EvalLimits, OpTable, SimError};
 use teaal_workloads::Graph;
 
 /// Which vertex-centric algorithm to run.
@@ -140,6 +140,35 @@ pub fn run_with_threads(
     root: u64,
     threads: usize,
 ) -> Result<VertexRun, SimError> {
+    run_with_limits(
+        design,
+        algorithm,
+        graph,
+        root,
+        threads,
+        &EvalLimits::default(),
+    )
+}
+
+/// [`run_with_threads`] under resource budgets: the limits' deadline and
+/// step/output budgets are charged across every superstep's simulation
+/// and additionally checked at each superstep boundary, so a run over a
+/// large graph returns a structured
+/// [`SimError::DeadlineExceeded`]/[`SimError::BudgetExceeded`] instead of
+/// running unbounded. A cache-byte bound applies to the run's shared
+/// evaluation context.
+///
+/// # Errors
+///
+/// As [`run`], plus the structured limit errors above.
+pub fn run_with_limits(
+    design: GraphDesign,
+    algorithm: Algorithm,
+    graph: &Graph,
+    root: u64,
+    threads: usize,
+    limits: &EvalLimits,
+) -> Result<VertexRun, SimError> {
     let v = graph.vertices;
     let weighted = algorithm.weighted();
     let spec = vertex_centric::spec(design, v, weighted);
@@ -148,10 +177,19 @@ pub fn run_with_threads(
     // first superstep and served from the shared cache (content-addressed
     // by tensor hash + chain) in every later one.
     let ctx = teaal_sim::EvalContext::new();
-    let sim = ctx
+    if let Some(bytes) = limits.max_resident_cache_bytes {
+        ctx.set_max_cache_bytes(bytes);
+    }
+    // One token for the whole run, so budgets accumulate across
+    // supersteps rather than resetting each iteration.
+    let token = limits.is_limited().then(|| CancelToken::new(limits));
+    let mut sim = ctx
         .simulator(&spec)?
         .with_ops(OpTable::sssp())
         .with_threads(threads);
+    if let Some(t) = &token {
+        sim = sim.with_cancel(t.clone());
+    }
 
     // One compressed adjacency, built once in the mapping's `[S, V]`
     // storage order (so the engine's offline swizzle is the identity) and
@@ -171,6 +209,9 @@ pub fn run_with_threads(
     for _ in 0..max_iterations {
         if active.is_empty() {
             break;
+        }
+        if let Some(t) = &token {
+            t.checkpoint()?;
         }
         let a0 = build_vector("A0", "S", v, active.iter().copied());
         let p0 = build_vector(
@@ -407,6 +448,22 @@ mod tests {
         assert!(first.dram_bytes > 0);
         assert!(first.seconds > 0.0);
         assert!(run.metrics.total_energy_joules() > 0.0);
+    }
+
+    #[test]
+    fn step_budget_trips_across_supersteps_with_progress() {
+        let g = small_graph(false);
+        let root = g.hub();
+        let limits = EvalLimits::default().with_max_engine_steps(50);
+        let err = run_with_limits(GraphDesign::Proposal, Algorithm::Bfs, &g, root, 1, &limits)
+            .expect_err("a 50-step budget cannot cover a 900-edge BFS");
+        match err {
+            SimError::BudgetExceeded { used, progress, .. } => {
+                assert!(used >= 50, "budget tripped before it was spent: {used}");
+                assert!(progress.engine_steps >= 50);
+            }
+            other => panic!("expected BudgetExceeded, got {other:?}"),
+        }
     }
 
     #[test]

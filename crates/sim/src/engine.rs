@@ -32,7 +32,8 @@ use teaal_fibertree::{
 };
 
 use crate::counters::{Instruments, MergeGroup};
-use crate::error::SimError;
+use crate::error::{panic_message, SimError};
+use crate::limits::CancelToken;
 use crate::ops::OpTable;
 
 /// Boundary lists published by occupancy-partition leaders, keyed by
@@ -49,6 +50,9 @@ pub struct Engine<'p> {
     threads: usize,
     /// Shared transformed-input cache (staged pipeline), when attached.
     transforms: Option<Arc<TransformCache>>,
+    /// Cooperative budget/cancellation handle, when attached. `None`
+    /// keeps the hot loop free of charging entirely.
+    cancel: Option<CancelToken>,
 }
 
 /// One prepared input: either the untransformed tensor borrowed straight
@@ -155,7 +159,18 @@ impl<'p> Engine<'p> {
             rank_extents,
             threads: 1,
             transforms: None,
+            cancel: None,
         }
+    }
+
+    /// Attaches a cooperative cancellation/budget token. The walk
+    /// charges one engine step per loop-rank visit and one output
+    /// entry per materialized key, and polls the token at stream,
+    /// shard, and transform boundaries; a tripped budget surfaces as
+    /// the matching structured [`SimError`] with partial telemetry.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
     }
 
     /// Attaches a shared [`TransformCache`]: input transform chains whose
@@ -236,6 +251,11 @@ impl<'p> Engine<'p> {
         let mut tensors: Vec<PreparedInput<'t>> = Vec::new();
         let mut tensor_names: Vec<String> = Vec::new();
         for tp in &self.plan.tensor_plans {
+            // Transform-step boundary: a budget that trips between input
+            // chains returns before the next (possibly large) transform.
+            if let Some(token) = &self.cancel {
+                token.checkpoint()?;
+            }
             let input: &TensorData =
                 inputs
                     .get(&tp.tensor)
@@ -324,17 +344,25 @@ impl<'p> Engine<'p> {
         };
 
         // 3. Walk the nest — shard-parallel when the exactness analysis
-        // allows it, sequentially otherwise.
+        // allows it, sequentially otherwise. A panicking shard worker is
+        // isolated (`catch_unwind`), the partially-absorbed instruments
+        // are rolled back to this pre-shard snapshot, and the plan is
+        // retried once sequentially — degradation, not failure.
         let concordant = self.output_concordant();
+        if let Some(token) = &self.cancel {
+            token.checkpoint()?;
+        }
         if let Some(shard_plan) = self.plan_shards(&exec, &tensors, instruments, compressed_output)
         {
-            return self.execute_sharded(
-                &exec,
-                &tensors,
-                instruments,
-                &shard_plan,
-                compressed_output,
-            );
+            let snapshot = instruments.clone();
+            match self.execute_sharded(&exec, &tensors, instruments, &shard_plan, compressed_output)
+            {
+                Err(SimError::WorkerPanic { .. }) => {
+                    *instruments = snapshot;
+                    telemetry::note_degraded_sequential();
+                }
+                other => return other,
+            }
         }
         let mut state = State {
             nodes: exec
@@ -621,37 +649,60 @@ impl<'p> Engine<'p> {
                 .zip(forks)
                 .map(|(&(lo, hi), mut si)| {
                     scope.spawn(move || {
-                        let shard_exec = Exec {
-                            top_bounds: Some((lo, hi)),
-                            record_first_space,
-                            ..exec.clone()
-                        };
-                        let mut st = State {
-                            nodes: shard_exec
-                                .access_tensor
-                                .iter()
-                                .map(|&ti| Some(tensors[ti].data().root_view()))
-                                .collect(),
-                            binds: Vec::new(),
-                            space: Vec::new(),
-                            out: if stream_out {
-                                OutAcc::Stream {
-                                    builder: self.output_builder()?,
-                                    pending: None,
+                        // Panic isolation: a panicking shard must not tear
+                        // down the evaluation — it converts to a structured
+                        // error and the caller retries sequentially.
+                        std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+                            move || -> Result<ShardOut, SimError> {
+                                if let Err(m) = teaal_core::failpoint::hit("engine.shard") {
+                                    return Err(SimError::Fibertree(m));
                                 }
-                            } else {
-                                OutAcc::Map(BTreeMap::new())
+                                let shard_exec = Exec {
+                                    top_bounds: Some((lo, hi)),
+                                    record_first_space,
+                                    ..exec.clone()
+                                };
+                                let mut st = State {
+                                    nodes: shard_exec
+                                        .access_tensor
+                                        .iter()
+                                        .map(|&ti| Some(tensors[ti].data().root_view()))
+                                        .collect(),
+                                    binds: Vec::new(),
+                                    space: Vec::new(),
+                                    out: if stream_out {
+                                        OutAcc::Stream {
+                                            builder: self.output_builder()?,
+                                            pending: None,
+                                        }
+                                    } else {
+                                        OutAcc::Map(BTreeMap::new())
+                                    },
+                                    first_space: BTreeMap::new(),
+                                };
+                                shard_exec.level(0, &mut st, &mut si)?;
+                                Ok((st.out, st.first_space, si))
                             },
-                            first_space: BTreeMap::new(),
-                        };
-                        shard_exec.level(0, &mut st, &mut si)?;
-                        Ok((st.out, st.first_space, si))
+                        ))
+                        .unwrap_or_else(|payload| {
+                            Err(SimError::WorkerPanic {
+                                site: "shard".into(),
+                                message: panic_message(&payload),
+                            })
+                        })
                     })
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|h| {
+                    h.join().unwrap_or_else(|payload| {
+                        Err(SimError::WorkerPanic {
+                            site: "shard".into(),
+                            message: panic_message(&payload),
+                        })
+                    })
+                })
                 .collect()
         });
 
@@ -812,6 +863,7 @@ impl<'p> Engine<'p> {
         native: bool,
         outer: &BoundaryCache,
     ) -> Result<TransformedView, SimError> {
+        teaal_core::failpoint::hit("transform.swizzle").map_err(SimError::Fibertree)?;
         telemetry::note_transform_exec();
         let mut merges: Vec<MergeGroup> = Vec::new();
         let mut published: Vec<BoundaryRecord> = Vec::new();
@@ -1420,6 +1472,12 @@ impl<'e, 'p> Exec<'e, 'p> {
             };
             visits += 1;
             inst.rank_advanced(&lr.name);
+            // One engine step per loop-rank visit; the token amortizes
+            // its own deadline polling, so this is one relaxed
+            // fetch_add + compare on the hot path.
+            if let Some(token) = &self.engine.cancel {
+                token.charge_steps(1)?;
+            }
 
             // Bind loop variables (needed by affine descents below).
             for (root, comp) in &lr.binds {
@@ -1661,6 +1719,9 @@ impl<'e, 'p> Exec<'e, 'p> {
                     inst.output.record(key_hash, false);
                 }
                 None => {
+                    if let Some(token) = &self.engine.cancel {
+                        token.charge_outputs(1)?;
+                    }
                     if self.record_first_space {
                         state.first_space.insert(key.clone(), state.space.clone());
                     }
@@ -1680,6 +1741,9 @@ impl<'e, 'p> Exec<'e, 'p> {
                     inst.output.record(key_hash, false);
                 }
                 _ => {
+                    if let Some(token) = &self.engine.cancel {
+                        token.charge_outputs(1)?;
+                    }
                     if let Some((pk, pv)) = pending.take() {
                         if pv != zero {
                             builder.push_point(&pk, pv)?;

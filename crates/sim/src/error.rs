@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use crate::limits::{BudgetKind, Progress};
+
 /// Errors produced while configuring or running the simulator.
 #[derive(Clone, Debug, PartialEq)]
 pub enum SimError {
@@ -38,6 +40,50 @@ pub enum SimError {
     Spec(teaal_core::SpecError),
     /// A fibertree transform failed during execution.
     Fibertree(String),
+    /// The evaluation's wall-clock deadline passed
+    /// ([`EvalLimits::deadline`](crate::limits::EvalLimits)). Carries
+    /// the telemetry gathered up to the cancellation point.
+    DeadlineExceeded {
+        /// Work done before the deadline fired.
+        progress: Progress,
+    },
+    /// A resource budget was exhausted
+    /// ([`EvalLimits`](crate::limits::EvalLimits)).
+    BudgetExceeded {
+        /// Which budget ran out.
+        resource: BudgetKind,
+        /// The configured limit.
+        limit: u64,
+        /// Consumption observed when the budget tripped (may slightly
+        /// exceed `limit`: polls are amortized across loop iterations).
+        used: u64,
+        /// Work done before the budget tripped.
+        progress: Progress,
+    },
+    /// The evaluation was cancelled externally
+    /// ([`CancelToken::cancel`](crate::limits::CancelToken::cancel)).
+    Cancelled {
+        /// Work done before cancellation was observed.
+        progress: Progress,
+    },
+    /// A component's modeled busy time came out non-finite — the
+    /// architecture section declares a zero bandwidth or clock that
+    /// divides to NaN/∞. Previously this panicked inside the bottleneck
+    /// comparison.
+    NonFiniteTime {
+        /// The component whose time is NaN or infinite.
+        component: String,
+    },
+    /// A worker thread panicked; the panic was isolated with
+    /// `catch_unwind` and converted to this structured error instead of
+    /// tearing down the process.
+    WorkerPanic {
+        /// Which fan-out the worker belonged to (e.g. `"shard"`,
+        /// `"wave"`).
+        site: String,
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -68,6 +114,29 @@ impl fmt::Display for SimError {
             ),
             SimError::Spec(e) => write!(f, "{e}"),
             SimError::Fibertree(m) => write!(f, "fibertree operation failed: {m}"),
+            SimError::DeadlineExceeded { progress } => {
+                write!(f, "evaluation deadline exceeded after {progress}")
+            }
+            SimError::BudgetExceeded {
+                resource,
+                limit,
+                used,
+                progress,
+            } => write!(
+                f,
+                "{resource} budget exceeded ({used} used of {limit} allowed) after {progress}"
+            ),
+            SimError::Cancelled { progress } => {
+                write!(f, "evaluation cancelled after {progress}")
+            }
+            SimError::NonFiniteTime { component } => write!(
+                f,
+                "modeled time for component {component} is not finite — check the \
+                 architecture's bandwidth and clock values for zeros"
+            ),
+            SimError::WorkerPanic { site, message } => {
+                write!(f, "{site} worker panicked: {message}")
+            }
         }
     }
 }
@@ -84,6 +153,18 @@ impl std::error::Error for SimError {
 impl From<teaal_core::SpecError> for SimError {
     fn from(e: teaal_core::SpecError) -> Self {
         SimError::Spec(e)
+    }
+}
+
+/// Renders a `catch_unwind` payload as text: panics carry `&str` or
+/// `String` messages in practice; anything else gets a placeholder.
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 

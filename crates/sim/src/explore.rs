@@ -31,6 +31,7 @@ use teaal_fibertree::{Tensor, TensorData};
 
 use crate::error::SimError;
 use crate::estimate::estimate_data;
+use crate::limits::{CancelToken, EvalLimits};
 use crate::model::Simulator;
 use crate::ops::OpTable;
 use crate::pipeline::EvalContext;
@@ -116,6 +117,11 @@ pub struct ExploreConfig {
     /// Worker threads for the engine-verification phase (the estimation
     /// sweep is sequential — it is orders of magnitude cheaper).
     pub threads: usize,
+    /// Search-wide resource budgets. One [`CancelToken`] is created for
+    /// the whole search and shared by every candidate evaluation, so
+    /// the deadline and step budget bound the *search*, not each
+    /// candidate; a trip aborts with the structured error.
+    pub limits: EvalLimits,
 }
 
 impl Default for ExploreConfig {
@@ -126,6 +132,7 @@ impl Default for ExploreConfig {
             top_k: 12,
             margin: 1.5,
             threads: 1,
+            limits: EvalLimits::default(),
         }
     }
 }
@@ -306,6 +313,12 @@ pub fn explore_fast_with_context(
     context: Option<&Arc<EvalContext>>,
 ) -> Result<ExploreOutcome, SimError> {
     let orders = candidate_orders(spec, einsum)?;
+    // One token for the whole search: the deadline anchors here and
+    // every candidate (estimation or engine) charges the same budget.
+    let token = config
+        .limits
+        .is_limited()
+        .then(|| CancelToken::new(&config.limits));
 
     // Phase 1: estimate every lowerable candidate from cached statistics.
     let datas: Vec<TensorData> = inputs
@@ -326,6 +339,11 @@ pub fn explore_fast_with_context(
     for candidate in &orders {
         if estimated.len() >= config.budget {
             break;
+        }
+        // Candidate boundary: a tripped search budget aborts between
+        // estimates, never mid-way through one.
+        if let Some(t) = &token {
+            t.checkpoint()?;
         }
         let mut s = spec.clone();
         s.mapping
@@ -369,7 +387,23 @@ pub fn explore_fast_with_context(
         .map(|c| c.loop_order.clone())
         .collect();
 
+    // A budget/deadline/cancel trip inside a candidate must abort the
+    // whole search with that structured error, not silently skip the
+    // candidate; the closure parks it here for the caller to propagate.
+    let aborted: Mutex<Option<SimError>> = Mutex::new(None);
     let eval = |candidate: &[String]| -> Option<Candidate> {
+        if let Some(t) = &token {
+            if let Err(e) = t.checkpoint() {
+                aborted
+                    .lock()
+                    .expect("abort slot poisoned")
+                    .get_or_insert(e);
+                return None;
+            }
+        }
+        if teaal_core::failpoint::hit("explore.candidate").is_err() {
+            return None;
+        }
         let mut s = spec.clone();
         s.mapping
             .loop_order
@@ -378,11 +412,31 @@ pub fn explore_fast_with_context(
             Some(ctx) => ctx.simulator(&s).ok()?,
             None => Simulator::new(s).ok()?,
         };
-        let report = sim.with_ops(ops).with_threads(1).run(inputs).ok()?;
-        Some(candidate_from(candidate.to_vec(), &report))
+        let mut sim = sim.with_ops(ops).with_threads(1);
+        if let Some(t) = &token {
+            sim = sim.with_cancel(t.clone());
+        }
+        match sim.run(inputs) {
+            Ok(report) => Some(candidate_from(candidate.to_vec(), &report)),
+            Err(
+                e @ (SimError::DeadlineExceeded { .. }
+                | SimError::BudgetExceeded { .. }
+                | SimError::Cancelled { .. }),
+            ) => {
+                aborted
+                    .lock()
+                    .expect("abort slot poisoned")
+                    .get_or_insert(e);
+                None
+            }
+            Err(_) => None,
+        }
     };
     let engine_evals = survivors.len();
     let mut candidates = evaluate_candidates(&survivors, survivors.len(), config.threads, &eval);
+    if let Some(e) = aborted.into_inner().expect("abort slot poisoned") {
+        return Err(e);
+    }
     if candidates.is_empty() {
         return Err(SimError::Spec(teaal_core::SpecError::Validation {
             context: format!("einsum {einsum}"),
@@ -424,10 +478,12 @@ fn candidate_orders(spec: &TeaalSpec, einsum: &str) -> Result<Vec<Vec<String>>, 
 /// order candidates were evaluated in (the pruned and exhaustive searches
 /// must agree on the winner even when two mappings cost the same).
 fn sort_by_score(results: &mut [Candidate], objective: Objective) {
+    // `total_cmp`, not `partial_cmp().expect(...)`: a degenerate spec
+    // (zero bandwidth/clock) can model a NaN score, which must rank
+    // deterministically (worst) instead of panicking mid-sort.
     results.sort_by(|a, b| {
         a.score(objective)
-            .partial_cmp(&b.score(objective))
-            .expect("model outputs are finite")
+            .total_cmp(&b.score(objective))
             .then_with(|| a.loop_order.cmp(&b.loop_order))
     });
 }
@@ -451,11 +507,17 @@ fn evaluate_candidates(
     let threads = threads.max(1).min(orders.len().max(1));
     let slots: Vec<OnceLock<Option<Candidate>>> =
         (0..orders.len()).map(|_| OnceLock::new()).collect();
+    // Panic isolation: a candidate whose evaluation panics is skipped
+    // (slot = None) instead of tearing down the search or poisoning the
+    // worker pool.
+    let eval_isolated = |order: &[String]| -> Option<Candidate> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| eval(order))).unwrap_or(None)
+    };
 
     if threads <= 1 {
         let mut results = Vec::new();
         for (i, order) in orders.iter().enumerate() {
-            let _ = slots[i].set(eval(order));
+            let _ = slots[i].set(eval_isolated(order));
             if let Some(Some(c)) = slots[i].get() {
                 results.push(c.clone());
                 if results.len() >= max_successes {
@@ -489,7 +551,7 @@ fn evaluate_candidates(
                 if i >= orders.len() {
                     break;
                 }
-                let result = eval(&orders[i]);
+                let result = eval_isolated(&orders[i]);
                 let _ = slots[i].set(result);
                 let mut p = progress.lock().expect("explore progress poisoned");
                 while p.watermark < orders.len() {

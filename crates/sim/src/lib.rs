@@ -20,6 +20,7 @@ pub mod engine;
 pub mod error;
 pub mod estimate;
 pub mod explore;
+pub mod limits;
 pub mod model;
 pub mod ops;
 pub mod pipeline;
@@ -35,6 +36,7 @@ pub use explore::{
     explore_fast, explore_fast_with_context, explore_loop_orders, explore_loop_orders_with_context,
     explore_loop_orders_with_threads, Candidate, ExploreConfig, ExploreOutcome, Objective,
 };
+pub use limits::{BudgetKind, CancelToken, EvalLimits, Progress};
 pub use model::{default_threads, Simulator};
 pub use ops::OpTable;
 pub use pipeline::EvalContext;

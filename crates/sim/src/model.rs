@@ -29,7 +29,8 @@ use crate::compile::CompiledPlan;
 use crate::counters::Instruments;
 use crate::energy::{ActionCounts, EnergyTable};
 use crate::engine::{BoundaryCache, Engine};
-use crate::error::SimError;
+use crate::error::{panic_message, SimError};
+use crate::limits::{CancelToken, EvalLimits};
 use crate::ops::OpTable;
 use crate::pipeline::EvalContext;
 use crate::report::{passes_for, BlockStats, EinsumStats, SimReport, TensorTraffic};
@@ -72,6 +73,10 @@ pub struct Simulator {
     threads: usize,
     /// Shared pipeline caches, when attached.
     context: Option<Arc<EvalContext>>,
+    /// Cooperative budget/cancellation token, when attached.
+    cancel: Option<CancelToken>,
+    /// The limits the token enforces (kept for cache-bound plumbing).
+    limits: EvalLimits,
 }
 
 /// The default worker count for parallel execution: the `TEAAL_THREADS`
@@ -108,6 +113,8 @@ impl Simulator {
             energy: EnergyTable::default(),
             threads: default_threads(),
             context: None,
+            cancel: None,
+            limits: EvalLimits::default(),
         }
     }
 
@@ -118,6 +125,36 @@ impl Simulator {
     pub fn with_context(mut self, context: Arc<EvalContext>) -> Self {
         self.context = Some(context);
         self
+    }
+
+    /// Attaches resource budgets ([`EvalLimits`]). The cancellation
+    /// token is created *now* — the deadline clock starts at this call
+    /// and spans every subsequent `run_*`, so a multi-run session (graph
+    /// supersteps, retries) shares one budget. A tripped budget returns
+    /// the matching structured [`SimError`]
+    /// ([`SimError::DeadlineExceeded`] / [`SimError::BudgetExceeded`])
+    /// carrying the telemetry gathered so far; an attached context's
+    /// caches are bounded by `max_resident_cache_bytes`.
+    #[must_use]
+    pub fn with_limits(mut self, limits: EvalLimits) -> Self {
+        self.cancel = Some(CancelToken::new(&limits));
+        self.limits = limits;
+        self
+    }
+
+    /// Shares an existing cancellation token (e.g. one held by a server
+    /// so in-flight evaluations can be cancelled externally).
+    #[must_use]
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// The cancellation token attached by [`Simulator::with_limits`] /
+    /// [`Simulator::with_cancel`], if any — hold a clone to cancel or
+    /// inspect progress from another thread.
+    pub fn cancel_token(&self) -> Option<&CancelToken> {
+        self.cancel.as_ref()
     }
 
     /// Replaces the operator table (e.g. [`OpTable::sssp`] for graph
@@ -331,6 +368,9 @@ impl Simulator {
     }
 
     fn run_impl(&self, inputs: &[&TensorData], compressed: bool) -> Result<SimReport, SimError> {
+        if let (Some(bytes), Some(ctx)) = (self.limits.max_resident_cache_bytes, &self.context) {
+            ctx.set_max_cache_bytes(bytes);
+        }
         let plans = self.compiled.plans();
         // Rank extents from input shapes plus overrides.
         let mut base_extents: BTreeMap<String, u64> = BTreeMap::new();
@@ -356,6 +396,11 @@ impl Simulator {
         let mut stats: Vec<Option<EinsumStats>> = (0..n).map(|_| None).collect();
         let mut remaining = n;
         while remaining > 0 {
+            // Wave boundary: a budget tripped by an earlier Einsum
+            // returns before the next wave spawns workers.
+            if let Some(token) = &self.cancel {
+                token.checkpoint()?;
+            }
             let wave: Vec<usize> = (0..n)
                 .filter(|&i| outputs[i].is_none() && deps[i].iter().all(|&d| outputs[d].is_some()))
                 .collect();
@@ -381,6 +426,9 @@ impl Simulator {
                 if let Some(ctx) = &self.context {
                     engine = engine.with_transform_cache(Arc::clone(ctx.transforms()));
                 }
+                if let Some(token) = &self.cancel {
+                    engine = engine.with_cancel(token.clone());
+                }
                 let mut boundaries = BoundaryCache::new();
                 // Later entries shadow earlier ones, so intermediates win
                 // over same-named inputs (as the cascade requires).
@@ -395,20 +443,45 @@ impl Simulator {
                 Ok((instruments, out))
             };
 
-            let results: Vec<Result<(Instruments, TensorData), SimError>> =
-                if self.threads > 1 && wave.len() > 1 {
-                    std::thread::scope(|s| {
-                        let run_one = &run_one;
-                        let handles: Vec<_> =
-                            wave.iter().map(|&i| s.spawn(move || run_one(i))).collect();
-                        handles
-                            .into_iter()
-                            .map(|h| h.join().expect("einsum worker panicked"))
-                            .collect()
-                    })
-                } else {
-                    wave.iter().map(|&i| run_one(i)).collect()
-                };
+            let results: Vec<Result<(Instruments, TensorData), SimError>> = if self.threads > 1
+                && wave.len() > 1
+            {
+                std::thread::scope(|s| {
+                    let run_one = &run_one;
+                    let handles: Vec<_> = wave
+                        .iter()
+                        .map(|&i| {
+                            s.spawn(move || {
+                                // Panic isolation: a panicking wave
+                                // worker becomes a structured error
+                                // instead of tearing down the run.
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    run_one(i)
+                                }))
+                                .unwrap_or_else(|payload| {
+                                    Err(SimError::WorkerPanic {
+                                        site: "wave".into(),
+                                        message: panic_message(&payload),
+                                    })
+                                })
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| {
+                            h.join().unwrap_or_else(|payload| {
+                                Err(SimError::WorkerPanic {
+                                    site: "wave".into(),
+                                    message: panic_message(&payload),
+                                })
+                            })
+                        })
+                        .collect()
+                })
+            } else {
+                wave.iter().map(|&i| run_one(i)).collect()
+            };
 
             for (&i, res) in wave.iter().zip(results) {
                 let (instruments, output) = res?;
@@ -682,12 +755,21 @@ impl Simulator {
                 }
             }
 
+            // `total_cmp` orders NaN above +∞, so a degenerate component
+            // time (e.g. 0/0 from a zero-bandwidth DRAM with no traffic)
+            // surfaces as the maximum and is rejected below instead of
+            // panicking mid-comparison or silently reporting NaN seconds.
             let (bottleneck, seconds) = bs
                 .component_seconds
                 .iter()
-                .max_by(|a, b| a.1.partial_cmp(b.1).expect("times are finite"))
+                .max_by(|a, b| a.1.total_cmp(b.1))
                 .map(|(k, v)| (k.clone(), *v))
                 .unwrap_or(("Compute".into(), 0.0));
+            if !seconds.is_finite() {
+                return Err(SimError::NonFiniteTime {
+                    component: bottleneck,
+                });
+            }
             bs.bottleneck = bottleneck;
             bs.seconds = seconds;
             report.seconds += seconds;

@@ -31,12 +31,18 @@ use teaal_core::canon;
 use teaal_core::TeaalSpec;
 use teaal_fibertree::stats::StatsCache;
 use teaal_fibertree::telemetry;
-use teaal_fibertree::TransformCache;
+use teaal_fibertree::{ByteLru, TransformCache};
 
 use crate::compile::CompiledPlan;
 use crate::error::SimError;
 use crate::model::Simulator;
 use crate::report::SimReport;
+
+/// How a whole-context byte budget splits across the bounded stages:
+/// transformed inputs dominate residency, so they get half; compiled
+/// plans and whole reports split the rest.
+const TRANSFORM_SHARE_PCT: u64 = 50;
+const REPORT_SHARE_PCT: u64 = 25;
 
 /// Shared caches for every stage of the evaluation pipeline.
 ///
@@ -44,29 +50,44 @@ use crate::report::SimReport;
 /// it to simulators via [`Simulator::with_context`] (or let
 /// [`EvalContext::simulator`] do both). Thread-safe; share the `Arc`
 /// freely.
-#[derive(Default)]
+///
+/// Residency is unbounded by default; long-running consumers bound it
+/// with [`EvalContext::with_capacity`] or
+/// [`EvalContext::set_max_cache_bytes`] (the CLI's `--max-cache-mb`).
+/// Bounding evicts least-recently-used artifacts — since every key is a
+/// content hash, an evicted artifact is rebuilt bit-identically on its
+/// next miss, so eviction never changes results.
 pub struct EvalContext {
-    /// `source_hash → ParsedSpec`.
+    /// `source_hash → ParsedSpec` (tiny; never bounded).
     specs: Mutex<HashMap<u64, Arc<TeaalSpec>>>,
     /// `spec_hash → LoweredPlan`.
-    plans: Mutex<HashMap<u64, Arc<CompiledPlan>>>,
+    plans: ByteLru<CompiledPlan>,
     /// `(plan, ops, extents, energy, inputs) → SimReport`.
-    reports: Mutex<HashMap<u64, Arc<SimReport>>>,
+    reports: ByteLru<SimReport>,
     /// `(tensor hash, transform chain) → PreparedInputs`.
     transforms: Arc<TransformCache>,
     /// Memoized per-tensor statistics for the analytical estimator.
     stats: Arc<StatsCache>,
 }
 
+impl Default for EvalContext {
+    fn default() -> Self {
+        EvalContext {
+            specs: Mutex::new(HashMap::new()),
+            plans: ByteLru::with_stats(telemetry::plan_cache_stats()),
+            reports: ByteLru::with_stats(telemetry::report_cache_stats()),
+            transforms: Arc::new(TransformCache::new()),
+            stats: Arc::new(StatsCache::default()),
+        }
+    }
+}
+
 impl std::fmt::Debug for EvalContext {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("EvalContext")
             .field("specs", &self.specs.lock().map(|m| m.len()).unwrap_or(0))
-            .field("plans", &self.plans.lock().map(|m| m.len()).unwrap_or(0))
-            .field(
-                "reports",
-                &self.reports.lock().map(|m| m.len()).unwrap_or(0),
-            )
+            .field("plans", &self.plans.len())
+            .field("reports", &self.reports.len())
             .field("transforms", &self.transforms.len())
             .finish()
     }
@@ -76,6 +97,36 @@ impl EvalContext {
     /// Creates an empty context behind the `Arc` every consumer shares.
     pub fn new() -> Arc<Self> {
         Arc::new(EvalContext::default())
+    }
+
+    /// An empty context whose caches are bounded to roughly
+    /// `max_bytes` resident bytes total (see
+    /// [`EvalContext::set_max_cache_bytes`] for the split).
+    pub fn with_capacity(max_bytes: u64) -> Arc<Self> {
+        let ctx = EvalContext::new();
+        ctx.set_max_cache_bytes(max_bytes);
+        ctx
+    }
+
+    /// Bounds the context's resident cache bytes: half the budget goes
+    /// to transformed inputs, a quarter each to whole reports and
+    /// compiled plans. Shrinking below current residency evicts
+    /// immediately (LRU first); eviction counts surface per stage in
+    /// `--cache-stats`.
+    pub fn set_max_cache_bytes(&self, max_bytes: u64) {
+        let transform_share = max_bytes / 100 * TRANSFORM_SHARE_PCT;
+        let report_share = max_bytes / 100 * REPORT_SHARE_PCT;
+        let plan_share = max_bytes
+            .saturating_sub(transform_share)
+            .saturating_sub(report_share);
+        self.transforms.set_capacity_bytes(transform_share);
+        self.reports.set_capacity_bytes(report_share);
+        self.plans.set_capacity_bytes(plan_share);
+    }
+
+    /// Artifacts evicted across all bounded stages so far (monotonic).
+    pub fn evictions(&self) -> u64 {
+        self.transforms.evictions() + self.reports.evictions() + self.plans.evictions()
     }
 
     /// Parses specification source, cached by
@@ -110,19 +161,14 @@ impl EvalContext {
     /// Returns [`SimError::Spec`] when lowering fails (never cached).
     pub fn compiled(&self, spec: &TeaalSpec) -> Result<Arc<CompiledPlan>, SimError> {
         let key = canon::spec_hash(spec);
-        if let Some(plan) = self.plans.lock().expect("plan cache poisoned").get(&key) {
+        if let Some(plan) = self.plans.get(key) {
             telemetry::plan_cache_stats().hit();
-            return Ok(Arc::clone(plan));
+            return Ok(plan);
         }
         let plan = Arc::new(CompiledPlan::compile(spec.clone())?);
-        telemetry::plan_cache_stats().miss(plan.approx_bytes());
-        Ok(self
-            .plans
-            .lock()
-            .expect("plan cache poisoned")
-            .entry(key)
-            .or_insert(plan)
-            .clone())
+        let bytes = plan.approx_bytes();
+        telemetry::plan_cache_stats().miss(bytes);
+        Ok(self.plans.insert(key, plan, bytes))
     }
 
     /// A simulator over the (cached) compiled plan for `spec`, with this
@@ -148,16 +194,11 @@ impl EvalContext {
 
     /// Number of distinct compiled plans cached.
     pub fn compiled_len(&self) -> usize {
-        self.plans.lock().expect("plan cache poisoned").len()
+        self.plans.len()
     }
 
     pub(crate) fn cached_report(&self, key: u64) -> Option<Arc<SimReport>> {
-        let hit = self
-            .reports
-            .lock()
-            .expect("report cache poisoned")
-            .get(&key)
-            .cloned();
+        let hit = self.reports.get(key);
         if hit.is_some() {
             telemetry::report_cache_stats().hit();
         }
@@ -172,12 +213,7 @@ impl EvalContext {
             .sum::<u64>()
             + 256;
         telemetry::report_cache_stats().miss(bytes);
-        self.reports
-            .lock()
-            .expect("report cache poisoned")
-            .entry(key)
-            .or_insert(report)
-            .clone()
+        self.reports.insert(key, report, bytes)
     }
 }
 

@@ -18,7 +18,14 @@
 //!                          TEAAL_THREADS or 1); results are bit-identical
 //!                          for every N
 //!   --cache-stats          print pipeline cache statistics (hits, misses,
-//!                          approximate bytes) to stderr on exit
+//!                          approximate bytes, evictions) to stderr on exit
+//!   --deadline-ms N        wall-clock budget; a run past it returns a
+//!                          structured deadline error with partial telemetry
+//!   --max-engine-steps N   engine-step budget (loop-rank visits)
+//!   --max-output-entries N output-entry budget across all output tensors
+//!   --max-cache-mb N       bound resident pipeline-cache bytes; over-budget
+//!                          artifacts are LRU-evicted and rebuilt
+//!                          bit-identically on the next miss
 //!
 //! explore options:
 //!   --einsum NAME          einsum to search (default: the last in the spec)
@@ -52,6 +59,12 @@
 //! `# --- request I (LABEL) ---` header followed by exactly the report
 //! `teaal run` would print — `grep -v '^#'` recovers the byte-identical
 //! concatenation of the per-request runs.
+//!
+//! The batch is validated up front: every malformed request is reported
+//! (with its index and label), not just the first. At run time a failing
+//! request — including one that panics — emits an error block under its
+//! header and the batch continues; any failure makes the process exit
+//! with code 2 (partial failure) after every request has run.
 
 use std::fs::File;
 use std::io::BufReader;
@@ -62,14 +75,15 @@ use std::sync::{Arc, OnceLock};
 use teaal::fibertree::telemetry;
 use teaal::prelude::*;
 use teaal::sim::{
-    explore_fast_with_context, explore_loop_orders_with_context, Candidate, EvalContext, Objective,
+    explore_fast_with_context, explore_loop_orders_with_context, CancelToken, Candidate,
+    EvalContext, EvalLimits, Objective,
 };
 use teaal::workloads::{genmat, io as tio};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().collect();
     match run(&args) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) => {
             eprintln!("error: {msg}");
             eprintln!();
@@ -78,7 +92,8 @@ fn main() -> ExitCode {
             );
             eprintln!("             [--random NAME=RxC:NNZ] [--extent RANK=N]");
             eprintln!("             [--ops sssp|arithmetic] [--seed N] [--threads N]");
-            eprintln!("             [--cache-stats]");
+            eprintln!("             [--cache-stats] [--deadline-ms N] [--max-engine-steps N]");
+            eprintln!("             [--max-output-entries N] [--max-cache-mb N]");
             eprintln!("             [--einsum NAME] [--fast] [--objective time|energy|traffic]");
             eprintln!("             [--budget N] [--top-k N] [--margin F]");
             ExitCode::FAILURE
@@ -106,8 +121,15 @@ fn parse_ops(name: &str) -> Result<OpTable, String> {
 /// Parses the `teaal batch` requests file (a small YAML subset: a list of
 /// flat maps, plus one nested `loop-order` map of `Einsum: [R1, R2, …]`
 /// entries).
+///
+/// Validation is exhaustive: every malformed line and every request
+/// missing its `spec:` field is collected (tagged with its request index
+/// and label), and the combined report comes back as one error — a batch
+/// author fixes the whole file in one round trip instead of replaying
+/// stop-at-first-error.
 fn parse_requests(text: &str) -> Result<Vec<BatchRequest>, String> {
     let mut requests: Vec<BatchRequest> = Vec::new();
+    let mut errors: Vec<String> = Vec::new();
     let mut in_loop_order = false;
     for (ln, raw) in text.lines().enumerate() {
         let line = raw.trim_end();
@@ -129,19 +151,23 @@ fn parse_requests(text: &str) -> Result<Vec<BatchRequest>, String> {
                 loop_order: Vec::new(),
             });
         }
-        let req = requests
-            .last_mut()
-            .ok_or_else(|| err("expected the first request to start with '- spec: …'".into()))?;
-        let (key, value) = body
-            .split_once(':')
-            .ok_or_else(|| err(format!("expected 'key: value', got {body:?}")))?;
+        let Some(req) = requests.last_mut() else {
+            errors.push(err(
+                "expected the first request to start with '- spec: …'".into()
+            ));
+            continue;
+        };
+        let Some((key, value)) = body.split_once(':') else {
+            errors.push(err(format!("expected 'key: value', got {body:?}")));
+            continue;
+        };
         let (key, value) = (key.trim(), value.trim());
         let indent = line.len() - stripped.len();
         if in_loop_order && !is_item && indent >= 4 {
-            let list = value
-                .strip_prefix('[')
-                .and_then(|s| s.strip_suffix(']'))
-                .ok_or_else(|| err(format!("loop-order entry {key} needs '[R1, R2, …]'")))?;
+            let Some(list) = value.strip_prefix('[').and_then(|s| s.strip_suffix(']')) else {
+                errors.push(err(format!("loop-order entry {key} needs '[R1, R2, …]'")));
+                continue;
+            };
             let ranks: Vec<String> = list
                 .split(',')
                 .map(|s| s.trim().to_string())
@@ -154,15 +180,22 @@ fn parse_requests(text: &str) -> Result<Vec<BatchRequest>, String> {
         match key {
             "spec" => req.spec_path = value.to_string(),
             "label" => req.label = Some(value.to_string()),
-            "ops" => req.ops = Some(parse_ops(value).map_err(err)?),
+            "ops" => match parse_ops(value) {
+                Ok(table) => req.ops = Some(table),
+                Err(m) => errors.push(err(m)),
+            },
             "loop-order" if value.is_empty() => in_loop_order = true,
-            other => return Err(err(format!("unknown request field {other:?}"))),
+            other => errors.push(err(format!("unknown request field {other:?}"))),
         }
     }
     for (i, r) in requests.iter().enumerate() {
         if r.spec_path.is_empty() {
-            return Err(format!("request {i} has no 'spec:' field"));
+            let label = r.label.as_deref().unwrap_or("unlabeled");
+            errors.push(format!("request {i} ({label}) has no 'spec:' field"));
         }
+    }
+    if !errors.is_empty() {
+        return Err(errors.join("\n"));
     }
     if requests.is_empty() {
         return Err("requests file contains no requests".into());
@@ -181,17 +214,21 @@ fn print_cache_stats() {
     ];
     for (stage, s) in stats {
         eprintln!(
-            "cache-stats: {stage:<9} hits={} misses={} bytes={}",
-            s.hits, s.misses, s.bytes
+            "cache-stats: {stage:<9} hits={} misses={} bytes={} evictions={}",
+            s.hits, s.misses, s.bytes, s.evictions
         );
     }
     eprintln!(
         "cache-stats: transform chains executed={}",
         telemetry::transform_exec_count()
     );
+    eprintln!(
+        "cache-stats: degraded-sequential retries={}",
+        telemetry::degraded_sequential_count()
+    );
 }
 
-fn run(args: &[String]) -> Result<(), String> {
+fn run(args: &[String]) -> Result<ExitCode, String> {
     let command = args.get(1).ok_or("missing command")?.as_str();
     if !matches!(command, "check" | "run" | "output" | "explore" | "batch") {
         return Err(format!("unknown command {command}"));
@@ -210,11 +247,25 @@ fn run(args: &[String]) -> Result<(), String> {
         Vec::new()
     };
     let specs: Vec<Arc<TeaalSpec>> = if command == "batch" {
+        // Validate every request's spec up front, reporting all failures
+        // (with index and label) rather than stopping at the first.
         let mut specs = Vec::new();
-        for r in &requests {
-            let src = std::fs::read_to_string(&r.spec_path)
-                .map_err(|e| format!("reading {}: {e}", r.spec_path))?;
-            specs.push(ctx.parse(&src).map_err(|e| e.to_string())?);
+        let mut errors: Vec<String> = Vec::new();
+        for (i, r) in requests.iter().enumerate() {
+            let label = r.label.as_deref().unwrap_or(&r.spec_path);
+            match std::fs::read_to_string(&r.spec_path) {
+                Ok(src) => match ctx.parse(&src) {
+                    Ok(spec) => specs.push(spec),
+                    Err(e) => errors.push(format!("request {i} ({label}): {e}")),
+                },
+                Err(e) => errors.push(format!(
+                    "request {i} ({label}): reading {}: {e}",
+                    r.spec_path
+                )),
+            }
+        }
+        if !errors.is_empty() {
+            return Err(errors.join("\n"));
         }
         specs
     } else {
@@ -233,7 +284,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let loops: Vec<&str> = p.loop_ranks.iter().map(|l| l.name.as_str()).collect();
             println!("  {}: loops [{}]", p.equation, loops.join(", "));
         }
-        return Ok(());
+        return Ok(ExitCode::SUCCESS);
     }
 
     // Collect options. With `batch`, --random rank orders resolve against
@@ -246,6 +297,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let mut seed = 0u64;
     let mut threads = teaal::sim::default_threads();
     let mut cache_stats = false;
+    let mut limits = EvalLimits::default();
     let mut einsum: Option<String> = None;
     let mut fast = false;
     let mut explore_cfg = teaal::sim::ExploreConfig::default();
@@ -270,11 +322,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 if rank_ids.len() != 2 {
                     return Err("--random only generates 2-tensors".into());
                 }
+                let rows: u64 = r.parse().map_err(|_| "bad rows")?;
+                let cols: u64 = c.parse().map_err(|_| "bad cols")?;
+                // A zero dimension would make the generator sample from an
+                // empty coordinate range (a panic, not an error).
+                if rows == 0 || cols == 0 {
+                    return Err(format!(
+                        "--random {name}={rows}x{cols}: both dimensions must be at least 1"
+                    ));
+                }
                 let t = genmat::uniform(
                     name,
                     &[&rank_ids[0], &rank_ids[1]],
-                    r.parse().map_err(|_| "bad rows")?,
-                    c.parse().map_err(|_| "bad cols")?,
+                    rows,
+                    cols,
                     nnz.parse().map_err(|_| "bad nnz")?,
                     seed,
                 );
@@ -310,6 +371,38 @@ fn run(args: &[String]) -> Result<(), String> {
             "--cache-stats" => {
                 cache_stats = true;
                 i += 1;
+            }
+            "--deadline-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--deadline-ms needs an integer (milliseconds)")?;
+                limits.deadline = Some(std::time::Duration::from_millis(ms));
+                i += 2;
+            }
+            "--max-engine-steps" => {
+                limits.max_engine_steps = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-engine-steps needs an integer")?,
+                );
+                i += 2;
+            }
+            "--max-output-entries" => {
+                limits.max_output_entries = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .ok_or("--max-output-entries needs an integer")?,
+                );
+                i += 2;
+            }
+            "--max-cache-mb" => {
+                let mb: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .ok_or("--max-cache-mb needs an integer (mebibytes)")?;
+                limits.max_resident_cache_bytes = Some(mb.saturating_mul(1024 * 1024));
+                i += 2;
             }
             "--einsum" => {
                 einsum = Some(args.get(i + 1).ok_or("--einsum needs a name")?.clone());
@@ -356,41 +449,63 @@ fn run(args: &[String]) -> Result<(), String> {
         }
     }
 
+    // Apply the cache-byte bound to the shared context now (it governs
+    // residency, not control flow), and anchor one cancellation token for
+    // the whole invocation — batch requests and retries share a single
+    // deadline and budget pool.
+    if let Some(bytes) = limits.max_resident_cache_bytes {
+        ctx.set_max_cache_bytes(bytes);
+    }
+    let token = limits.is_limited().then(|| CancelToken::new(&limits));
+
     let result = match command {
-        "explore" => run_explore(
-            &ctx,
-            &specs[0],
-            &tensors,
-            &extents,
-            ops,
-            threads,
-            einsum,
-            fast,
-            explore_cfg,
+        "explore" => {
+            explore_cfg.limits = limits.clone();
+            run_explore(
+                &ctx,
+                &specs[0],
+                &tensors,
+                &extents,
+                ops,
+                threads,
+                einsum,
+                fast,
+                explore_cfg,
+            )
+            .map(|()| ExitCode::SUCCESS)
+        }
+        "batch" => run_batch(
+            &ctx, &requests, &specs, &tensors, &extents, ops, threads, &token,
         ),
-        "batch" => run_batch(&ctx, &requests, &specs, &tensors, &extents, ops, threads),
         _ => {
             let mut sim = ctx
                 .simulator(&specs[0])
                 .map_err(|e| e.to_string())?
                 .with_ops(ops)
                 .with_threads(threads);
+            if let Some(t) = &token {
+                sim = sim.with_cancel(t.clone());
+            }
             for (rank, n) in &extents {
                 sim = sim.with_rank_extent(rank, *n);
             }
-            let report = sim.run(&tensors).map_err(|e| e.to_string())?;
-            match command {
-                "run" => println!("{report}"),
-                "output" => {
+            let report = sim.run(&tensors).map_err(|e| e.to_string());
+            match (command, report) {
+                ("run", Ok(report)) => {
+                    println!("{report}");
+                    Ok(ExitCode::SUCCESS)
+                }
+                ("output", Ok(report)) => {
                     for (name, tensor) in &report.outputs {
                         println!("# --- {name} ---");
                         tio::write_tensor_data(std::io::stdout().lock(), tensor)
                             .map_err(|e| e.to_string())?;
                     }
+                    Ok(ExitCode::SUCCESS)
                 }
-                other => return Err(format!("unknown command {other}")),
+                (_, Err(e)) => Err(e),
+                (other, _) => Err(format!("unknown command {other}")),
             }
-            Ok(())
         }
     };
     if cache_stats {
@@ -479,6 +594,12 @@ fn run_explore(
 /// Evaluates every batch request through the shared context — requests
 /// fan out across `threads` workers, each simulating sequentially — and
 /// prints the reports strictly in request order.
+///
+/// Failures are isolated per request: a request that errors (or panics —
+/// the evaluation is wrapped in `catch_unwind`) renders an `error:` block
+/// under its header while the rest of the batch keeps going, and the
+/// process exits with code 2 once every request has run.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     ctx: &Arc<EvalContext>,
     requests: &[BatchRequest],
@@ -487,8 +608,9 @@ fn run_batch(
     extents: &[(String, u64)],
     ops: OpTable,
     threads: usize,
-) -> Result<(), String> {
-    let run_request = |i: usize| -> Result<String, String> {
+    token: &Option<CancelToken>,
+) -> Result<ExitCode, String> {
+    let run_request_inner = |i: usize| -> Result<String, String> {
         let req = &requests[i];
         let sim = if req.loop_order.is_empty() {
             ctx.simulator(&specs[i])
@@ -503,6 +625,9 @@ fn run_batch(
             .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?
             .with_ops(req.ops.unwrap_or(ops))
             .with_threads(1);
+        if let Some(t) = token {
+            sim = sim.with_cancel(t.clone());
+        }
         for (rank, n) in extents {
             sim = sim.with_rank_extent(rank, *n);
         }
@@ -515,6 +640,20 @@ fn run_batch(
             .run_data_cached(&refs)
             .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?;
         Ok(format!("{report}"))
+    };
+    let run_request = |i: usize| -> Result<String, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_request_inner(i)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                Err(format!(
+                    "request {i} ({}): worker panicked: {msg}",
+                    requests[i].spec_path
+                ))
+            })
     };
 
     let n = requests.len();
@@ -542,13 +681,25 @@ fn run_batch(
             .collect()
     };
 
+    let mut failures = 0usize;
     for (i, out) in rendered.into_iter().enumerate() {
         let label = requests[i]
             .label
             .as_deref()
             .unwrap_or(&requests[i].spec_path);
         println!("# --- request {i} ({label}) ---");
-        println!("{}", out?);
+        match out {
+            Ok(report) => println!("{report}"),
+            Err(msg) => {
+                failures += 1;
+                println!("# error: {msg}");
+                eprintln!("error: {msg}");
+            }
+        }
     }
-    Ok(())
+    if failures > 0 {
+        eprintln!("batch: {failures} of {} request(s) failed", requests.len());
+        return Ok(ExitCode::from(2));
+    }
+    Ok(ExitCode::SUCCESS)
 }

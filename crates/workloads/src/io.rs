@@ -64,6 +64,9 @@ struct CooFile {
 ///
 /// Returns [`TensorIoError`] on I/O failure or malformed lines.
 pub fn read_tensor(reader: impl BufRead, default_name: &str) -> Result<Tensor, TensorIoError> {
+    if let Err(message) = teaal_core::failpoint::hit("io.read") {
+        return Err(TensorIoError::Parse { line: 0, message });
+    }
     let coo = read_coo(reader, default_name)?;
     let ids: Vec<&str> = coo.rank_ids.iter().map(String::as_str).collect();
     Tensor::from_entries(coo.name, &ids, &coo.shape, coo.entries).map_err(|e| {
@@ -229,6 +232,23 @@ fn write_parts(
 mod tests {
     use super::*;
     use std::io::Cursor;
+
+    #[test]
+    fn injected_read_failure_is_a_structured_parse_error() {
+        // Failpoint config is process-global; this is the only test in
+        // this binary that installs one, and it clears it on the way out.
+        teaal_core::failpoint::set_config("io.read:err@1").unwrap();
+        let err = read_tensor(Cursor::new(b"0 0 1.0\n"), "A").unwrap_err();
+        teaal_core::failpoint::set_config("").unwrap();
+        match err {
+            TensorIoError::Parse { message, .. } => {
+                assert!(message.contains("injected failpoint error"), "{message}");
+            }
+            other => panic!("expected a parse error, got {other:?}"),
+        }
+        // The `@1` occurrence is consumed; reads work again.
+        assert!(read_tensor(Cursor::new(b"0 0 1.0\n"), "A").is_ok());
+    }
 
     #[test]
     fn roundtrip_through_text() {
