@@ -17,6 +17,10 @@
 //! - `panic` — panic at the site (exercises `catch_unwind` isolation).
 //! - `err` — the site returns an injected error ([`FailAction::Err`]).
 //! - `sleep(MS)` — block for `MS` milliseconds (exercises deadlines).
+//! - `drop` — sever the transport mid-operation ([`FailAction::Drop`]).
+//!   Only connection-owning sites (the `teaal serve` daemon's
+//!   `serve.accept` / `serve.request`) can enact it; [`hit`] treats it
+//!   as a no-op so computational sites ignore the clause.
 //! - `@N` — fire on the N-th hit of the site only (1-based). Without
 //!   `@N` the action fires on every hit.
 //!
@@ -40,6 +44,11 @@ pub enum FailAction {
     Err(String),
     /// Sleep for the given number of milliseconds, then continue.
     Sleep(u64),
+    /// Close the connection mid-operation (daemon sites only): the
+    /// `teaal serve` connection handler writes a truncated response and
+    /// shuts the socket down, exercising client retry paths. Sites that
+    /// own no connection ignore it ([`hit`] maps it to `Ok`).
+    Drop,
 }
 
 #[derive(Clone, Debug)]
@@ -101,6 +110,7 @@ fn parse_config(spec: &str) -> Result<HashMap<String, Clause>, String> {
         };
         let action = match action_str.trim() {
             "panic" => FailAction::Panic,
+            "drop" => FailAction::Drop,
             "err" => FailAction::Err(format!("injected failpoint error at `{}`", site.trim())),
             s if s.starts_with("sleep(") && s.ends_with(')') => {
                 let ms = s["sleep(".len()..s.len() - 1]
@@ -188,7 +198,7 @@ pub fn check(site: &str) -> Option<FailAction> {
 /// Returns the injected message when an `err` action fires at `site`.
 pub fn hit(site: &str) -> Result<(), String> {
     match check(site) {
-        None | Some(FailAction::Sleep(_)) => Ok(()),
+        None | Some(FailAction::Sleep(_)) | Some(FailAction::Drop) => Ok(()),
         Some(FailAction::Panic) => panic!("injected failpoint panic at `{site}`"),
         Some(FailAction::Err(msg)) => Err(msg),
     }
@@ -241,6 +251,18 @@ mod tests {
         let r = std::panic::catch_unwind(|| hit("x.y"));
         assert!(r.is_err());
         assert!(hit("x.y").is_ok(), "second hit passes after panic@1");
+        set_config("").unwrap();
+    }
+
+    #[test]
+    fn drop_action_parses_and_is_inert_for_hit() {
+        let _g = guard();
+        set_config("serve.request:drop@2").unwrap();
+        assert_eq!(check("serve.request"), None);
+        assert_eq!(check("serve.request"), Some(FailAction::Drop));
+        // Sites without a connection to sever treat `drop` as a pass.
+        set_config("io.read:drop").unwrap();
+        assert!(hit("io.read").is_ok());
         set_config("").unwrap();
     }
 

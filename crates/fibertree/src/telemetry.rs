@@ -207,6 +207,59 @@ pub fn report_cache_stats() -> &'static CacheStats {
     &REPORT_CACHE
 }
 
+/// A point-in-time copy of every process-wide pipeline counter: the
+/// four stage caches plus the executed-transform, degradation, and
+/// decompression counters.
+///
+/// One [`pipeline_snapshot`] call gives consumers that report telemetry
+/// wholesale — the CLI's `--cache-stats` and the `teaal serve` `health`
+/// endpoint — a consistent-enough view without naming every registry
+/// entry. Same caveat as [`CacheStats::snapshot`]: fields are read
+/// individually, so compare deltas, not cross-field invariants.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineSnapshot {
+    /// The parsed-spec cache stage ([`spec_cache_stats`]).
+    pub spec: CacheSnapshot,
+    /// The compiled-plan cache stage ([`plan_cache_stats`]).
+    pub plan: CacheSnapshot,
+    /// The transformed-input cache stage ([`transform_cache_stats`]).
+    pub transform: CacheSnapshot,
+    /// The simulation-report cache stage ([`report_cache_stats`]).
+    pub report: CacheSnapshot,
+    /// Transform chains actually executed ([`transform_exec_count`]).
+    pub transform_execs: u64,
+    /// Sharded→sequential degradations ([`degraded_sequential_count`]).
+    pub degraded_sequential: u64,
+    /// Decompressions performed ([`decompress_count`]).
+    pub decompressions: u64,
+}
+
+impl PipelineSnapshot {
+    /// The stage snapshots paired with their display names, in pipeline
+    /// order — the shape both `--cache-stats` and `health` print.
+    pub fn stages(&self) -> [(&'static str, CacheSnapshot); 4] {
+        [
+            ("spec", self.spec),
+            ("plan", self.plan),
+            ("transform", self.transform),
+            ("report", self.report),
+        ]
+    }
+}
+
+/// Captures every pipeline counter at once (see [`PipelineSnapshot`]).
+pub fn pipeline_snapshot() -> PipelineSnapshot {
+    PipelineSnapshot {
+        spec: SPEC_CACHE.snapshot(),
+        plan: PLAN_CACHE.snapshot(),
+        transform: TRANSFORM_CACHE.snapshot(),
+        report: REPORT_CACHE.snapshot(),
+        transform_execs: transform_exec_count(),
+        degraded_sequential: degraded_sequential_count(),
+        decompressions: decompress_count(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +327,23 @@ mod tests {
         // Estimate drift must saturate, never wrap.
         stats.eviction(500);
         assert_eq!((stats.bytes(), stats.evictions()), (0, 2));
+    }
+
+    #[test]
+    fn pipeline_snapshot_mirrors_the_stage_registries() {
+        let before = pipeline_snapshot();
+        spec_cache_stats().miss(11);
+        plan_cache_stats().hit();
+        note_transform_exec();
+        let after = pipeline_snapshot();
+        assert!(after.spec.misses > before.spec.misses);
+        assert!(after.spec.bytes >= before.spec.bytes + 11);
+        assert!(after.plan.hits > before.plan.hits);
+        assert!(after.transform_execs > before.transform_execs);
+        // `stages()` pairs names with the same values, in order.
+        let names: Vec<&str> = after.stages().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, ["spec", "plan", "transform", "report"]);
+        assert_eq!(after.stages()[0].1, after.spec);
     }
 
     #[test]

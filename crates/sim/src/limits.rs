@@ -93,6 +93,46 @@ impl EvalLimits {
     pub fn is_limited(&self) -> bool {
         self != &EvalLimits::default()
     }
+
+    /// Merges these limits against a server-side cap: each budget is
+    /// the *tighter* of the two (`None` means unbounded on that side).
+    ///
+    /// This is how `teaal serve` derives per-request limits — the
+    /// client's overrides can only shrink the daemon's defaults, never
+    /// widen them:
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use teaal_sim::EvalLimits;
+    /// let server = EvalLimits::default()
+    ///     .with_deadline(Duration::from_secs(5))
+    ///     .with_max_engine_steps(1_000_000);
+    /// let client = EvalLimits::default()
+    ///     .with_deadline(Duration::from_secs(60))
+    ///     .with_max_output_entries(10_000);
+    /// let merged = client.clamped_by(&server);
+    /// assert_eq!(merged.deadline, Some(Duration::from_secs(5)));
+    /// assert_eq!(merged.max_engine_steps, Some(1_000_000));
+    /// assert_eq!(merged.max_output_entries, Some(10_000));
+    /// ```
+    #[must_use]
+    pub fn clamped_by(&self, cap: &EvalLimits) -> EvalLimits {
+        fn tighter<T: Ord + Copy>(a: Option<T>, b: Option<T>) -> Option<T> {
+            match (a, b) {
+                (Some(a), Some(b)) => Some(a.min(b)),
+                (x, None) | (None, x) => x,
+            }
+        }
+        EvalLimits {
+            deadline: tighter(self.deadline, cap.deadline),
+            max_engine_steps: tighter(self.max_engine_steps, cap.max_engine_steps),
+            max_output_entries: tighter(self.max_output_entries, cap.max_output_entries),
+            max_resident_cache_bytes: tighter(
+                self.max_resident_cache_bytes,
+                cap.max_resident_cache_bytes,
+            ),
+        }
+    }
 }
 
 /// Work observed at the moment a budget tripped, carried inside the
@@ -328,6 +368,26 @@ mod tests {
         }
         token.charge_outputs(1 << 40).unwrap();
         token.checkpoint().unwrap();
+    }
+
+    #[test]
+    fn clamping_takes_the_tighter_of_each_budget() {
+        let server = EvalLimits::default()
+            .with_deadline(Duration::from_millis(100))
+            .with_max_engine_steps(50);
+        let client = EvalLimits::default()
+            .with_deadline(Duration::from_millis(500))
+            .with_max_engine_steps(10)
+            .with_max_output_entries(7);
+        let merged = client.clamped_by(&server);
+        assert_eq!(merged.deadline, Some(Duration::from_millis(100)));
+        assert_eq!(merged.max_engine_steps, Some(10));
+        assert_eq!(merged.max_output_entries, Some(7));
+        assert_eq!(merged.max_resident_cache_bytes, None);
+        // Clamping by unbounded caps is the identity.
+        assert_eq!(client.clamped_by(&EvalLimits::default()), client);
+        // Unbounded requests inherit the caps wholesale.
+        assert_eq!(EvalLimits::default().clamped_by(&server), server);
     }
 
     #[test]

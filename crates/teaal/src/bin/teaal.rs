@@ -7,6 +7,10 @@
 //! teaal explore <spec.yaml> [options]      # search loop orders for an einsum
 //! teaal batch   <requests.yaml> [options]  # evaluate many mapping requests
 //!                                          # against one loaded dataset
+//! teaal serve   [options]                  # long-running evaluation daemon
+//!                                          # (see `teaal::serve`)
+//! teaal client  <ping|health|eval> [spec]  # retrying client for the daemon
+//!                                          # (see `teaal::client`)
 //!
 //! options:
 //!   --tensor NAME=FILE     load an input tensor (see workloads::io format)
@@ -74,6 +78,7 @@ use std::sync::{Arc, OnceLock};
 
 use teaal::fibertree::telemetry;
 use teaal::prelude::*;
+use teaal::request::{error_block, evaluate_request, parse_ops, EvalFailure, RequestOverrides};
 use teaal::sim::{
     explore_fast_with_context, explore_loop_orders_with_context, CancelToken, Candidate,
     EvalContext, EvalLimits, Objective,
@@ -96,6 +101,15 @@ fn main() -> ExitCode {
             eprintln!("             [--max-output-entries N] [--max-cache-mb N]");
             eprintln!("             [--einsum NAME] [--fast] [--objective time|energy|traffic]");
             eprintln!("             [--budget N] [--top-k N] [--margin F]");
+            eprintln!("       teaal serve  [--addr H:P|--unix PATH] [--workers N] [--queue N]");
+            eprintln!("             [--drain-ms N] [--io-timeout-ms N] [--tensor NAME=FILE]");
+            eprintln!("             [--random NAME=R1,R2:RxC:NNZ] [--extent RANK=N] [--ops T]");
+            eprintln!("             [--deadline-ms N] [--max-engine-steps N] [--max-cache-mb N]");
+            eprintln!(
+                "       teaal client <ping|health|eval> [spec.yaml] [--addr H:P|--unix PATH]"
+            );
+            eprintln!("             [--retries N] [--backoff-ms N] [--timeout-ms N] [--repeat N]");
+            eprintln!("             [--ops T] [--extent RANK=N] [--loop-order EINSUM=R1,R2,…]");
             ExitCode::FAILURE
         }
     }
@@ -108,14 +122,6 @@ struct BatchRequest {
     ops: Option<OpTable>,
     /// Per-einsum loop-order overrides, applied to a clone of the spec.
     loop_order: Vec<(String, Vec<String>)>,
-}
-
-fn parse_ops(name: &str) -> Result<OpTable, String> {
-    match name {
-        "sssp" | "bfs" => Ok(OpTable::sssp()),
-        "arithmetic" => Ok(OpTable::arithmetic()),
-        other => Err(format!("unknown op table {other:?}")),
-    }
 }
 
 /// Parses the `teaal batch` requests file (a small YAML subset: a list of
@@ -206,13 +212,8 @@ fn parse_requests(text: &str) -> Result<Vec<BatchRequest>, String> {
 /// Prints the process-wide pipeline cache statistics (`--cache-stats`) to
 /// stderr, one line per stage cache.
 fn print_cache_stats() {
-    let stats = [
-        ("spec", telemetry::spec_cache_stats().snapshot()),
-        ("plan", telemetry::plan_cache_stats().snapshot()),
-        ("transform", telemetry::transform_cache_stats().snapshot()),
-        ("report", telemetry::report_cache_stats().snapshot()),
-    ];
-    for (stage, s) in stats {
+    let snap = telemetry::pipeline_snapshot();
+    for (stage, s) in snap.stages() {
         eprintln!(
             "cache-stats: {stage:<9} hits={} misses={} bytes={} evictions={}",
             s.hits, s.misses, s.bytes, s.evictions
@@ -220,16 +221,23 @@ fn print_cache_stats() {
     }
     eprintln!(
         "cache-stats: transform chains executed={}",
-        telemetry::transform_exec_count()
+        snap.transform_execs
     );
     eprintln!(
         "cache-stats: degraded-sequential retries={}",
-        telemetry::degraded_sequential_count()
+        snap.degraded_sequential
     );
 }
 
 fn run(args: &[String]) -> Result<ExitCode, String> {
     let command = args.get(1).ok_or("missing command")?.as_str();
+    // The daemon and its client parse their own options (no spec path
+    // positional), so they dispatch before the spec is read.
+    match command {
+        "serve" => return teaal::serve::run_serve(args),
+        "client" => return teaal::client::run_client(args),
+        _ => {}
+    }
     if !matches!(command, "check" | "run" | "output" | "explore" | "batch") {
         return Err(format!("unknown command {command}"));
     }
@@ -610,58 +618,41 @@ fn run_batch(
     threads: usize,
     token: &Option<CancelToken>,
 ) -> Result<ExitCode, String> {
-    let run_request_inner = |i: usize| -> Result<String, String> {
+    // The dataset is shared read-only by every request: materialize the
+    // `TensorData` views once here instead of cloning every tensor per
+    // request inside the worker loop.
+    let data: Vec<TensorData> = tensors
+        .iter()
+        .map(|t| TensorData::Owned(t.clone()))
+        .collect();
+    // Evaluation (including panic isolation and failure classification)
+    // lives in `teaal::request`, shared verbatim with `teaal serve` — so
+    // batch's error blocks and serve's wire error codes cannot drift.
+    let run_request = |i: usize| -> Result<String, EvalFailure> {
         let req = &requests[i];
-        let sim = if req.loop_order.is_empty() {
-            ctx.simulator(&specs[i])
-        } else {
-            let mut s = (*specs[i]).clone();
-            for (einsum, order) in &req.loop_order {
-                s.mapping.loop_order.insert(einsum.clone(), order.clone());
-            }
-            ctx.simulator(&s)
+        let overrides = RequestOverrides {
+            loop_order: req.loop_order.clone(),
+            ops: req.ops,
         };
-        let mut sim = sim
-            .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?
-            .with_ops(req.ops.unwrap_or(ops))
-            .with_threads(1);
-        if let Some(t) = token {
-            sim = sim.with_cancel(t.clone());
-        }
-        for (rank, n) in extents {
-            sim = sim.with_rank_extent(rank, *n);
-        }
-        let data: Vec<TensorData> = tensors
-            .iter()
-            .map(|t| TensorData::Owned(t.clone()))
-            .collect();
         let refs: Vec<&TensorData> = data.iter().collect();
-        let report = sim
-            .run_data_cached(&refs)
-            .map_err(|e| format!("request {i} ({}): {e}", req.spec_path))?;
-        Ok(format!("{report}"))
-    };
-    let run_request = |i: usize| -> Result<String, String> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run_request_inner(i)))
-            .unwrap_or_else(|payload| {
-                let msg = payload
-                    .downcast_ref::<&str>()
-                    .map(|s| (*s).to_string())
-                    .or_else(|| payload.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "non-string panic payload".to_string());
-                Err(format!(
-                    "request {i} ({}): worker panicked: {msg}",
-                    requests[i].spec_path
-                ))
-            })
+        evaluate_request(
+            ctx,
+            &specs[i],
+            &overrides,
+            ops,
+            extents,
+            &refs,
+            token.as_ref(),
+        )
+        .map_err(|f| f.contextualize(&format!("request {i} ({})", req.spec_path)))
     };
 
     let n = requests.len();
     let workers = threads.max(1).min(n);
-    let rendered: Vec<Result<String, String>> = if workers <= 1 {
+    let rendered: Vec<Result<String, EvalFailure>> = if workers <= 1 {
         (0..n).map(run_request).collect()
     } else {
-        let slots: Vec<OnceLock<Result<String, String>>> =
+        let slots: Vec<OnceLock<Result<String, EvalFailure>>> =
             (0..n).map(|_| OnceLock::new()).collect();
         let next = AtomicUsize::new(0);
         std::thread::scope(|s| {
@@ -690,10 +681,10 @@ fn run_batch(
         println!("# --- request {i} ({label}) ---");
         match out {
             Ok(report) => println!("{report}"),
-            Err(msg) => {
+            Err(failure) => {
                 failures += 1;
-                println!("# error: {msg}");
-                eprintln!("error: {msg}");
+                println!("{}", error_block(&failure));
+                eprintln!("error: {failure}");
             }
         }
     }

@@ -55,6 +55,11 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod client;
+pub mod request;
+pub mod serve;
+pub mod wire;
+
 pub use teaal_accel as accel;
 pub use teaal_core as core;
 pub use teaal_fibertree as fibertree;

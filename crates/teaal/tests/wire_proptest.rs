@@ -1,0 +1,168 @@
+//! Property-based fuzzing of the `teaal serve` wire parser.
+//!
+//! The daemon feeds [`read_frame`] bytes straight off the network, so
+//! the parser's contract is load-bearing for fault tolerance: arbitrary
+//! bytes, truncated frames, and oversized length claims must never
+//! panic, never allocate unboundedly, and — when a frame-level (body)
+//! error is reported — never desynchronize the stream from the next
+//! frame boundary.
+
+use std::io::BufReader;
+
+use proptest::prelude::*;
+use teaal::wire::{read_frame, Frame, FrameKind, WireError, DEFAULT_MAX_FRAME_BYTES};
+
+/// Drains a byte buffer through the parser exactly as a connection
+/// handler would: keep reading on recoverable errors, stop on clean
+/// EOF or a fatal/transport error. Returns the parsed frames.
+fn drain(bytes: &[u8], max_frame: usize) -> Vec<Frame> {
+    let mut reader = BufReader::new(bytes);
+    let mut frames = Vec::new();
+    // Bounded by construction (each iteration consumes ≥1 byte or
+    // stops), but cap it anyway so a parser bug fails fast, not
+    // forever.
+    for _ in 0..bytes.len() + 1 {
+        match read_frame(&mut reader, max_frame) {
+            Ok(Some(frame)) => frames.push(frame),
+            Ok(None) => break,
+            Err(WireError::Frame(_)) => continue,
+            Err(WireError::Fatal(_)) | Err(WireError::Io(_)) => break,
+        }
+    }
+    frames
+}
+
+fn arb_bytes(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u16..256, 0..max_len)
+        .prop_map(|v| v.into_iter().map(|b| b as u8).collect())
+}
+
+/// Field values may be any Unicode, including the characters the
+/// percent-encoding must escape.
+fn arb_value() -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u16..128, 0..40).prop_map(|v| {
+        v.into_iter()
+            .map(|b| match b {
+                0 => '%',
+                1 => '\n',
+                2 => '\r',
+                3 => 'é',
+                b => char::from(32 + (b % 90) as u8),
+            })
+            .collect()
+    })
+}
+
+fn arb_frame() -> impl Strategy<Value = Frame> {
+    (
+        0u16..3,
+        proptest::collection::vec((0u16..4, arb_value()), 0..6),
+    )
+        .prop_map(|(kind, kvs)| {
+            let kind = match kind {
+                0 => FrameKind::Req,
+                1 => FrameKind::Ok,
+                _ => FrameKind::Err,
+            };
+            const KEYS: [&str; 4] = ["op", "spec", "loop_order", "cache.report.bytes"];
+            let mut frame = Frame::new(kind);
+            for (k, v) in kvs {
+                frame = frame.field(KEYS[k as usize], v);
+            }
+            frame
+        })
+}
+
+proptest! {
+    /// Garbage in, no panic out: any byte soup drains cleanly.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in arb_bytes(400)) {
+        drain(&bytes, DEFAULT_MAX_FRAME_BYTES);
+    }
+
+    /// Garbage prefixed with the protocol magic exercises the header
+    /// and length paths rather than dying on the first token.
+    #[test]
+    fn near_miss_headers_never_panic(bytes in arb_bytes(200)) {
+        let mut framed = b"teaal/1 ".to_vec();
+        framed.extend_from_slice(&bytes);
+        drain(&framed, DEFAULT_MAX_FRAME_BYTES);
+    }
+
+    /// Encode → decode is the identity, for any kind and any values.
+    #[test]
+    fn roundtrip_is_identity(frame in arb_frame()) {
+        let bytes = frame.encode();
+        let mut reader = BufReader::new(&bytes[..]);
+        let back = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES)
+            .expect("well-formed frame reads")
+            .expect("not EOF");
+        prop_assert_eq!(back, frame);
+        prop_assert!(matches!(
+            read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES),
+            Ok(None)
+        ));
+    }
+
+    /// Truncating a valid frame at any point never panics, and never
+    /// hallucinates a frame that wasn't fully received: either the cut
+    /// lands exactly between frames (EOF) or the parser reports an
+    /// error.
+    #[test]
+    fn truncation_never_panics_or_fabricates(frame in arb_frame(), cut in 0u32..4096) {
+        let bytes = frame.encode();
+        let cut = (cut as usize) % bytes.len(); // strictly shorter
+        let mut reader = BufReader::new(&bytes[..cut]);
+        match read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES) {
+            Ok(Some(parsed)) => prop_assert!(false, "parsed {parsed:?} from a truncated frame"),
+            Ok(None) => prop_assert_eq!(cut, 0, "mid-frame cut must not read as clean EOF"),
+            Err(_) => {}
+        }
+    }
+
+    /// Corrupting one body byte of a framed message cannot
+    /// desynchronize the stream: the *next* frame always parses intact.
+    /// (The parser consumes the full declared body before judging it.)
+    #[test]
+    fn body_corruption_does_not_desynchronize(
+        frame in arb_frame(),
+        second_value in arb_value(),
+        corrupt in (0u32..4096, 0u16..256),
+    ) {
+        let second = Frame::new(FrameKind::Ok).field("op", second_value);
+        let first = frame.encode();
+        let header_len = first.iter().position(|&b| b == b'\n').unwrap() + 1;
+        let body_len = first.len() - header_len - 1;
+        let mut bytes = first.clone();
+        if body_len > 0 {
+            let (offset, byte) = corrupt;
+            bytes[header_len + (offset as usize) % body_len] = byte as u8;
+        }
+        bytes.extend_from_slice(&second.encode());
+
+        let mut reader = BufReader::new(&bytes[..]);
+        // First frame: parses or fails recoverably — corruption inside
+        // a well-framed body must never be fatal.
+        match read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES) {
+            Ok(Some(_)) | Err(WireError::Frame(_)) => {}
+            other => prop_assert!(false, "body corruption escalated: {other:?}"),
+        }
+        let back = read_frame(&mut reader, DEFAULT_MAX_FRAME_BYTES)
+            .expect("second frame unaffected")
+            .expect("second frame present");
+        prop_assert_eq!(back, second);
+    }
+
+    /// An oversized length claim is rejected before allocation, however
+    /// large the number, and a tiny `max_frame` bounds every accepted
+    /// body.
+    #[test]
+    fn length_claims_are_bounded(len in 0u64..u64::MAX, max in 1u32..64) {
+        let bytes = format!("teaal/1 req {len}\n").into_bytes();
+        let mut reader = BufReader::new(&bytes[..]);
+        let out = read_frame(&mut reader, max as usize);
+        if len > u64::from(max) {
+            prop_assert!(matches!(out, Err(WireError::Fatal(_))), "{out:?}");
+        }
+    }
+}
